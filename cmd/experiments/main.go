@@ -1,0 +1,67 @@
+// Command experiments regenerates every table and figure-equivalent of the
+// survey reproduction (see DESIGN.md, "Per-experiment index").
+//
+// Usage:
+//
+//	experiments                 # run everything, aligned text to stdout
+//	experiments -exp T3a,T5f    # run a subset
+//	experiments -format md      # GitHub Markdown output (for EXPERIMENTS.md)
+//	experiments -format csv     # CSV output
+//	experiments -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		which  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		format = flag.String("format", "text", "output format: text, md, csv")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []exp.Experiment
+	if *which == "all" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*which, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tabs := e.Run()
+		fmt.Printf("=== %s — %s (%s)\n\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond))
+		for _, tb := range tabs {
+			switch *format {
+			case "md":
+				fmt.Println(tb.Markdown())
+			case "csv":
+				fmt.Println(tb.CSV())
+			default:
+				fmt.Println(tb.Render())
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Command shopsched solves a shop scheduling instance with any of the
+// survey's GA models and prints the best schedule with an ASCII Gantt chart.
+//
+// Usage examples:
+//
+//	shopsched -instance ft06 -model island -islands 4 -generations 200
+//	shopsched -problem flow -jobs 20 -machines 5 -seed 42 -model ms -workers 4
+//	shopsched -instance path/to/instance.json -model cellular
+//	shopsched -problem open -jobs 8 -machines 8 -model serial
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/decode"
+	"repro/internal/hybrid"
+	"repro/internal/island"
+	"repro/internal/masterslave"
+	"repro/internal/rng"
+	"repro/internal/shop"
+	"repro/internal/shopga"
+)
+
+func main() {
+	var (
+		instPath    = flag.String("instance", "", "instance: 'ft06' or a JSON file path (overrides -problem)")
+		problem     = flag.String("problem", "job", "generated problem kind: flow, job, open, fjs, ffs")
+		jobs        = flag.Int("jobs", 10, "jobs for generated instances")
+		machines    = flag.Int("machines", 5, "machines for generated instances")
+		seed        = flag.Int("seed", 12345, "instance generation seed")
+		model       = flag.String("model", "serial", "GA model: serial, ms, island, cellular, hybrid")
+		workers     = flag.Int("workers", 4, "slaves for -model ms")
+		islands     = flag.Int("islands", 4, "islands for -model island/hybrid")
+		pop         = flag.Int("pop", 80, "population (total across islands)")
+		generations = flag.Int("generations", 150, "generation budget")
+		gaSeed      = flag.Uint64("ga-seed", 1, "GA master seed")
+		gantt       = flag.Bool("gantt", true, "print the Gantt chart")
+	)
+	flag.Parse()
+
+	in, err := buildInstance(*instPath, *problem, *jobs, *machines, int32(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shopsched:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("instance %s: %s, %d jobs x %d machines (%d operations)\n",
+		in.Name, in.Kind, in.NumJobs(), in.NumMachines, in.TotalOps())
+	fmt.Printf("heuristic reference makespan: %.0f\n", decode.Reference(in, shop.Makespan))
+
+	best, evals := solve(in, *model, *workers, *islands, *pop, *generations, *gaSeed)
+	fmt.Printf("model %s: best makespan %.0f after %d evaluations\n", *model, best.obj, evals)
+	if *gantt {
+		fmt.Print(best.schedule.Gantt(96))
+	}
+	if err := best.schedule.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "shopsched: INVALID SCHEDULE:", err)
+		os.Exit(1)
+	}
+	fmt.Println("schedule validated: all Table I feasibility conditions hold")
+}
+
+func buildInstance(path, kind string, jobs, machines int, seed int32) (*shop.Instance, error) {
+	switch {
+	case path == "ft06":
+		return shop.FT06(), nil
+	case path != "":
+		return shop.LoadFile(path)
+	}
+	switch kind {
+	case "flow":
+		return shop.GenerateFlowShop("gen-flow", jobs, machines, seed), nil
+	case "job":
+		return shop.GenerateJobShop("gen-job", jobs, machines, seed, seed+1), nil
+	case "open":
+		return shop.GenerateOpenShop("gen-open", jobs, machines, seed), nil
+	case "fjs":
+		return shop.GenerateFlexibleJobShop("gen-fjs", jobs, machines, machines, 3, seed), nil
+	case "ffs":
+		per := machines / 2
+		if per < 1 {
+			per = 1
+		}
+		return shop.GenerateFlexibleFlowShop("gen-ffs", jobs, []int{per, machines - per}, true, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown problem kind %q", kind)
+	}
+}
+
+type solution struct {
+	obj      float64
+	schedule *shop.Schedule
+}
+
+func solve(in *shop.Instance, model string, workers, islands_, pop, gens int, seed uint64) (solution, int64) {
+	r := rng.New(seed)
+	switch in.Kind {
+	case shop.FlexibleFlowShop, shop.FlexibleJobShop:
+		prob := shopga.FlexibleProblem(in, shop.Makespan)
+		ops := shopga.FlexOps(in)
+		res := island.New(r, island.Config[shopga.FlexGenome]{
+			Islands: islands_, SubPop: pop / islands_, Interval: 5, Epochs: gens / 5,
+			Engine:  core.Config[shopga.FlexGenome]{Ops: ops, Elite: 1},
+			Problem: func(int) core.Problem[shopga.FlexGenome] { return prob },
+		}).Run()
+		g := res.Best.Genome
+		return solution{obj: res.Best.Obj, schedule: decode.Flexible(in, g.Assign, g.Seq, nil)}, res.Evaluations
+	}
+
+	prob := seqProblem(in)
+	ops := seqOps(in)
+	mkSchedule := func(g []int) *shop.Schedule { return decode.Any(in, g) }
+	cfg := core.Config[[]int]{
+		Pop: pop, Elite: 1, Ops: ops,
+		Term: core.Termination{MaxGenerations: gens},
+	}
+	switch model {
+	case "serial":
+		res := core.New(prob, r, cfg).Run()
+		return solution{res.Best.Obj, mkSchedule(res.Best.Genome)}, res.Evaluations
+	case "ms":
+		res := masterslave.RunPool(prob, r, cfg, workers)
+		return solution{res.Best.Obj, mkSchedule(res.Best.Genome)}, res.Evaluations
+	case "island":
+		res := island.New(r, island.Config[[]int]{
+			Islands: islands_, SubPop: pop / islands_, Interval: 5, Epochs: gens / 5,
+			Engine:  cfg,
+			Problem: func(int) core.Problem[[]int] { return prob },
+		}).Run()
+		return solution{res.Best.Obj, mkSchedule(res.Best.Genome)}, res.Evaluations
+	case "cellular":
+		side := 1
+		for side*side < pop {
+			side++
+		}
+		res := cellular.New(prob, r, cellular.Config[[]int]{
+			Width: side, Height: side,
+			Cross: ops.Cross, Mutate: ops.Mutate, ReplaceIfBetter: true,
+			Generations: gens,
+		}).Run()
+		return solution{res.Best.Obj, mkSchedule(res.Best.Genome)}, res.Evaluations
+	case "hybrid":
+		res := hybrid.NewRingOfTorus(prob, r, hybrid.RingOfTorusConfig[[]int]{
+			Grids: islands_, Interval: 10, Epochs: gens / 10,
+			Grid: cellular.Config[[]int]{
+				Width: 5, Height: 5,
+				Cross: ops.Cross, Mutate: ops.Mutate, ReplaceIfBetter: true,
+			},
+		}).Run()
+		return solution{res.Best.Obj, mkSchedule(res.Best.Genome)}, res.Evaluations
+	default:
+		fmt.Fprintf(os.Stderr, "shopsched: unknown model %q\n", model)
+		os.Exit(2)
+		return solution{}, 0
+	}
+}
+
+func seqProblem(in *shop.Instance) core.Problem[[]int] {
+	switch in.Kind {
+	case shop.FlowShop:
+		return shopga.FlowShopMakespanProblem(in)
+	case shop.OpenShop:
+		return shopga.OpenShopProblem(in, decode.EarliestStart, shop.Makespan)
+	default:
+		return shopga.JobShopProblem(in, shop.Makespan)
+	}
+}
+
+func seqOps(in *shop.Instance) core.Operators[[]int] {
+	if in.Kind == shop.FlowShop {
+		return shopga.PermOps()
+	}
+	return shopga.SeqOps(in)
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/shop"
+)
+
+func TestBuildInstanceKinds(t *testing.T) {
+	cases := map[string]shop.Kind{
+		"flow": shop.FlowShop,
+		"job":  shop.JobShop,
+		"open": shop.OpenShop,
+		"fjs":  shop.FlexibleJobShop,
+		"ffs":  shop.FlexibleFlowShop,
+	}
+	for kind, want := range cases {
+		in, err := buildInstance("", kind, 4, 3, 99)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if in.Kind != want {
+			t.Errorf("%s: kind %v", kind, in.Kind)
+		}
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	if _, err := buildInstance("", "nope", 4, 3, 99); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	in, err := buildInstance("ft06", "", 0, 0, 0)
+	if err != nil || in.Name != "ft06" {
+		t.Errorf("ft06 lookup failed: %v %v", in, err)
+	}
+	if _, err := buildInstance("/does/not/exist.json", "", 0, 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBuildInstanceFromFile(t *testing.T) {
+	in := shop.GenerateJobShop("file-test", 3, 2, 5, 6)
+	path := t.TempDir() + "/i.json"
+	if err := in.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := buildInstance(path, "", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "file-test" {
+		t.Errorf("loaded %q", back.Name)
+	}
+}
+
+func TestSolveEveryModelProducesValidSchedule(t *testing.T) {
+	in, _ := buildInstance("", "job", 6, 4, 42)
+	for _, model := range []string{"serial", "ms", "island", "cellular", "hybrid"} {
+		sol, evals := solve(in, model, 2, 2, 26, 20, 1)
+		if evals <= 0 {
+			t.Errorf("%s: no evaluations", model)
+		}
+		if sol.schedule == nil {
+			t.Fatalf("%s: nil schedule", model)
+		}
+		if err := sol.schedule.Validate(); err != nil {
+			t.Errorf("%s: invalid schedule: %v", model, err)
+		}
+		if got := float64(sol.schedule.Makespan()); got != sol.obj {
+			t.Errorf("%s: objective %v != schedule makespan %v", model, sol.obj, got)
+		}
+	}
+}
+
+func TestSolveFlexibleRoute(t *testing.T) {
+	in, _ := buildInstance("", "fjs", 4, 3, 7)
+	sol, _ := solve(in, "island", 2, 2, 24, 20, 1)
+	if err := sol.schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(in.Kind.String(), "flexible") {
+		t.Fatalf("kind = %v", in.Kind)
+	}
+}

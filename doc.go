@@ -1,0 +1,14 @@
+// Package repro is a complete Go reproduction of "A Survey on Parallel
+// Genetic Algorithms for Shop Scheduling Problems" (Luo & El Baz, IPDPS
+// Workshops 2018): the full family of parallel GA models the survey
+// taxonomises (master-slave, fine-grained, island, hybrid), every shop
+// scheduling environment it covers (flow / job / open shop and the
+// flexible variants, with setups, lot streaming, blocking, fuzzy and
+// stochastic extensions), and an experiment harness that regenerates the
+// survey's five tables plus the quantitative claims of the ~25 surveyed
+// works as figure-equivalent experiments.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The top-level bench suite (bench_test.go) times one kernel per table.
+package repro

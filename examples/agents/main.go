@@ -1,0 +1,44 @@
+// Agent-based parallel GA (Asadzadeh & Zamanifar [27]): a management agent
+// splits the population across eight processor agents living on a virtual
+// cube (three neighbours each); a synchronisation agent routes migrants
+// between them. JADE middleware is substituted by goroutines and typed
+// mailbox channels — the architecture, message flow and topology are
+// preserved.
+//
+// Run with: go run ./examples/agents
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/agents"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/shop"
+	"repro/internal/shopga"
+)
+
+func main() {
+	in := shop.GenerateJobShop("agents-12x6", 12, 6, 555001, 555002)
+	prob := shopga.JobShopProblem(in, shop.Makespan)
+	fmt.Printf("instance %s: %d jobs x %d machines\n", in.Name, in.NumJobs(), in.NumMachines)
+
+	serial := agents.Run(prob, rng.New(1), agents.Config[[]int]{
+		Processors: 1, SubPop: 80, Interval: 5, Epochs: 16,
+		Engine: core.Config[[]int]{Ops: shopga.SeqOps(in), Elite: 1},
+	})
+	fmt.Printf("serial agent GA (1 x 80):    best %.0f (%d evaluations)\n",
+		serial.Best.Obj, serial.Evaluations)
+
+	cube := agents.Run(prob, rng.New(1), agents.Config[[]int]{
+		Processors: 8, SubPop: 10, Interval: 5, Epochs: 16,
+		Engine: core.Config[[]int]{Ops: shopga.SeqOps(in), Elite: 1},
+	})
+	fmt.Printf("cube agents (8 x 10):        best %.0f (%d evaluations)\n",
+		cube.Best.Obj, cube.Evaluations)
+	fmt.Println("\nper-agent bests (the cube keeps subpopulations diverse while")
+	fmt.Println("migrants flow along the three cube edges of each agent):")
+	for i, obj := range cube.PerAgent {
+		fmt.Printf("  processor agent %d: %.0f\n", i, obj)
+	}
+}

@@ -1,0 +1,166 @@
+// Energy-aware dynamic flexible flow shop — the "new integrated factors"
+// the survey's Section II motivates (Xu et al. [8], Tang et al. [9]):
+//
+//   - machines run at selectable speeds; faster speeds shorten processing
+//     but cost power ~ speed^2 (the classic cube-law simplified);
+//   - the GA minimises a weighted sum of makespan and total energy, with
+//     the speed levels as a third chromosome next to machine assignment
+//     and operation sequence;
+//   - a machine breakdown arrives mid-horizon and a predictive-reactive
+//     rescheduling pass re-optimises the remaining work (Tang et al.'s
+//     dynamic scheduling loop).
+//
+// Run with: go run ./examples/energyflow
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/decode"
+	"repro/internal/island"
+	"repro/internal/op"
+	"repro/internal/rng"
+	"repro/internal/shop"
+	"repro/internal/shopga"
+)
+
+// genome carries assignment, sequence and per-operation speed levels.
+type genome struct {
+	Flex   shopga.FlexGenome
+	Speeds []int
+}
+
+func cloneGenome(g genome) genome {
+	return genome{
+		Flex:   shopga.CloneFlex(g.Flex),
+		Speeds: append([]int(nil), g.Speeds...),
+	}
+}
+
+func main() {
+	in := shop.GenerateFlexibleFlowShop("energy-ffs", 10, []int{2, 3, 2}, true, 4242)
+	shop.WithSpeedLevels(in, []float64{1.0, 1.5, 2.0}, 2) // power ~ v^2
+	objective := shop.Weighted([]float64{1, 0.05}, shop.Makespan, shop.Energy)
+
+	fmt.Printf("instance %s: %d jobs, stages %v, speeds %v\n",
+		in.Name, in.NumJobs(), stageSizes(in), in.SpeedLevels)
+
+	best := optimise(in, objective, 1)
+	s := decodeGenome(in, best)
+	fmt.Printf("predictive schedule: makespan %d, energy %.0f, weighted %.1f\n",
+		s.Makespan(), s.Energy(), objective(s))
+
+	// --- dynamic event: machine 2 fails; remove it from eligibility and
+	// reschedule the full remaining horizon (predictive-reactive policy).
+	broken := 2
+	repaired := removeMachine(in, broken)
+	fmt.Printf("\nbreakdown: machine %d fails; rescheduling %d jobs without it\n",
+		broken, repaired.NumJobs())
+	best2 := optimise(repaired, objective, 2)
+	s2 := decodeGenome(repaired, best2)
+	fmt.Printf("reactive schedule:   makespan %d, energy %.0f, weighted %.1f\n",
+		s2.Makespan(), s2.Energy(), objective(s2))
+	fmt.Print(s2.Gantt(80))
+	if err := s2.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Println("reactive schedule is feasible")
+}
+
+func stageSizes(in *shop.Instance) []int {
+	sizes := make([]int, len(in.Stages))
+	for i, s := range in.Stages {
+		sizes[i] = len(s)
+	}
+	return sizes
+}
+
+func decodeGenome(in *shop.Instance, g genome) *shop.Schedule {
+	return decode.Flexible(in, g.Flex.Assign, g.Flex.Seq, g.Speeds)
+}
+
+func optimise(in *shop.Instance, objective shop.Objective, seed uint64) genome {
+	flexOps := shopga.FlexOps(in)
+	limits := shopga.EligibleCounts(in)
+	prob := core.FuncProblem[genome]{
+		RandomFn: func(r *rng.RNG) genome {
+			speeds := make([]int, in.TotalOps())
+			for i := range speeds {
+				speeds[i] = r.Intn(len(in.SpeedLevels))
+			}
+			return genome{
+				Flex: shopga.FlexGenome{
+					Assign: decode.RandomAssignment(in, r),
+					Seq:    decode.RandomOpSequence(in, r),
+				},
+				Speeds: speeds,
+			}
+		},
+		EvaluateFn: func(g genome) float64 { return objective(decodeGenome(in, g)) },
+		CloneFn:    cloneGenome,
+	}
+	speedLimits := make([]int, in.TotalOps())
+	for i := range speedLimits {
+		speedLimits[i] = len(in.SpeedLevels)
+	}
+	speedReset := op.ResetWithin(speedLimits)
+	ops := core.Operators[genome]{
+		Select: op.Tournament[genome](2),
+		Cross: func(r *rng.RNG, a, b genome) (genome, genome) {
+			f1, f2 := flexOps.Cross(r, a.Flex, b.Flex)
+			s1, s2 := op.UniformInt(r, a.Speeds, b.Speeds)
+			return genome{Flex: f1, Speeds: s1}, genome{Flex: f2, Speeds: s2}
+		},
+		Mutate: func(r *rng.RNG, g genome) {
+			switch r.Intn(3) {
+			case 0:
+				op.ResetWithin(limits)(r, g.Flex.Assign)
+			case 1:
+				op.SwapMutation(r, g.Flex.Seq)
+			default:
+				speedReset(r, g.Speeds)
+			}
+		},
+	}
+	res := island.New(rng.New(seed), island.Config[genome]{
+		Islands: 4, SubPop: 24, Interval: 5, Epochs: 25, Migrants: 1,
+		Topology: island.BiRing{},
+		Engine:   core.Config[genome]{Ops: ops, Elite: 1},
+		Problem:  func(int) core.Problem[genome] { return prob },
+	}).Run()
+	return res.Best.Genome
+}
+
+// removeMachine rebuilds the instance without the broken machine,
+// preserving at least one eligible machine per operation (operations whose
+// only machine broke keep it with a large repair penalty on time).
+func removeMachine(in *shop.Instance, broken int) *shop.Instance {
+	out := &shop.Instance{
+		Name: in.Name + "-degraded", Kind: in.Kind, NumMachines: in.NumMachines,
+		Stages: in.Stages, SpeedLevels: in.SpeedLevels, PowerExp: in.PowerExp,
+	}
+	for _, job := range in.Jobs {
+		ops := make([]shop.Operation, len(job.Ops))
+		for k, o := range job.Ops {
+			var ms, ts []int
+			for i, m := range o.Machines {
+				if m != broken {
+					ms = append(ms, m)
+					ts = append(ts, o.Times[i])
+				}
+			}
+			if len(ms) == 0 {
+				// Sole eligible machine broke: emergency repair slot at
+				// triple time models outsourcing.
+				ms = []int{o.Machines[0]}
+				ts = []int{o.Times[0] * 3}
+			}
+			ops[k] = shop.Operation{Machines: ms, Times: ts}
+		}
+		out.Jobs = append(out.Jobs, shop.Job{
+			Ops: ops, Release: job.Release, Due: job.Due, Weight: job.Weight,
+		})
+	}
+	return out
+}

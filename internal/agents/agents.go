@@ -1,0 +1,154 @@
+// Package agents implements the agent-based parallel island GA of
+// Asadzadeh & Zamanifar [27]. The original system ran on the JADE
+// multi-agent middleware; here each agent is a goroutine and every message
+// travels through typed mailbox channels (see DESIGN.md, substitutions):
+//
+//   - the management agent (the caller) creates the population, splits it
+//     into equal subpopulations and hands them to processor agents;
+//   - each of the eight processor agents lives on its own "host"
+//     (goroutine) and runs a GA on its subpopulation independently;
+//   - the synchronisation agent routes migrants between processor agents,
+//     which form a virtual cube: each agent has three neighbours.
+//
+// Message flow forms a natural epoch barrier — a processor sends its best
+// and then blocks until its neighbours' bests arrive — so the run is
+// deterministic for a fixed seed despite the concurrency.
+package agents
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/island"
+	"repro/internal/rng"
+)
+
+// migrant is the payload exchanged between processor agents.
+type migrant[G any] struct {
+	genome G
+}
+
+// Config parameterises the agent system.
+type Config[G any] struct {
+	Processors int // processor agents (default 8: the virtual cube)
+	SubPop     int // individuals per processor agent (default 20)
+	Interval   int // generations between synchronisations (default 5)
+	Epochs     int // synchronisation rounds (default 10)
+	Engine     core.Config[G]
+}
+
+// Result reports an agent-system run.
+type Result[G any] struct {
+	Best        core.Individual[G]
+	PerAgent    []float64
+	Evaluations int64
+	Epochs      int
+}
+
+// Run executes the agent-based island GA and blocks until the management
+// agent has collected all results.
+func Run[G any](p core.Problem[G], r *rng.RNG, cfg Config[G]) Result[G] {
+	if p == nil {
+		panic("agents: nil problem")
+	}
+	if cfg.Processors <= 0 {
+		cfg.Processors = 8
+	}
+	if cfg.SubPop <= 0 {
+		cfg.SubPop = 20
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	n := cfg.Processors
+	cube := island.Hypercube{}
+
+	// Management agent: create engines (the execute agent's chromosome
+	// creation is the engines' random initialisation).
+	engines := make([]*core.Engine[G], n)
+	for i := 0; i < n; i++ {
+		ecfg := cfg.Engine
+		ecfg.Pop = cfg.SubPop
+		ecfg.Term = core.Termination{MaxGenerations: 1 << 30}
+		engines[i] = core.New(p, r.Split(), ecfg)
+	}
+
+	// Mailboxes: processor agents receive migrants; the synchronisation
+	// agent receives (agent, best) reports.
+	inbox := make([]chan migrant[G], n)
+	for i := range inbox {
+		inbox[i] = make(chan migrant[G], n) // ample buffering: no deadlock
+	}
+	type report struct {
+		from   int
+		genome G
+	}
+	syncIn := make(chan report, n)
+	done := make(chan core.Individual[G], n)
+
+	// Synchronisation agent: every epoch, gather all bests, then route each
+	// agent's best to its cube neighbours.
+	go func() {
+		for e := 0; e < cfg.Epochs; e++ {
+			bests := make([]G, n)
+			for k := 0; k < n; k++ {
+				rep := <-syncIn
+				bests[rep.from] = rep.genome
+			}
+			for i := 0; i < n; i++ {
+				for _, t := range cube.Targets(i, n, e, nil) {
+					inbox[t] <- migrant[G]{genome: bests[i]}
+				}
+			}
+		}
+	}()
+
+	// Processor agents.
+	for i := 0; i < n; i++ {
+		go func(id int) {
+			e := engines[id]
+			expect := len(cube.Targets(id, n, 0, nil)) // cube degree is epoch-invariant
+			for epoch := 0; epoch < cfg.Epochs; epoch++ {
+				for s := 0; s < cfg.Interval; s++ {
+					e.Step()
+				}
+				best := e.Best()
+				syncIn <- report{from: id, genome: best.Genome}
+				for k := 0; k < expect; k++ {
+					m := <-inbox[id]
+					ind := e.MakeIndividual(e.Problem().Clone(m.genome))
+					pop := e.Population()
+					worst := 0
+					for x := range pop {
+						if pop[x].Obj > pop[worst].Obj {
+							worst = x
+						}
+					}
+					pop[worst] = ind
+				}
+			}
+			done <- e.Best()
+		}(i)
+	}
+
+	// Management agent: collect results.
+	res := Result[G]{Epochs: cfg.Epochs, Best: core.Individual[G]{Obj: math.Inf(1)}}
+	finals := make([]core.Individual[G], 0, n)
+	for k := 0; k < n; k++ {
+		finals = append(finals, <-done)
+	}
+	for _, e := range engines {
+		res.Evaluations += e.Evaluations()
+	}
+	res.PerAgent = make([]float64, 0, n)
+	for _, b := range finals {
+		res.PerAgent = append(res.PerAgent, b.Obj)
+		if b.Obj < res.Best.Obj {
+			res.Best = b
+		}
+	}
+	return res
+}

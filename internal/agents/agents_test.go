@@ -1,0 +1,111 @@
+package agents
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func sortProblem(n int) core.Problem[[]int] {
+	return core.FuncProblem[[]int]{
+		RandomFn: func(r *rng.RNG) []int { return r.Perm(n) },
+		EvaluateFn: func(g []int) float64 {
+			bad := 0
+			for i, v := range g {
+				if v != i {
+					bad++
+				}
+			}
+			return float64(bad + 1)
+		},
+		CloneFn: func(g []int) []int { return append([]int(nil), g...) },
+	}
+}
+
+func permOps() core.Operators[[]int] {
+	return core.Operators[[]int]{
+		Select: func(r *rng.RNG, pop []core.Individual[[]int]) int {
+			a, b := r.Intn(len(pop)), r.Intn(len(pop))
+			if pop[a].Fit >= pop[b].Fit {
+				return a
+			}
+			return b
+		},
+		Cross: func(r *rng.RNG, a, b []int) ([]int, []int) {
+			cut := r.Intn(len(a) + 1)
+			mk := func(x, y []int) []int {
+				c := append([]int(nil), x[:cut]...)
+				used := map[int]bool{}
+				for _, v := range c {
+					used[v] = true
+				}
+				for _, v := range y {
+					if !used[v] {
+						c = append(c, v)
+					}
+				}
+				return c
+			}
+			return mk(a, b), mk(b, a)
+		},
+		Mutate: func(r *rng.RNG, g []int) {
+			i, j := r.Intn(len(g)), r.Intn(len(g))
+			g[i], g[j] = g[j], g[i]
+		},
+	}
+}
+
+func TestAgentsRun(t *testing.T) {
+	res := Run(sortProblem(10), rng.New(1), Config[[]int]{
+		Processors: 8, SubPop: 10, Interval: 3, Epochs: 8,
+		Engine: core.Config[[]int]{Ops: permOps()},
+	})
+	if res.Best.Obj > 5 {
+		t.Errorf("agent GA made little progress: %v", res.Best.Obj)
+	}
+	if len(res.PerAgent) != 8 {
+		t.Errorf("per-agent results = %d", len(res.PerAgent))
+	}
+	for i, obj := range res.PerAgent {
+		if obj < res.Best.Obj {
+			t.Errorf("agent %d reported %v better than global %v", i, obj, res.Best.Obj)
+		}
+	}
+	if res.Evaluations <= 0 || res.Epochs != 8 {
+		t.Errorf("bookkeeping: %+v", res)
+	}
+}
+
+func TestAgentsDeterministic(t *testing.T) {
+	run := func() float64 {
+		return Run(sortProblem(9), rng.New(77), Config[[]int]{
+			Processors: 4, SubPop: 8, Interval: 2, Epochs: 6,
+			Engine: core.Config[[]int]{Ops: permOps()},
+		}).Best.Obj
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("agent system not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestAgentsNonPowerOfTwoCube(t *testing.T) {
+	// Hypercube degree varies per node when the count is not a power of
+	// two; the barrier arithmetic must still hold (no deadlock).
+	res := Run(sortProblem(8), rng.New(5), Config[[]int]{
+		Processors: 6, SubPop: 8, Interval: 2, Epochs: 4,
+		Engine: core.Config[[]int]{Ops: permOps()},
+	})
+	if len(res.PerAgent) != 6 {
+		t.Fatalf("per-agent results = %d", len(res.PerAgent))
+	}
+}
+
+func TestAgentsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil problem")
+		}
+	}()
+	Run[[]int](nil, rng.New(1), Config[[]int]{})
+}

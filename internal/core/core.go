@@ -1,0 +1,125 @@
+// Package core implements the simple genetic algorithm of the survey's
+// Table II as a generic, deterministic engine that the three parallel
+// models (master-slave, fine-grained, island) build on:
+//
+//	1: initialize();
+//	2: while (termination criteria are not satisfied) do
+//	3:   Generation++
+//	4:   Selection();
+//	5:   Crossover();
+//	6:   Mutation();
+//	7:   FitnessValueEvaluation();
+//	8: end while
+//
+// The engine is generic over the genome type G. A Problem[G] supplies
+// random initialisation, objective evaluation (minimised), and cloning.
+// Fitness transforms implement the paper's equations (1) and (2); the
+// Evaluator seam lets the master-slave model replace step 7 with parallel
+// evaluation without touching the algorithm (which is exactly the survey's
+// point about that model).
+package core
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Individual couples a genome with its objective value (minimised) and its
+// transformed fitness (maximised by selection).
+type Individual[G any] struct {
+	Genome G
+	Obj    float64
+	Fit    float64
+}
+
+// Problem defines the search problem for genomes of type G.
+type Problem[G any] interface {
+	// Random returns a new random genome.
+	Random(r *rng.RNG) G
+	// Evaluate returns the objective value of g; smaller is better.
+	// Implementations must be pure: they are called concurrently by
+	// parallel evaluators.
+	Evaluate(g G) float64
+	// Clone returns an independent deep copy of g.
+	Clone(g G) G
+}
+
+// FuncProblem adapts three closures to the Problem interface.
+type FuncProblem[G any] struct {
+	RandomFn   func(r *rng.RNG) G
+	EvaluateFn func(g G) float64
+	CloneFn    func(g G) G
+}
+
+// Random implements Problem.
+func (p FuncProblem[G]) Random(r *rng.RNG) G { return p.RandomFn(r) }
+
+// Evaluate implements Problem.
+func (p FuncProblem[G]) Evaluate(g G) float64 { return p.EvaluateFn(g) }
+
+// Clone implements Problem.
+func (p FuncProblem[G]) Clone(g G) G { return p.CloneFn(g) }
+
+// Fitness maps an objective value (minimised) to a fitness value
+// (maximised). Both transforms from the survey's Section III.A are provided.
+type Fitness func(obj float64) float64
+
+// HeuristicFitness is the paper's equation (1): FIT(i) = max(Fbar - F_i, 0),
+// where Fbar is the objective value of some heuristic solution.
+func HeuristicFitness(fbar float64) Fitness {
+	return func(obj float64) float64 {
+		if f := fbar - obj; f > 0 {
+			return f
+		}
+		return 0
+	}
+}
+
+// InverseFitness is the paper's equation (2): FIT(i) = 1 / F_i, defined for
+// the strictly positive objective values shop scheduling produces. Zero
+// objectives map to a large finite fitness to keep roulette wheels sane.
+func InverseFitness() Fitness {
+	return func(obj float64) float64 {
+		if obj <= 0 {
+			return math.MaxFloat64 / 1e6
+		}
+		return 1 / obj
+	}
+}
+
+// Selection picks the index of one parent from the population. Higher Fit
+// must be favoured; implementations draw randomness only from r.
+type Selection[G any] func(r *rng.RNG, pop []Individual[G]) int
+
+// Crossover produces two children from two parents. Implementations must
+// not modify the parents and must return freshly allocated genomes.
+type Crossover[G any] func(r *rng.RNG, a, b G) (G, G)
+
+// Mutation modifies a genome in place.
+type Mutation[G any] func(r *rng.RNG, g G)
+
+// Operators bundles the three GA operators of Table II.
+type Operators[G any] struct {
+	Select Selection[G]
+	Cross  Crossover[G]
+	Mutate Mutation[G]
+}
+
+// Evaluator computes objective values for a batch of genomes. The serial
+// implementation is the default; the masterslave package provides parallel
+// and simulated-cluster evaluators (the survey's Table III model).
+type Evaluator[G any] interface {
+	// EvalAll fills out[i] with eval(genomes[i]) for every i.
+	EvalAll(genomes []G, eval func(G) float64, out []float64)
+}
+
+// SerialEvaluator evaluates the population one genome at a time.
+type SerialEvaluator[G any] struct{}
+
+// EvalAll implements Evaluator.
+func (SerialEvaluator[G]) EvalAll(genomes []G, eval func(G) float64, out []float64) {
+	for i, g := range genomes {
+		out[i] = eval(g)
+	}
+}

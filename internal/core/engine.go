@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Termination bundles the stopping criteria of the engine; any satisfied
+// criterion stops the run. Zero values disable a criterion (except
+// MaxGenerations, which defaults to 100 when everything is disabled).
+type Termination struct {
+	MaxGenerations int           // stop after this many generations
+	MaxEvaluations int64         // stop once this many objective evaluations were spent
+	MaxStagnation  int           // stop after this many generations without improvement
+	Target         float64       // stop once best objective <= Target ...
+	TargetSet      bool          // ... if TargetSet
+	WallClock      time.Duration // stop after this much real time
+}
+
+// Immigration configures Huang et al.'s generation scheme [24]: the next
+// generation is composed of BestFrac elites, CrossFrac crossover offspring
+// and RandomFrac fresh random immigrants (fractions must sum to 1).
+type Immigration struct {
+	Enabled    bool
+	BestFrac   float64
+	CrossFrac  float64
+	RandomFrac float64
+}
+
+// GenStats summarises one generation for convergence-series experiments.
+type GenStats struct {
+	Generation  int
+	BestObj     float64 // best of the current population
+	BestSoFar   float64
+	MeanObj     float64
+	StdObj      float64
+	Evaluations int64
+}
+
+// Config parameterises an Engine.
+type Config[G any] struct {
+	Pop           int     // population size (default 50, rounded up to even)
+	CrossoverRate float64 // probability a selected pair recombines (default 0.9)
+	MutationRate  float64 // probability each child mutates (default 0.2)
+	Elite         int     // individuals preserved per generation (default 1)
+	Ops           Operators[G]
+	Fitness       Fitness // objective->fitness transform (default InverseFitness)
+	Term          Termination
+	Immigration   Immigration
+	Evaluator     Evaluator[G]   // default SerialEvaluator
+	OnGeneration  func(GenStats) // optional per-generation hook
+	RecordHistory bool           // keep GenStats of every generation in Result
+}
+
+// Result reports the outcome of a Run.
+type Result[G any] struct {
+	Best        Individual[G]
+	Generations int
+	Evaluations int64
+	Elapsed     time.Duration
+	History     []GenStats
+}
+
+// Engine runs the Table II loop. It is deterministic given the seed stream
+// passed to New; evaluators must not consume engine randomness.
+type Engine[G any] struct {
+	prob Problem[G]
+	cfg  Config[G]
+	rng  *rng.RNG
+
+	pop        []Individual[G]
+	gen        int
+	evals      int64
+	best       Individual[G]
+	bestValid  bool
+	stagnation int
+	started    time.Time
+	history    []GenStats
+}
+
+// New creates an engine, applies config defaults, and evaluates the initial
+// random population (the Initialize() step).
+func New[G any](p Problem[G], r *rng.RNG, cfg Config[G]) *Engine[G] {
+	if p == nil {
+		panic("core: nil problem")
+	}
+	if r == nil {
+		panic("core: nil rng")
+	}
+	if cfg.Pop <= 0 {
+		cfg.Pop = 50
+	}
+	if cfg.Pop%2 == 1 {
+		cfg.Pop++
+	}
+	if cfg.CrossoverRate == 0 {
+		cfg.CrossoverRate = 0.9
+	}
+	if cfg.MutationRate == 0 {
+		cfg.MutationRate = 0.2
+	}
+	if cfg.Elite == 0 {
+		cfg.Elite = 1
+	}
+	if cfg.Elite >= cfg.Pop {
+		cfg.Elite = cfg.Pop - 1
+	}
+	if cfg.Fitness == nil {
+		cfg.Fitness = InverseFitness()
+	}
+	if cfg.Evaluator == nil {
+		cfg.Evaluator = SerialEvaluator[G]{}
+	}
+	if cfg.Ops.Select == nil || cfg.Ops.Cross == nil || cfg.Ops.Mutate == nil {
+		panic("core: Config.Ops must provide Select, Cross and Mutate")
+	}
+	if cfg.Term.MaxGenerations == 0 && cfg.Term.MaxEvaluations == 0 &&
+		cfg.Term.MaxStagnation == 0 && !cfg.Term.TargetSet && cfg.Term.WallClock == 0 {
+		cfg.Term.MaxGenerations = 100
+	}
+	if cfg.Immigration.Enabled {
+		sum := cfg.Immigration.BestFrac + cfg.Immigration.CrossFrac + cfg.Immigration.RandomFrac
+		if sum < 0.999 || sum > 1.001 {
+			panic(fmt.Sprintf("core: immigration fractions sum to %v, want 1", sum))
+		}
+	}
+	e := &Engine[G]{prob: p, cfg: cfg, rng: r, started: time.Now()}
+	e.pop = make([]Individual[G], cfg.Pop)
+	genomes := make([]G, cfg.Pop)
+	for i := range e.pop {
+		genomes[i] = p.Random(r)
+	}
+	objs := make([]float64, cfg.Pop)
+	e.evalBatch(genomes, objs)
+	for i := range e.pop {
+		e.pop[i] = Individual[G]{Genome: genomes[i], Obj: objs[i], Fit: cfg.Fitness(objs[i])}
+	}
+	e.refreshBest()
+	return e
+}
+
+func (e *Engine[G]) evalBatch(genomes []G, out []float64) {
+	e.cfg.Evaluator.EvalAll(genomes, e.prob.Evaluate, out)
+	e.evals += int64(len(genomes))
+}
+
+func (e *Engine[G]) refreshBest() {
+	improved := false
+	for _, ind := range e.pop {
+		if !e.bestValid || ind.Obj < e.best.Obj {
+			e.best = Individual[G]{Genome: e.prob.Clone(ind.Genome), Obj: ind.Obj, Fit: ind.Fit}
+			e.bestValid = true
+			improved = true
+		}
+	}
+	if improved {
+		e.stagnation = 0
+	} else {
+		e.stagnation++
+	}
+}
+
+// Generation returns the current generation counter.
+func (e *Engine[G]) Generation() int { return e.gen }
+
+// Evaluations returns the number of objective evaluations spent so far.
+func (e *Engine[G]) Evaluations() int64 { return e.evals }
+
+// Best returns a copy of the best individual found so far.
+func (e *Engine[G]) Best() Individual[G] {
+	return Individual[G]{Genome: e.prob.Clone(e.best.Genome), Obj: e.best.Obj, Fit: e.best.Fit}
+}
+
+// Stagnation returns the number of consecutive generations without
+// improvement of the best objective.
+func (e *Engine[G]) Stagnation() int { return e.stagnation }
+
+// Population returns the live population slice. Callers (migration
+// operators) may replace individuals but must keep Obj and Fit consistent.
+func (e *Engine[G]) Population() []Individual[G] { return e.pop }
+
+// SetPopulation replaces the population, e.g. when islands merge.
+func (e *Engine[G]) SetPopulation(pop []Individual[G]) {
+	if len(pop) == 0 {
+		panic("core: empty population")
+	}
+	e.pop = pop
+	e.refreshBest()
+}
+
+// MakeIndividual evaluates a genome and wraps it with consistent fitness,
+// counting the evaluation. It is the entry point migration code uses to
+// inject foreign genomes.
+func (e *Engine[G]) MakeIndividual(g G) Individual[G] {
+	obj := e.prob.Evaluate(g)
+	e.evals++
+	return Individual[G]{Genome: g, Obj: obj, Fit: e.cfg.Fitness(obj)}
+}
+
+// RNG exposes the engine's random stream for migration policies that must
+// stay deterministic with respect to the engine.
+func (e *Engine[G]) RNG() *rng.RNG { return e.rng }
+
+// Problem returns the engine's problem.
+func (e *Engine[G]) Problem() Problem[G] { return e.prob }
+
+// Done reports whether any termination criterion is satisfied.
+func (e *Engine[G]) Done() bool {
+	t := &e.cfg.Term
+	if t.MaxGenerations > 0 && e.gen >= t.MaxGenerations {
+		return true
+	}
+	if t.MaxEvaluations > 0 && e.evals >= t.MaxEvaluations {
+		return true
+	}
+	if t.MaxStagnation > 0 && e.stagnation >= t.MaxStagnation {
+		return true
+	}
+	if t.TargetSet && e.bestValid && e.best.Obj <= t.Target {
+		return true
+	}
+	if t.WallClock > 0 && time.Since(e.started) >= t.WallClock {
+		return true
+	}
+	return false
+}
+
+// Step runs one generation: Selection, Crossover, Mutation, Evaluation,
+// elitist replacement (Table II lines 4-7).
+func (e *Engine[G]) Step() {
+	e.gen++
+	n := e.cfg.Pop
+	var children []G
+	if e.cfg.Immigration.Enabled {
+		children = e.immigrationOffspring()
+	} else {
+		children = make([]G, 0, n)
+		for len(children) < n {
+			i1 := e.cfg.Ops.Select(e.rng, e.pop)
+			i2 := e.cfg.Ops.Select(e.rng, e.pop)
+			var c1, c2 G
+			if e.rng.Bool(e.cfg.CrossoverRate) {
+				c1, c2 = e.cfg.Ops.Cross(e.rng, e.pop[i1].Genome, e.pop[i2].Genome)
+			} else {
+				c1 = e.prob.Clone(e.pop[i1].Genome)
+				c2 = e.prob.Clone(e.pop[i2].Genome)
+			}
+			if e.rng.Bool(e.cfg.MutationRate) {
+				e.cfg.Ops.Mutate(e.rng, c1)
+			}
+			if e.rng.Bool(e.cfg.MutationRate) {
+				e.cfg.Ops.Mutate(e.rng, c2)
+			}
+			children = append(children, c1, c2)
+		}
+		children = children[:n]
+	}
+
+	objs := make([]float64, len(children))
+	e.evalBatch(children, objs)
+	next := make([]Individual[G], len(children))
+	for i := range children {
+		next[i] = Individual[G]{Genome: children[i], Obj: objs[i], Fit: e.cfg.Fitness(objs[i])}
+	}
+
+	if e.cfg.Elite > 0 && !e.cfg.Immigration.Enabled {
+		e.applyElitism(next)
+	}
+	e.pop = next
+	e.refreshBest()
+	e.record()
+}
+
+// immigrationOffspring builds the next generation genomes per Huang et
+// al.: elites are copied directly (already evaluated, but re-evaluated
+// uniformly for simplicity of the evaluator seam), the crossover share
+// recombines selected parents, and the rest are random immigrants.
+func (e *Engine[G]) immigrationOffspring() []G {
+	n := e.cfg.Pop
+	nBest := int(float64(n) * e.cfg.Immigration.BestFrac)
+	nRand := int(float64(n) * e.cfg.Immigration.RandomFrac)
+	nCross := n - nBest - nRand
+	out := make([]G, 0, n)
+	// Elites: best nBest genomes of the current population.
+	order := sortedIndices(e.pop)
+	for i := 0; i < nBest && i < len(order); i++ {
+		out = append(out, e.prob.Clone(e.pop[order[i]].Genome))
+	}
+	for len(out) < nBest+nCross {
+		i1 := e.cfg.Ops.Select(e.rng, e.pop)
+		i2 := e.cfg.Ops.Select(e.rng, e.pop)
+		c1, c2 := e.cfg.Ops.Cross(e.rng, e.pop[i1].Genome, e.pop[i2].Genome)
+		if e.rng.Bool(e.cfg.MutationRate) {
+			e.cfg.Ops.Mutate(e.rng, c1)
+		}
+		if e.rng.Bool(e.cfg.MutationRate) {
+			e.cfg.Ops.Mutate(e.rng, c2)
+		}
+		out = append(out, c1)
+		if len(out) < nBest+nCross {
+			out = append(out, c2)
+		}
+	}
+	for len(out) < n {
+		out = append(out, e.prob.Random(e.rng))
+	}
+	return out
+}
+
+// applyElitism copies the Elite best previous individuals over the worst
+// children.
+func (e *Engine[G]) applyElitism(next []Individual[G]) {
+	prevOrder := sortedIndices(e.pop)
+	nextOrder := sortedIndices(next)
+	k := e.cfg.Elite
+	if k > len(prevOrder) {
+		k = len(prevOrder)
+	}
+	for i := 0; i < k; i++ {
+		eliteIdx := prevOrder[i]
+		worstIdx := nextOrder[len(nextOrder)-1-i]
+		if e.pop[eliteIdx].Obj < next[worstIdx].Obj {
+			next[worstIdx] = Individual[G]{
+				Genome: e.prob.Clone(e.pop[eliteIdx].Genome),
+				Obj:    e.pop[eliteIdx].Obj,
+				Fit:    e.pop[eliteIdx].Fit,
+			}
+		}
+	}
+}
+
+// sortedIndices returns population indices ordered by ascending objective.
+func sortedIndices[G any](pop []Individual[G]) []int {
+	idx := make([]int, len(pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort: populations are small and this avoids a sort.Slice
+	// closure allocation in the per-generation hot path.
+	for i := 1; i < len(idx); i++ {
+		j := i
+		for j > 0 && pop[idx[j-1]].Obj > pop[idx[j]].Obj {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+			j--
+		}
+	}
+	return idx
+}
+
+func (e *Engine[G]) record() {
+	if e.cfg.OnGeneration == nil && !e.cfg.RecordHistory {
+		return
+	}
+	objs := make([]float64, len(e.pop))
+	bestGen := e.pop[0].Obj
+	for i, ind := range e.pop {
+		objs[i] = ind.Obj
+		if ind.Obj < bestGen {
+			bestGen = ind.Obj
+		}
+	}
+	sum := stats.Summarize(objs)
+	gs := GenStats{
+		Generation:  e.gen,
+		BestObj:     bestGen,
+		BestSoFar:   e.best.Obj,
+		MeanObj:     sum.Mean,
+		StdObj:      sum.Std,
+		Evaluations: e.evals,
+	}
+	if e.cfg.RecordHistory {
+		e.history = append(e.history, gs)
+	}
+	if e.cfg.OnGeneration != nil {
+		e.cfg.OnGeneration(gs)
+	}
+}
+
+// Run executes Step until Done and returns the Result.
+func (e *Engine[G]) Run() Result[G] {
+	for !e.Done() {
+		e.Step()
+	}
+	return Result[G]{
+		Best:        e.Best(),
+		Generations: e.gen,
+		Evaluations: e.evals,
+		Elapsed:     time.Since(e.started),
+		History:     e.history,
+	}
+}

@@ -1,0 +1,106 @@
+package decode
+
+import (
+	"repro/internal/dgraph"
+	"repro/internal/shop"
+)
+
+// Blocking evaluates an operation sequence on the job shop *with blocking*
+// of AitZai et al. [14][15]: there is no intermediate buffer, so a machine
+// stays occupied by a job until the job starts its next operation. In the
+// alternative-graph model this replaces the machine arc a->b (weight p(a))
+// with an arc from a's job successor to b of weight 0; orientations whose
+// graph contains a cycle correspond to deadlocked (swap-blocked) schedules.
+//
+// It returns the blocking makespan and true for feasible orientations, or a
+// penalised makespan (twice the total processing time) and false when the
+// orientation deadlocks — the standard GA treatment that lets selection
+// drive infeasible individuals out of the population.
+func Blocking(in *shop.Instance, seq []int) (int, bool) {
+	s := JobShop(in, seq) // fixes machine orders semi-actively
+	orders := MachineOrders(s)
+	g, dur, release, off := buildConjunctive(in)
+	// Locate each op's job successor: succ[id] = id+1 within the job, -1 at
+	// the job's last operation.
+	total := in.TotalOps()
+	succ := make([]int, total)
+	for j, job := range in.Jobs {
+		for k := range job.Ops {
+			id := off[j] + k
+			if k+1 < len(job.Ops) {
+				succ[id] = id + 1
+			} else {
+				succ[id] = -1
+			}
+		}
+	}
+	for _, order := range orders {
+		for i := 1; i < len(order); i++ {
+			a, b := order[i-1], order[i]
+			if sa := succ[a]; sa >= 0 {
+				// b may start only once a's job has left the machine, i.e.
+				// when a's job successor starts.
+				g.AddArc(sa, b, 0)
+			} else {
+				g.AddArc(a, b, dur[a])
+			}
+		}
+	}
+	ms, _, err := g.Makespan(release, dur)
+	if err != nil {
+		penalty := 0
+		for _, d := range dur {
+			penalty += d
+		}
+		return 2 * penalty, false
+	}
+	return ms, true
+}
+
+// BlockingSchedule reconstructs the full blocking schedule (start times from
+// the longest-path evaluation) for feasible sequences; the second result is
+// false when the orientation deadlocks.
+func BlockingSchedule(in *shop.Instance, seq []int) (*shop.Schedule, bool) {
+	s := JobShop(in, seq)
+	orders := MachineOrders(s)
+	g, dur, release, off := buildConjunctive(in)
+	total := in.TotalOps()
+	succ := make([]int, total)
+	for j, job := range in.Jobs {
+		for k := range job.Ops {
+			id := off[j] + k
+			if k+1 < len(job.Ops) {
+				succ[id] = id + 1
+			} else {
+				succ[id] = -1
+			}
+		}
+	}
+	for _, order := range orders {
+		for i := 1; i < len(order); i++ {
+			a, b := order[i-1], order[i]
+			if sa := succ[a]; sa >= 0 {
+				g.AddArc(sa, b, 0)
+			} else {
+				g.AddArc(a, b, dur[a])
+			}
+		}
+	}
+	start, err := g.LongestPath(release)
+	if err != nil {
+		return nil, false
+	}
+	out := &shop.Schedule{Inst: in, Ops: make([]shop.Assignment, 0, total)}
+	for j, job := range in.Jobs {
+		for k, op := range job.Ops {
+			id := off[j] + k
+			out.Ops = append(out.Ops, shop.Assignment{
+				Job: j, Op: k, Machine: op.Machines[0],
+				Start: start[id], End: start[id] + op.Times[0],
+			})
+		}
+	}
+	return out, true
+}
+
+var _ = dgraph.ErrCycle // documented dependency

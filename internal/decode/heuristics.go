@@ -1,0 +1,73 @@
+package decode
+
+import (
+	"sort"
+
+	"repro/internal/shop"
+)
+
+// Reference returns the objective value of a quick heuristic solution,
+// used as the F-bar term of the paper's fitness equation (1):
+// FIT(i) = max(F-bar - F_i, 0). It decodes a few dispatching-rule sequences
+// (SPT order, LPT order, round-robin) with the environment's default
+// decoder and returns the best objective found.
+func Reference(in *shop.Instance, obj shop.Objective) float64 {
+	best := 0.0
+	first := true
+	for _, seq := range referenceSequences(in) {
+		v := obj(Any(in, seq))
+		if first || v < best {
+			best, first = v, false
+		}
+	}
+	return best
+}
+
+// referenceSequences builds deterministic genomes for Reference: for flow
+// shops they are job permutations, otherwise operation sequences.
+func referenceSequences(in *shop.Instance) [][]int {
+	n := len(in.Jobs)
+	byWork := make([]int, n)
+	for i := range byWork {
+		byWork[i] = i
+	}
+	sort.SliceStable(byWork, func(a, b int) bool {
+		return in.Jobs[byWork[a]].TotalTime() < in.Jobs[byWork[b]].TotalTime()
+	})
+	lpt := make([]int, n)
+	for i, j := range byWork {
+		lpt[n-1-i] = j
+	}
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	orders := [][]int{byWork, lpt, identity}
+	if in.Kind == shop.FlowShop {
+		return orders
+	}
+	// Expand job orders into operation sequences: blocks of each job's
+	// tokens in order (SPT/LPT blocks) plus a round-robin interleaving.
+	var seqs [][]int
+	for _, ord := range orders {
+		seq := make([]int, 0, in.TotalOps())
+		for _, j := range ord {
+			for range in.Jobs[j].Ops {
+				seq = append(seq, j)
+			}
+		}
+		seqs = append(seqs, seq)
+	}
+	rr := make([]int, 0, in.TotalOps())
+	remaining := in.OpsPerJob()
+	for left := in.TotalOps(); left > 0; {
+		for j := 0; j < n; j++ {
+			if remaining[j] > 0 {
+				rr = append(rr, j)
+				remaining[j]--
+				left--
+			}
+		}
+	}
+	return append(seqs, rr)
+}

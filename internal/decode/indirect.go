@@ -1,0 +1,117 @@
+package decode
+
+import "repro/internal/shop"
+
+// Rule is a dispatching rule for the indirect chromosome representation of
+// Section III.A: "the chromosome in the indirect way shows a sequence of
+// dispatching rules for job assignment" (Cheng, Gen & Tsujimura's taxonomy).
+type Rule int
+
+const (
+	// SPT picks the candidate with the shortest processing time.
+	SPT Rule = iota
+	// LPT picks the candidate with the longest processing time.
+	LPT
+	// MWR picks the job with the most work remaining.
+	MWR
+	// LWR picks the job with the least work remaining.
+	LWR
+	// FCFS picks the job that has been ready longest (lowest ready time,
+	// ties toward the lower job index).
+	FCFS
+	// EDD picks the job with the earliest due date.
+	EDD
+	// NumRules bounds the valid rule values (for genome sampling).
+	NumRules
+)
+
+// String names the rule.
+func (r Rule) String() string {
+	switch r {
+	case SPT:
+		return "SPT"
+	case LPT:
+		return "LPT"
+	case MWR:
+		return "MWR"
+	case LWR:
+		return "LWR"
+	case FCFS:
+		return "FCFS"
+	case EDD:
+		return "EDD"
+	default:
+		return "Rule(?)"
+	}
+}
+
+// IndirectRules decodes the indirect representation: rules[k] selects which
+// ready operation is dispatched at decision step k (a genome of TotalOps
+// rule genes; values are wrapped into range so any integer vector decodes).
+// Scheduling is semi-active list scheduling over ordered environments.
+func IndirectRules(in *shop.Instance, rules []int) *shop.Schedule {
+	n := len(in.Jobs)
+	nextOp := make([]int, n)
+	jobReady := make([]int, n)
+	workLeft := make([]int, n)
+	for j := range jobReady {
+		jobReady[j] = in.Jobs[j].Release
+		workLeft[j] = in.Jobs[j].TotalTime()
+	}
+	machFree := make([]int, in.NumMachines)
+	s := &shop.Schedule{Inst: in, Ops: make([]shop.Assignment, 0, in.TotalOps())}
+	total := in.TotalOps()
+	for step := 0; step < total; step++ {
+		rule := SPT
+		if len(rules) > 0 {
+			v := rules[step%len(rules)] % int(NumRules)
+			if v < 0 {
+				v += int(NumRules)
+			}
+			rule = Rule(v)
+		}
+		// Candidate set: the next operation of every unfinished job.
+		pick := -1
+		var pickKey float64
+		for j := 0; j < n; j++ {
+			k := nextOp[j]
+			if k >= len(in.Jobs[j].Ops) {
+				continue
+			}
+			op := &in.Jobs[j].Ops[k]
+			p := float64(op.Times[0])
+			var key float64
+			switch rule {
+			case SPT:
+				key = p
+			case LPT:
+				key = -p
+			case MWR:
+				key = -float64(workLeft[j])
+			case LWR:
+				key = float64(workLeft[j])
+			case FCFS:
+				key = float64(jobReady[j])
+			case EDD:
+				key = float64(in.Jobs[j].Due)
+			}
+			if pick < 0 || key < pickKey {
+				pick, pickKey = j, key
+			}
+		}
+		k := nextOp[pick]
+		op := &in.Jobs[pick].Ops[k]
+		m := op.Machines[0]
+		start := jobReady[pick]
+		if machFree[m] > start {
+			start = machFree[m]
+		}
+		end := start + op.Times[0]
+		s.Ops = append(s.Ops, shop.Assignment{Job: pick, Op: k, Machine: m, Start: start, End: end})
+		jobReady[pick] = end
+		machFree[m] = end
+		workLeft[pick] -= op.Times[0]
+		nextOp[pick] = k + 1
+	}
+	return s
+}

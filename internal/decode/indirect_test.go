@@ -1,0 +1,112 @@
+package decode
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/shop"
+)
+
+func TestRuleStrings(t *testing.T) {
+	names := map[Rule]string{SPT: "SPT", LPT: "LPT", MWR: "MWR", LWR: "LWR",
+		FCFS: "FCFS", EDD: "EDD", Rule(99): "Rule(?)"}
+	for r, want := range names {
+		if got := r.String(); got != want {
+			t.Errorf("%d: %q want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestIndirectRulesValidSchedules(t *testing.T) {
+	r := rng.New(1)
+	for _, in := range []*shop.Instance{
+		shop.FT06(),
+		shop.GenerateJobShop("ind-js", 8, 5, 11, 22),
+		shop.WithDueDates(shop.GenerateFlowShop("ind-fs", 8, 4, 33), 1.4),
+	} {
+		for trial := 0; trial < 30; trial++ {
+			rules := make([]int, in.TotalOps())
+			for i := range rules {
+				rules[i] = r.Intn(int(NumRules))
+			}
+			s := IndirectRules(in, rules)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s: %v", in.Name, err)
+			}
+			if s.Makespan() < in.LowerBoundMakespan() {
+				t.Fatalf("%s: makespan below bound", in.Name)
+			}
+		}
+	}
+}
+
+func TestIndirectRulesWrapOutOfRange(t *testing.T) {
+	in := shop.FT06()
+	rules := make([]int, in.TotalOps())
+	for i := range rules {
+		rules[i] = -37 + i*1000 // arbitrary integers must wrap, not panic
+	}
+	if err := IndirectRules(in, rules).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndirectEmptyGenomeDefaultsToSPT(t *testing.T) {
+	in := shop.FT06()
+	spt := make([]int, in.TotalOps()) // all zeros = all SPT
+	a := IndirectRules(in, spt)
+	b := IndirectRules(in, nil)
+	if a.Makespan() != b.Makespan() {
+		t.Fatalf("nil genome (%d) should equal all-SPT (%d)", b.Makespan(), a.Makespan())
+	}
+}
+
+func TestIndirectPureRulesDiffer(t *testing.T) {
+	in := shop.GenerateJobShop("ind-d", 10, 6, 55, 66)
+	shop.WithDueDates(in, 1.3)
+	seen := map[int]bool{}
+	for rule := SPT; rule < NumRules; rule++ {
+		rules := make([]int, in.TotalOps())
+		for i := range rules {
+			rules[i] = int(rule)
+		}
+		seen[IndirectRules(in, rules).Makespan()] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("pure dispatching rules produced only %d distinct makespans", len(seen))
+	}
+}
+
+// TestIndirectGAImprovesOverPureRules: evolving the rule sequence must do at
+// least as well as the best single rule — the point of the indirect
+// representation.
+func TestIndirectGAImprovesOverPureRules(t *testing.T) {
+	in := shop.GenerateJobShop("ind-ga", 8, 5, 77, 88)
+	bestPure := 1 << 30
+	for rule := SPT; rule < NumRules; rule++ {
+		rules := make([]int, in.TotalOps())
+		for i := range rules {
+			rules[i] = int(rule)
+		}
+		if ms := IndirectRules(in, rules).Makespan(); ms < bestPure {
+			bestPure = ms
+		}
+	}
+	// Simple hill-climbing GA over rule vectors.
+	r := rng.New(7)
+	cur := make([]int, in.TotalOps())
+	for i := range cur {
+		cur[i] = r.Intn(int(NumRules))
+	}
+	best := IndirectRules(in, cur).Makespan()
+	for iter := 0; iter < 800; iter++ {
+		cand := append([]int(nil), cur...)
+		cand[r.Intn(len(cand))] = r.Intn(int(NumRules))
+		if ms := IndirectRules(in, cand).Makespan(); ms <= best {
+			best, cur = ms, cand
+		}
+	}
+	if best > bestPure {
+		t.Errorf("evolved rule sequence (%d) worse than best pure rule (%d)", best, bestPure)
+	}
+}

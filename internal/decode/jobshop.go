@@ -1,0 +1,206 @@
+package decode
+
+import (
+	"repro/internal/dgraph"
+	"repro/internal/shop"
+)
+
+// JobShop decodes an operation sequence (permutation with repetition of job
+// indices) into a semi-active job shop schedule: the i-th occurrence of job
+// j schedules job j's i-th operation as early as its machine and job
+// predecessors allow. Sequence-dependent setups, when present, are honoured
+// with detached setups (the machine performs the setup as soon as it is
+// free, possibly before the job arrives).
+func JobShop(in *shop.Instance, seq []int) *shop.Schedule {
+	n := len(in.Jobs)
+	nextOp := make([]int, n)
+	jobReady := make([]int, n)
+	for j := range jobReady {
+		jobReady[j] = in.Jobs[j].Release
+	}
+	machFree := make([]int, in.NumMachines)
+	lastJob := make([]int, in.NumMachines)
+	for i := range lastJob {
+		lastJob[i] = -1
+	}
+	s := &shop.Schedule{Inst: in, Ops: make([]shop.Assignment, 0, in.TotalOps())}
+	for _, j := range seq {
+		k := nextOp[j]
+		if k >= len(in.Jobs[j].Ops) {
+			continue // tolerate over-long sequences; Repair should prevent this
+		}
+		op := &in.Jobs[j].Ops[k]
+		m := op.Machines[0]
+		p := op.Times[0]
+		setup := 0
+		if in.Setup != nil {
+			prev := lastJob[m]
+			if prev < 0 {
+				prev = j // initial setup
+			}
+			setup = in.SetupTime(m, prev, j)
+		}
+		start := jobReady[j]
+		if t := machFree[m] + setup; t > start {
+			start = t
+		}
+		end := start + p
+		s.Ops = append(s.Ops, shop.Assignment{Job: j, Op: k, Machine: m, Start: start, End: end})
+		jobReady[j] = end
+		machFree[m] = end
+		lastJob[m] = j
+		nextOp[j] = k + 1
+	}
+	return s
+}
+
+// MachineOrders extracts the processing order of jobs' operations on each
+// machine from a schedule, as flattened operation IDs sorted by start time.
+// It is the bridge from a decoded schedule to its disjunctive-graph
+// orientation.
+func MachineOrders(s *shop.Schedule) [][]int {
+	in := s.Inst
+	off := OpOffsets(in)
+	orders := make([][]int, in.NumMachines)
+	// Insertion by start time keeps this O(ops * ops-per-machine) which is
+	// fine at benchmark sizes and avoids importing sort in the hot path.
+	type ev struct{ id, start int }
+	byMachine := make([][]ev, in.NumMachines)
+	for _, a := range s.Ops {
+		id := off[a.Job] + a.Op
+		lst := byMachine[a.Machine]
+		pos := len(lst)
+		for pos > 0 && lst[pos-1].start > a.Start {
+			pos--
+		}
+		lst = append(lst, ev{})
+		copy(lst[pos+1:], lst[pos:])
+		lst[pos] = ev{id: id, start: a.Start}
+		byMachine[a.Machine] = lst
+	}
+	for m, lst := range byMachine {
+		ids := make([]int, len(lst))
+		for i, e := range lst {
+			ids[i] = e.id
+		}
+		orders[m] = ids
+	}
+	return orders
+}
+
+// buildConjunctive adds the job-precedence arcs and returns the flattened
+// durations and release lower bounds shared by the graph evaluators.
+func buildConjunctive(in *shop.Instance) (g *dgraph.Graph, dur, release []int, off []int) {
+	off = OpOffsets(in)
+	total := in.TotalOps()
+	g = dgraph.New(total)
+	dur = make([]int, total)
+	release = make([]int, total)
+	for j, job := range in.Jobs {
+		for k, op := range job.Ops {
+			id := off[j] + k
+			dur[id] = op.Times[0]
+			release[id] = job.Release
+			if k > 0 {
+				g.AddArc(off[j]+k-1, id, job.Ops[k-1].Times[0])
+			}
+		}
+	}
+	return g, dur, release, off
+}
+
+// JobShopGraph evaluates an operation sequence through the disjunctive
+// graph: the sequence is first decoded semi-actively to fix the machine
+// orders, then the makespan is recomputed as the longest path of the
+// oriented graph (Somani & Singh's topological-sort evaluation [16]).
+// For valid sequences it returns the same makespan as JobShop, which the
+// tests exploit as a cross-validation oracle.
+func JobShopGraph(in *shop.Instance, seq []int) (int, error) {
+	s := JobShop(in, seq)
+	orders := MachineOrders(s)
+	g, dur, release, _ := buildConjunctive(in)
+	for _, order := range orders {
+		for i := 1; i < len(order); i++ {
+			g.AddArc(order[i-1], order[i], dur[order[i-1]])
+		}
+	}
+	ms, _, err := g.Makespan(release, dur)
+	return ms, err
+}
+
+// GifflerThompson builds an active job shop schedule with the Giffler &
+// Thompson procedure: repeatedly find the operation with the earliest
+// possible completion time, restrict attention to the conflict set on its
+// machine, and pick the member with the highest priority. priority is
+// indexed by flattened operation ID; ties break toward the lower job index,
+// keeping the decoder deterministic. Mui et al. [17] and Lin et al. [21]
+// build their GA operators on exactly this active-schedule builder.
+func GifflerThompson(in *shop.Instance, priority []float64) *shop.Schedule {
+	off := OpOffsets(in)
+	n := len(in.Jobs)
+	nextOp := make([]int, n)
+	jobReady := make([]int, n)
+	for j := range jobReady {
+		jobReady[j] = in.Jobs[j].Release
+	}
+	machFree := make([]int, in.NumMachines)
+	s := &shop.Schedule{Inst: in, Ops: make([]shop.Assignment, 0, in.TotalOps())}
+	remaining := in.TotalOps()
+	for remaining > 0 {
+		// Find the candidate operation with minimal earliest completion time.
+		bestJob, bestECT, bestM := -1, 0, -1
+		for j := 0; j < n; j++ {
+			k := nextOp[j]
+			if k >= len(in.Jobs[j].Ops) {
+				continue
+			}
+			op := &in.Jobs[j].Ops[k]
+			m := op.Machines[0]
+			est := jobReady[j]
+			if machFree[m] > est {
+				est = machFree[m]
+			}
+			ect := est + op.Times[0]
+			if bestJob < 0 || ect < bestECT {
+				bestJob, bestECT, bestM = j, ect, m
+			}
+		}
+		// Conflict set: candidates on bestM that could start before bestECT.
+		chosen := -1
+		var chosenPri float64
+		for j := 0; j < n; j++ {
+			k := nextOp[j]
+			if k >= len(in.Jobs[j].Ops) {
+				continue
+			}
+			op := &in.Jobs[j].Ops[k]
+			if op.Machines[0] != bestM {
+				continue
+			}
+			est := jobReady[j]
+			if machFree[bestM] > est {
+				est = machFree[bestM]
+			}
+			if est >= bestECT {
+				continue
+			}
+			pri := priority[off[j]+k]
+			if chosen < 0 || pri > chosenPri {
+				chosen, chosenPri = j, pri
+			}
+		}
+		k := nextOp[chosen]
+		op := &in.Jobs[chosen].Ops[k]
+		start := jobReady[chosen]
+		if machFree[bestM] > start {
+			start = machFree[bestM]
+		}
+		end := start + op.Times[0]
+		s.Ops = append(s.Ops, shop.Assignment{Job: chosen, Op: k, Machine: bestM, Start: start, End: end})
+		jobReady[chosen] = end
+		machFree[bestM] = end
+		nextOp[chosen] = k + 1
+		remaining--
+	}
+	return s
+}

@@ -1,0 +1,145 @@
+package dgraph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestTopoOrderLinear(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 2, 1)
+	g.AddArc(2, 3, 1)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, 4)
+	for i, v := range order {
+		pos[v] = i
+	}
+	if !(pos[0] < pos[1] && pos[1] < pos[2] && pos[2] < pos[3]) {
+		t.Fatalf("order %v not topological", order)
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 2, 1)
+	g.AddArc(2, 0, 1)
+	if _, err := g.TopoOrder(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("expected ErrCycle, got %v", err)
+	}
+	if _, err := g.LongestPath(nil); !errors.Is(err, ErrCycle) {
+		t.Fatalf("LongestPath should propagate cycle, got %v", err)
+	}
+}
+
+func TestLongestPathDiamond(t *testing.T) {
+	// 0 ->(3) 1 ->(2) 3 ; 0 ->(1) 2 ->(1) 3 : longest to 3 is 5.
+	g := New(4)
+	g.AddArc(0, 1, 3)
+	g.AddArc(1, 3, 2)
+	g.AddArc(0, 2, 1)
+	g.AddArc(2, 3, 1)
+	start, err := g.LongestPath(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start[3] != 5 {
+		t.Fatalf("start[3] = %d want 5", start[3])
+	}
+}
+
+func TestLongestPathWithRelease(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1, 4)
+	start, err := g.LongestPath([]int{10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start[1] != 14 {
+		t.Fatalf("start[1] = %d want 14", start[1])
+	}
+	// Release larger than path-implied start wins.
+	start, _ = g.LongestPath([]int{0, 100})
+	if start[1] != 100 {
+		t.Fatalf("release lower bound ignored: %d", start[1])
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1, 5)
+	g.AddArc(1, 2, 3)
+	ms, start, err := g.Makespan(nil, []int{5, 3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start[2] != 8 || ms != 15 {
+		t.Fatalf("start=%v ms=%d", start, ms)
+	}
+}
+
+func TestAddArcPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).AddArc(0, 5, 1)
+}
+
+// Property: random DAGs (arcs only forward in a random permutation order)
+// always topo-sort, and start times never decrease along arcs.
+func TestRandomDAGProperties(t *testing.T) {
+	r := rng.New(404)
+	f := func(nRaw, mRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		m := int(mRaw % 60)
+		perm := r.Perm(n)
+		g := New(n)
+		type pair struct{ u, v, w int }
+		var arcs []pair
+		for i := 0; i < m; i++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a == b {
+				continue
+			}
+			// orient along perm to guarantee acyclicity
+			u, v := a, b
+			pu, pv := 0, 0
+			for idx, p := range perm {
+				if p == a {
+					pu = idx
+				}
+				if p == b {
+					pv = idx
+				}
+			}
+			if pu > pv {
+				u, v = b, a
+			}
+			w := r.Intn(9) + 1
+			g.AddArc(u, v, w)
+			arcs = append(arcs, pair{u, v, w})
+		}
+		start, err := g.LongestPath(nil)
+		if err != nil {
+			return false
+		}
+		for _, a := range arcs {
+			if start[a.v] < start[a.u]+a.w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsProduceTables runs every experiment end-to-end. This is
+// the harness's integration test: each experiment must produce non-empty,
+// well-formed tables and must be deterministic in its first run cell.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			ts := e.Run()
+			if len(ts) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range ts {
+				if tb.ID == "" || tb.Title == "" {
+					t.Errorf("%s: table missing ID/title", e.ID)
+				}
+				if len(tb.Columns) == 0 || len(tb.Rows) == 0 {
+					t.Errorf("%s: empty table %q", e.ID, tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Errorf("%s: ragged row %v in %q", e.ID, row, tb.Title)
+					}
+				}
+				out := tb.Render()
+				if !strings.Contains(out, tb.Title) {
+					t.Errorf("%s: render lost the title", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("T5f"); !ok {
+		t.Error("T5f not registered")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown ID resolved")
+	}
+	if len(All()) != 23 {
+		t.Errorf("registry has %d experiments", len(All()))
+	}
+}
+
+func TestT1ReportsZeroViolations(t *testing.T) {
+	ts := T1Feasibility()
+	for _, row := range ts[0].Rows {
+		if row[3] != "0" {
+			t.Errorf("decoder %s/%s reported %s violations", row[0], row[1], row[3])
+		}
+	}
+}
+
+func TestT3aDeterministicVirtualNumbers(t *testing.T) {
+	a := T3aSpeedup()[0].Rows
+	b := T3aSpeedup()[0].Rows
+	for i := range a {
+		// The virtual columns (0-2) must be identical; column 3 too since
+		// it derives from the same analytic model.
+		for c := 0; c < len(a[i]); c++ {
+			if a[i][c] != b[i][c] {
+				t.Fatalf("virtual table not deterministic at row %d col %d", i, c)
+			}
+		}
+	}
+}
+
+func TestParetoFilter(t *testing.T) {
+	pts := [][2]float64{{1, 5}, {2, 2}, {3, 3}, {5, 1}, {2, 2}}
+	front := paretoFilter(pts)
+	if len(front) != 3 {
+		t.Fatalf("front = %v", front)
+	}
+	want := [][2]float64{{1, 5}, {2, 2}, {5, 1}}
+	for i := range want {
+		if front[i] != want[i] {
+			t.Fatalf("front = %v", front)
+		}
+	}
+}

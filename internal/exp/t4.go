@@ -1,0 +1,228 @@
+package exp
+
+import (
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/hybrid"
+	"repro/internal/island"
+	"repro/internal/op"
+	"repro/internal/rng"
+	"repro/internal/shop"
+	"repro/internal/shopga"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tables"
+)
+
+func t4Instance() *shop.Instance {
+	return shop.GenerateJobShop("t4-js", 10, 5, 401, 402)
+}
+
+func cellularConfig(in *shop.Instance) cellular.Config[[]int] {
+	return cellular.Config[[]int]{
+		Width: 8, Height: 8,
+		Cross: op.JOX(len(in.Jobs)), Mutate: op.SwapMutation,
+		ReplaceIfBetter: true,
+		GenomeInts:      shopga.SeqView,
+	}
+}
+
+// T4aDiversity reproduces Tamaki & Nishikawa's claim that the neighbourhood
+// model suppresses premature convergence: the cellular GA holds more
+// population diversity than the panmictic GA of equal size while matching
+// or beating its solution quality.
+func T4aDiversity() []*tables.Table {
+	in := t4Instance()
+	prob := shopga.JobShopProblem(in, shop.Makespan)
+	marks := []int{1, 10, 20, 40, 80}
+	markSet := map[int]bool{}
+	for _, m := range marks {
+		markSet[m] = true
+	}
+
+	t := &tables.Table{
+		ID:    "T4a",
+		Title: "Diversity (positional entropy) and best makespan, panmictic vs cellular (64 individuals)",
+		Columns: []string{"generation", "panmictic entropy", "cellular entropy",
+			"panmictic best", "cellular best"},
+	}
+
+	type point struct{ ent, best float64 }
+	panm := map[int]point{}
+	eng := core.New(prob, rng.New(17), core.Config[[]int]{
+		Pop: 64, Elite: 1, Ops: shopga.SeqOps(in),
+		Term: core.Termination{MaxGenerations: 80},
+		OnGeneration: func(gs core.GenStats) {
+			_ = gs
+		},
+	})
+	for g := 1; g <= 80; g++ {
+		eng.Step()
+		if markSet[g] {
+			panm[g] = point{ent: popEntropy(eng.Population(), shopga.SeqView), best: eng.Best().Obj}
+		}
+	}
+
+	cell := map[int]point{}
+	cfg := cellularConfig(in)
+	cfg.Generations = 80
+	model := cellular.New(prob, rng.New(17), cfg)
+	for g := 1; g <= 80; g++ {
+		model.Step()
+		if markSet[g] {
+			cell[g] = point{ent: model.Diversity(), best: model.Best().Obj}
+		}
+	}
+	for _, g := range marks {
+		t.AddRow(g, panm[g].ent, cell[g].ent, panm[g].best, cell[g].best)
+	}
+	t.Note("paper claim (Tamaki [20]): local neighbourhood selection favourably suppresses premature convergence")
+	return []*tables.Table{t}
+}
+
+// T4bTransputer reproduces the Transputer observation: partitioning the
+// grid shortens calculation time dramatically, but without shared memory
+// the per-neighbour message cost keeps the 16-processor speedup sub-ideal.
+func T4bTransputer() []*tables.Table {
+	in := t4Instance()
+	prob := shopga.JobShopProblem(in, shop.Makespan)
+	t := &tables.Table{
+		ID:      "T4b",
+		Title:   "Cellular GA virtual speedup on a 16x16 grid (CellCost 1)",
+		Columns: []string{"partitions", "speedup (no comm)", "speedup (comm cost 0.5)", "efficiency (comm)"},
+	}
+	run := func(parts int, comm float64) float64 {
+		cfg := cellularConfig(in)
+		cfg.Width, cfg.Height = 16, 16
+		cfg.Generations = 10
+		cfg.Partitions = parts
+		cfg.CellCost = 1
+		cfg.CommCost = comm
+		res := cellular.New(prob, rng.New(23), cfg).Run()
+		return res.VirtualSerial / res.VirtualTime
+	}
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		ideal := run(p, 0)
+		comm := run(p, 0.5)
+		t.AddRow(p, fmtRatio(ideal), fmtRatio(comm), comm/float64(p))
+	}
+	t.Note("paper claim (Tamaki [20]): 16 Transputers shorten calculation dramatically, but message passing keeps the reduction below the ideal level")
+	return []*tables.Table{t}
+}
+
+// T4cNeighborhoods compares the L5/C9/L9 neighbourhood shapes at equal
+// budget (the design dimension Kohlmorgen et al. studied).
+func T4cNeighborhoods() []*tables.Table {
+	in := t4Instance()
+	prob := shopga.JobShopProblem(in, shop.Makespan)
+	t := &tables.Table{
+		ID:      "T4c",
+		Title:   "Neighbourhood shape at equal budget (8x8 grid, 60 generations, 3 seeds)",
+		Columns: []string{"neighbourhood", "mean best", "min best", "final entropy"},
+	}
+	for _, nb := range []cellular.Neighborhood{cellular.L5, cellular.C9, cellular.L9} {
+		var entropy float64
+		sum := summarizeRuns(3, func(seed uint64) float64 {
+			cfg := cellularConfig(in)
+			cfg.Neighborhood = nb
+			cfg.Generations = 60
+			m := cellular.New(prob, rng.New(seed), cfg)
+			res := m.Run()
+			entropy = m.Diversity()
+			return res.Best.Obj
+		})
+		t.AddRow(nb.String(), sum.Mean, sum.Min, entropy)
+	}
+	t.Note("smaller neighbourhoods diffuse genes more slowly and keep more diversity")
+	return []*tables.Table{t}
+}
+
+// T4dLinQuality reproduces Lin et al.'s quality ranking across models at a
+// comparable evaluation budget: single-population GA < island GAs < torus
+// fine-grained < hybrids, with the ring-of-torus hybrid best.
+func T4dLinQuality() []*tables.Table {
+	in := t4Instance()
+	prob := shopga.JobShopProblem(in, shop.Makespan)
+	// Lin's GA uses the G&T random selection — weak selection pressure —
+	// which is what makes the panmictic version stagnate; roulette is the
+	// closest fitness-aware analogue in this operator set.
+	ops := shopga.SeqOps(in)
+	ops.Select = op.RouletteWheel[[]int]()
+	t := &tables.Table{
+		ID:      "T4d",
+		Title:   "Model comparison on a 10x5 job shop, ~30k evaluations, 3 seeds",
+		Columns: []string{"model", "mean best", "min best", "mean evals"},
+	}
+	addRow := func(name string, fn func(seed uint64) (float64, int64)) {
+		var evals int64
+		sum := summarizeRuns(3, func(seed uint64) float64 {
+			obj, ev := fn(seed)
+			evals += ev
+			return obj
+		})
+		t.AddRow(name, sum.Mean, sum.Min, evals/3)
+	}
+
+	addRow("single GA (pop 100)", func(seed uint64) (float64, int64) {
+		res := core.New(prob, rng.New(seed), core.Config[[]int]{
+			Pop: 100, Elite: 1, Ops: ops,
+			Term: core.Termination{MaxGenerations: 300},
+		}).Run()
+		return res.Best.Obj, res.Evaluations
+	})
+	islandRun := func(seed uint64, islands, sub int) (float64, int64) {
+		res := island.New(rng.New(seed), island.Config[[]int]{
+			Islands: islands, SubPop: sub, Interval: 5, Epochs: 60, Migrants: 1,
+			Topology: island.Ring{},
+			Engine:   core.Config[[]int]{Ops: ops, Elite: 1},
+			Problem:  func(int) core.Problem[[]int] { return prob },
+		}).Run()
+		return res.Best.Obj, res.Evaluations
+	}
+	addRow("island GA (2 x 50, ring)", func(s uint64) (float64, int64) { return islandRun(s, 2, 50) })
+	addRow("island GA (8 x 12, ring)", func(s uint64) (float64, int64) { return islandRun(s, 8, 12) })
+	addRow("fine-grained torus (10x10)", func(seed uint64) (float64, int64) {
+		cfg := cellularConfig(in)
+		cfg.Width, cfg.Height = 10, 10
+		cfg.Generations = 300
+		res := cellular.New(prob, rng.New(seed), cfg).Run()
+		return res.Best.Obj, res.Evaluations
+	})
+	addRow("hybrid ring-of-torus (4 x 5x5)", func(seed uint64) (float64, int64) {
+		cfg := cellularConfig(in)
+		cfg.Width, cfg.Height = 5, 5
+		res := hybrid.NewRingOfTorus(prob, rng.New(seed), hybrid.RingOfTorusConfig[[]int]{
+			Grids: 4, Interval: 10, Epochs: 30, Grid: cfg,
+		}).Run()
+		return res.Best.Obj, res.Evaluations
+	})
+	addRow("hybrid torus-of-islands (9 x 11)", func(seed uint64) (float64, int64) {
+		res := hybrid.TorusOfIslands(rng.New(seed), island.Config[[]int]{
+			Islands: 9, SubPop: 11, Interval: 5, Epochs: 60, Migrants: 1,
+			Engine:  core.Config[[]int]{Ops: ops, Elite: 1},
+			Problem: func(int) core.Problem[[]int] { return prob },
+		})
+		return res.Best.Obj, res.Evaluations
+	})
+	t.Note("paper claim (Lin [21]): best results from islands connected in a fine-grained style topology")
+	return []*tables.Table{t}
+}
+
+// T4eLinSpeedup reproduces Lin et al.'s reported island speedups of 4.7
+// (few islands) and 18.5 (many islands) with the virtual cluster.
+func T4eLinSpeedup() []*tables.Table {
+	t := &tables.Table{
+		ID:      "T4e",
+		Title:   "Virtual island speedup (one island per processor, ring migration)",
+		Columns: []string{"islands", "epoch compute", "epoch comm", "speedup"},
+	}
+	const genPerEpoch, genCost, msgCost = 50, 1.0, 0.2
+	for _, n := range []int{5, 20} {
+		cl := sim.Uniform(n, 1)
+		span := cl.IslandSpan(n, 1, genPerEpoch, genCost, n, msgCost)
+		serial := float64(n) * genPerEpoch * genCost
+		t.AddRow(n, genPerEpoch*genCost, float64(n)*msgCost, fmtRatio(stats.Speedup(serial, span)))
+	}
+	t.Note("paper claim (Lin [21]): speedups of 4.7 and 18.5 for the two island configurations")
+	return []*tables.Table{t}
+}

@@ -1,0 +1,152 @@
+// Package hybrid implements the two hybrid parallel GAs Lin et al. [21]
+// evaluated on job shop scheduling:
+//
+//   - RingOfTorus embeds the fine-grained model into the island model: each
+//     subpopulation on a migration ring is itself a 2-D torus cellular GA,
+//     with ring migration much less frequent than the within-torus
+//     diffusion. Lin et al. found this combination (islands connected in a
+//     fine-grained style) produced the best solutions.
+//   - TorusOfIslands uses the island model with the connection topology
+//     typically found in fine-grained GAs — a 2-D torus over a relatively
+//     large number of small islands — keeping the usual migration
+//     frequency.
+package hybrid
+
+import (
+	"sync"
+
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/island"
+	"repro/internal/rng"
+)
+
+// RingOfTorusConfig parameterises the island-of-cellular hybrid.
+type RingOfTorusConfig[G any] struct {
+	Grids    int // number of torus islands on the ring (default 4)
+	Interval int // cellular generations between ring migrations (default 10)
+	Epochs   int // migration epochs (default 10)
+
+	Grid cellular.Config[G] // per-island cellular configuration
+
+	Target    float64
+	TargetSet bool
+}
+
+// RingOfTorus is the configured hybrid model.
+type RingOfTorus[G any] struct {
+	cfg   RingOfTorusConfig[G]
+	prob  core.Problem[G]
+	grids []*cellular.Model[G]
+}
+
+// Result reports a hybrid run.
+type Result[G any] struct {
+	Best        core.Individual[G]
+	PerGrid     []core.Individual[G]
+	Epochs      int
+	Evaluations int64
+}
+
+// NewRingOfTorus builds the hybrid: one cellular model per ring node, each
+// with an independent RNG stream split from r.
+func NewRingOfTorus[G any](p core.Problem[G], r *rng.RNG, cfg RingOfTorusConfig[G]) *RingOfTorus[G] {
+	if p == nil {
+		panic("hybrid: nil problem")
+	}
+	if cfg.Grids <= 0 {
+		cfg.Grids = 4
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	// Grids are stepped manually; neutralise the per-grid run bounds.
+	cfg.Grid.Generations = 1 << 30
+	h := &RingOfTorus[G]{cfg: cfg, prob: p}
+	for i := 0; i < cfg.Grids; i++ {
+		h.grids = append(h.grids, cellular.New(p, r.Split(), cfg.Grid))
+	}
+	return h
+}
+
+// Grids exposes the cellular islands.
+func (h *RingOfTorus[G]) Grids() []*cellular.Model[G] { return h.grids }
+
+// Best returns the best individual across all grids.
+func (h *RingOfTorus[G]) Best() core.Individual[G] {
+	best := h.grids[0].Best()
+	for _, g := range h.grids[1:] {
+		if b := g.Best(); b.Obj < best.Obj {
+			best = b
+		}
+	}
+	return best
+}
+
+// migrate sends each grid's best cell to its ring successor, replacing the
+// successor's worst cell. Emigrants were evaluated under the shared
+// problem, so their objective values carry over.
+func (h *RingOfTorus[G]) migrate() {
+	n := len(h.grids)
+	if n < 2 {
+		return
+	}
+	emigrants := make([]core.Individual[G], n)
+	for i, g := range h.grids {
+		emigrants[i] = g.Best()
+	}
+	for i := range h.grids {
+		to := (i + 1) % n
+		cells := h.grids[to].Cells()
+		worst := 0
+		for k := range cells {
+			if cells[k].Obj > cells[worst].Obj {
+				worst = k
+			}
+		}
+		mig := emigrants[i]
+		cells[worst] = core.Individual[G]{
+			Genome: h.prob.Clone(mig.Genome), Obj: mig.Obj, Fit: mig.Fit,
+		}
+	}
+}
+
+// Run executes the epochs; grids advance concurrently between migrations
+// (deterministic: every grid owns its randomness).
+func (h *RingOfTorus[G]) Run() Result[G] {
+	epoch := 0
+	for ; epoch < h.cfg.Epochs; epoch++ {
+		if h.cfg.TargetSet && h.Best().Obj <= h.cfg.Target {
+			break
+		}
+		var wg sync.WaitGroup
+		wg.Add(len(h.grids))
+		for _, g := range h.grids {
+			go func(g *cellular.Model[G]) {
+				defer wg.Done()
+				for s := 0; s < h.cfg.Interval; s++ {
+					g.Step()
+				}
+			}(g)
+		}
+		wg.Wait()
+		h.migrate()
+	}
+	res := Result[G]{Best: h.Best(), Epochs: epoch}
+	for _, g := range h.grids {
+		res.PerGrid = append(res.PerGrid, g.Best())
+		res.Evaluations += g.Evaluations()
+	}
+	return res
+}
+
+// TorusOfIslands runs Lin's second hybrid: a standard island model whose
+// many small islands are connected in the 2-D torus topology of the
+// fine-grained model.
+func TorusOfIslands[G any](r *rng.RNG, cfg island.Config[G]) island.Result[G] {
+	cfg.Topology = island.Torus2D{}
+	return island.New(r, cfg).Run()
+}

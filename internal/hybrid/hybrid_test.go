@@ -1,0 +1,157 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/island"
+	"repro/internal/rng"
+)
+
+func sortProblem(n int) core.Problem[[]int] {
+	return core.FuncProblem[[]int]{
+		RandomFn: func(r *rng.RNG) []int { return r.Perm(n) },
+		EvaluateFn: func(g []int) float64 {
+			bad := 0
+			for i, v := range g {
+				if v != i {
+					bad++
+				}
+			}
+			return float64(bad + 1)
+		},
+		CloneFn: func(g []int) []int { return append([]int(nil), g...) },
+	}
+}
+
+func permCross(r *rng.RNG, a, b []int) ([]int, []int) {
+	cut := r.Intn(len(a) + 1)
+	mk := func(x, y []int) []int {
+		c := append([]int(nil), x[:cut]...)
+		used := map[int]bool{}
+		for _, v := range c {
+			used[v] = true
+		}
+		for _, v := range y {
+			if !used[v] {
+				c = append(c, v)
+			}
+		}
+		return c
+	}
+	return mk(a, b), mk(b, a)
+}
+
+func permMutate(r *rng.RNG, g []int) {
+	i, j := r.Intn(len(g)), r.Intn(len(g))
+	g[i], g[j] = g[j], g[i]
+}
+
+func permEngineOps() core.Operators[[]int] {
+	return core.Operators[[]int]{
+		Select: func(r *rng.RNG, pop []core.Individual[[]int]) int {
+			a, b := r.Intn(len(pop)), r.Intn(len(pop))
+			if pop[a].Fit >= pop[b].Fit {
+				return a
+			}
+			return b
+		},
+		Cross:  permCross,
+		Mutate: permMutate,
+	}
+}
+
+func TestRingOfTorusRuns(t *testing.T) {
+	h := NewRingOfTorus(sortProblem(10), rng.New(1), RingOfTorusConfig[[]int]{
+		Grids: 3, Interval: 5, Epochs: 8,
+		Grid: cellular.Config[[]int]{
+			Width: 4, Height: 4,
+			Cross: permCross, Mutate: permMutate, ReplaceIfBetter: true,
+		},
+	})
+	res := h.Run()
+	if res.Best.Obj > 6 {
+		t.Errorf("hybrid made little progress: %v", res.Best.Obj)
+	}
+	if len(res.PerGrid) != 3 {
+		t.Errorf("per-grid bests: %d", len(res.PerGrid))
+	}
+	// 3 grids * 16 cells * (1 init + 8 epochs * 5 gens) evaluations.
+	if want := int64(3 * 16 * (1 + 8*5)); res.Evaluations != want {
+		t.Errorf("evaluations = %d want %d", res.Evaluations, want)
+	}
+	if res.Epochs != 8 {
+		t.Errorf("epochs = %d", res.Epochs)
+	}
+}
+
+func TestRingOfTorusDeterministic(t *testing.T) {
+	run := func() Result[[]int] {
+		return NewRingOfTorus(sortProblem(9), rng.New(55), RingOfTorusConfig[[]int]{
+			Grids: 2, Interval: 4, Epochs: 5,
+			Grid: cellular.Config[[]int]{
+				Width: 3, Height: 3,
+				Cross: permCross, Mutate: permMutate, ReplaceIfBetter: true,
+			},
+		}).Run()
+	}
+	a, b := run(), run()
+	if a.Best.Obj != b.Best.Obj || a.Evaluations != b.Evaluations {
+		t.Fatalf("hybrid not deterministic: %v/%v", a.Best.Obj, b.Best.Obj)
+	}
+}
+
+func TestRingOfTorusMigrationPropagates(t *testing.T) {
+	h := NewRingOfTorus(sortProblem(8), rng.New(7), RingOfTorusConfig[[]int]{
+		Grids: 3, Interval: 3, Epochs: 12,
+		Grid: cellular.Config[[]int]{
+			Width: 3, Height: 3,
+			Cross: permCross, Mutate: permMutate, ReplaceIfBetter: true,
+		},
+	})
+	res := h.Run()
+	// After many ring migrations, grid bests should cluster near global.
+	for i, b := range res.PerGrid {
+		if b.Obj > res.Best.Obj+4 {
+			t.Errorf("grid %d best %v far from global %v", i, b.Obj, res.Best.Obj)
+		}
+	}
+}
+
+func TestRingOfTorusTargetStop(t *testing.T) {
+	h := NewRingOfTorus(sortProblem(5), rng.New(3), RingOfTorusConfig[[]int]{
+		Grids: 2, Interval: 2, Epochs: 10000, Target: 1, TargetSet: true,
+		Grid: cellular.Config[[]int]{
+			Width: 4, Height: 4,
+			Cross: permCross, Mutate: permMutate, ReplaceIfBetter: true,
+		},
+	})
+	res := h.Run()
+	if res.Epochs >= 10000 {
+		t.Error("target did not stop the hybrid")
+	}
+}
+
+func TestNewRingOfTorusValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil problem")
+		}
+	}()
+	NewRingOfTorus[[]int](nil, rng.New(1), RingOfTorusConfig[[]int]{})
+}
+
+func TestTorusOfIslands(t *testing.T) {
+	res := TorusOfIslands(rng.New(9), island.Config[[]int]{
+		Islands: 9, SubPop: 8, Interval: 2, Epochs: 10,
+		Engine:  core.Config[[]int]{Ops: permEngineOps()},
+		Problem: func(int) core.Problem[[]int] { return sortProblem(9) },
+	})
+	if res.Best.Obj > 5 {
+		t.Errorf("torus-of-islands made little progress: %v", res.Best.Obj)
+	}
+	if res.IslandsLeft != 9 {
+		t.Errorf("islands left = %d", res.IslandsLeft)
+	}
+}

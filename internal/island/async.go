@@ -1,0 +1,121 @@
+package island
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// RunAsync executes the island model with asynchronous migration: every
+// island runs in its own goroutine for the full budget and pushes emigrants
+// into its targets' buffered mailboxes after every Interval generations,
+// consuming whatever immigrants have arrived without ever blocking. This is
+// the free-running MPI/agent style of several surveyed systems (as opposed
+// to the synchronised epochs of Run, which Park et al. used); results are
+// NOT deterministic — convergence depends on message arrival timing.
+//
+// The configured Merge and TwoLevel extensions require global coordination
+// and are rejected here; use Run for those.
+func (m *Model[G]) RunAsync() Result[G] {
+	if m.cfg.Merge != nil || m.cfg.TwoLevel != nil {
+		panic("island: RunAsync does not support Merge or TwoLevel")
+	}
+	n := len(m.engines)
+	type migrantMsg struct{ genome G }
+	inbox := make([]chan migrantMsg, n)
+	for i := range inbox {
+		// Capacity bounds the backlog; overflowing migrants are dropped,
+		// which mirrors non-blocking MPI sends with small buffers.
+		inbox[i] = make(chan migrantMsg, 4*m.cfg.Migrants*n)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(id int) {
+			defer wg.Done()
+			e := m.engines[id]
+			// Per-island randomness for migrant selection/replacement keeps
+			// goroutines from sharing the model RNG.
+			r := rng.New(uint64(id)*0x9e3779b97f4a7c15 + 1)
+			for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+				for s := 0; s < m.cfg.Interval; s++ {
+					e.Step()
+				}
+				// Emigrate without blocking.
+				targets := m.cfg.Topology.Targets(id, n, epoch, r)
+				for _, t := range targets {
+					for k := 0; k < m.cfg.Migrants; k++ {
+						idx := m.pickEmigrantWith(r, e, k)
+						g := e.Problem().Clone(e.Population()[idx].Genome)
+						select {
+						case inbox[t] <- migrantMsg{genome: g}:
+						default: // mailbox full: drop, like a saturated link
+						}
+					}
+				}
+				// Absorb whatever has arrived.
+				for {
+					select {
+					case msg := <-inbox[id]:
+						ind := e.MakeIndividual(msg.genome)
+						pop := e.Population()
+						victim := 0
+						if m.cfg.Replace == ReplaceRandom {
+							victim = r.Intn(len(pop))
+						} else {
+							for x := range pop {
+								if pop[x].Obj > pop[victim].Obj {
+									victim = x
+								}
+							}
+						}
+						pop[victim] = ind
+					default:
+						goto drained
+					}
+				}
+			drained:
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	m.gen = m.cfg.Epochs * m.cfg.Interval
+	res := Result[G]{
+		Best:        m.Best(),
+		Generations: m.gen,
+		Epochs:      m.cfg.Epochs,
+		IslandsLeft: n,
+	}
+	for _, e := range m.engines {
+		res.PerIsland = append(res.PerIsland, e.Best())
+		res.Evaluations += e.Evaluations()
+	}
+	return res
+}
+
+// pickEmigrantWith is pickEmigrant with an explicit RNG (async mode cannot
+// share the model's stream across goroutines).
+func (m *Model[G]) pickEmigrantWith(r *rng.RNG, e *core.Engine[G], k int) int {
+	pop := e.Population()
+	if m.cfg.Select == RandomMigrants {
+		return r.Intn(len(pop))
+	}
+	if k >= len(pop) {
+		k = len(pop) - 1
+	}
+	idx := make([]int, len(pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		j := i
+		for j > 0 && pop[idx[j-1]].Obj > pop[idx[j]].Obj {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+			j--
+		}
+	}
+	return idx[k]
+}

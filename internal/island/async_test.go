@@ -1,0 +1,63 @@
+package island
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestRunAsyncImproves(t *testing.T) {
+	cfg := baseConfig(12)
+	cfg.Epochs = 15
+	res := New(rng.New(77), cfg).RunAsync()
+	if res.Best.Obj > 7 {
+		t.Errorf("async island GA made little progress: %v", res.Best.Obj)
+	}
+	if res.IslandsLeft != cfg.Islands || len(res.PerIsland) != cfg.Islands {
+		t.Errorf("island accounting wrong: %d", res.IslandsLeft)
+	}
+	if res.Generations != cfg.Epochs*cfg.Interval {
+		t.Errorf("generations = %d", res.Generations)
+	}
+	if res.Evaluations <= 0 {
+		t.Error("evaluations lost")
+	}
+}
+
+func TestRunAsyncRejectsMergeAndTwoLevel(t *testing.T) {
+	cfg := baseConfig(8)
+	cfg.Merge = &MergeConfig[[]int]{Dist: stats.HammingDistance, Threshold: 2}
+	m := New(rng.New(1), cfg)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic with Merge")
+			}
+		}()
+		m.RunAsync()
+	}()
+	cfg = baseConfig(8)
+	cfg.TwoLevel = &TwoLevel{GN: 2, LN: 4}
+	m = New(rng.New(1), cfg)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic with TwoLevel")
+		}
+	}()
+	m.RunAsync()
+}
+
+func TestRunAsyncWithAllPolicies(t *testing.T) {
+	for _, sel := range []MigrantSelect{BestMigrants, RandomMigrants} {
+		for _, rep := range []ReplacePolicy{ReplaceWorst, ReplaceRandom} {
+			cfg := baseConfig(8)
+			cfg.Select, cfg.Replace = sel, rep
+			cfg.Epochs = 6
+			res := New(rng.New(9), cfg).RunAsync()
+			if res.Best.Obj >= 9 {
+				t.Errorf("%v/%v: async made no progress", sel, rep)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package masterslave implements the survey's Table III model: the global
+// parallel GA that keeps a single population on the master and distributes
+// only the fitness evaluation to slaves. Because evaluation is pure, the
+// model does not change the algorithm's trajectory — a master-slave run is
+// bit-identical to the serial run with the same seed, which the tests
+// verify and which is the defining property the survey highlights.
+//
+// Three evaluators are provided:
+//
+//   - PoolEvaluator: real goroutine workers (the CPU-network of AitZai [14]
+//     or Mui's 6-computer CSS system [17], with channels substituting for
+//     sockets);
+//   - BatchEvaluator: batched dispatch as in Akhshabi et al. [18], where
+//     the master partitions the unassigned queue into chunks;
+//   - SimEvaluator: wraps any evaluator with the sim.Cluster virtual-time
+//     model to report speedups for hardware we do not have (GPUs).
+package masterslave
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// PoolEvaluator evaluates a population with Workers concurrent goroutines.
+// The zero value uses GOMAXPROCS workers.
+type PoolEvaluator[G any] struct {
+	Workers int
+}
+
+// EvalAll implements core.Evaluator. Results are written to disjoint
+// indices, so no synchronisation of out is needed beyond the WaitGroup.
+func (p PoolEvaluator[G]) EvalAll(genomes []G, eval func(G) float64, out []float64) {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(genomes) {
+		w = len(genomes)
+	}
+	if w <= 1 {
+		for i, g := range genomes {
+			out[i] = eval(g)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = eval(genomes[i])
+			}
+		}()
+	}
+	for i := range genomes {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// BatchEvaluator dispatches contiguous chunks of Batch genomes to Workers
+// goroutines, modelling Akhshabi's batched partitioning of the unassigned
+// queue. Batch <= 0 selects len(genomes)/workers.
+type BatchEvaluator[G any] struct {
+	Workers int
+	Batch   int
+}
+
+// EvalAll implements core.Evaluator.
+func (b BatchEvaluator[G]) EvalAll(genomes []G, eval func(G) float64, out []float64) {
+	w := b.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	batch := b.Batch
+	if batch <= 0 {
+		batch = (len(genomes) + w - 1) / w
+		if batch == 0 {
+			batch = 1
+		}
+	}
+	type span struct{ lo, hi int }
+	spans := make(chan span)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for s := range spans {
+				for i := s.lo; i < s.hi; i++ {
+					out[i] = eval(genomes[i])
+				}
+			}
+		}()
+	}
+	for lo := 0; lo < len(genomes); lo += batch {
+		hi := lo + batch
+		if hi > len(genomes) {
+			hi = len(genomes)
+		}
+		spans <- span{lo, hi}
+	}
+	close(spans)
+	wg.Wait()
+}
+
+// SimEvaluator evaluates serially for correctness while accounting virtual
+// time on a simulated cluster: every EvalAll adds the cluster's batch span
+// to VirtualTime and the one-worker span to SerialTime, so Speedup reports
+// the cluster's advantage for the workload actually executed. CostFn maps a
+// genome to its virtual evaluation cost (default 1 per evaluation).
+type SimEvaluator[G any] struct {
+	Cluster *sim.Cluster
+	Batch   int
+	CostFn  func(G) float64
+
+	VirtualTime float64
+	SerialTime  float64
+	Evaluations int64
+}
+
+// EvalAll implements core.Evaluator.
+func (s *SimEvaluator[G]) EvalAll(genomes []G, eval func(G) float64, out []float64) {
+	costs := make([]float64, len(genomes))
+	for i, g := range genomes {
+		out[i] = eval(g)
+		if s.CostFn != nil {
+			costs[i] = s.CostFn(g)
+		} else {
+			costs[i] = 1
+		}
+	}
+	s.VirtualTime += s.Cluster.EvalSpan(costs, s.Batch)
+	s.SerialTime += sim.SerialSpan(costs)
+	s.Evaluations += int64(len(genomes))
+}
+
+// Speedup returns the virtual serial/parallel time ratio accumulated so far.
+func (s *SimEvaluator[G]) Speedup() float64 {
+	if s.VirtualTime <= 0 {
+		return 1
+	}
+	return s.SerialTime / s.VirtualTime
+}
+
+// RunPool executes the Table III master-slave GA: cfg with its evaluator
+// replaced by a PoolEvaluator of the requested width. Because evaluation is
+// pure, the result is identical to the serial run with the same seed.
+func RunPool[G any](p core.Problem[G], r *rng.RNG, cfg core.Config[G], workers int) core.Result[G] {
+	cfg.Evaluator = PoolEvaluator[G]{Workers: workers}
+	return core.New(p, r, cfg).Run()
+}

@@ -1,0 +1,202 @@
+package masterslave
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// slowProblem counts displaced permutation entries with an artificial spin
+// to give the pool something to chew on.
+func slowProblem(n, spin int) core.Problem[[]int] {
+	return core.FuncProblem[[]int]{
+		RandomFn: func(r *rng.RNG) []int { return r.Perm(n) },
+		EvaluateFn: func(g []int) float64 {
+			acc := 0
+			for s := 0; s < spin; s++ {
+				acc += s % 3
+			}
+			bad := acc % 1 // always 0; keeps the spin from being optimised away
+			for i, v := range g {
+				if v != i {
+					bad++
+				}
+			}
+			return float64(bad + 1)
+		},
+		CloneFn: func(g []int) []int { return append([]int(nil), g...) },
+	}
+}
+
+func permOps() core.Operators[[]int] {
+	return core.Operators[[]int]{
+		Select: func(r *rng.RNG, pop []core.Individual[[]int]) int {
+			a, b := r.Intn(len(pop)), r.Intn(len(pop))
+			if pop[a].Fit >= pop[b].Fit {
+				return a
+			}
+			return b
+		},
+		Cross: func(r *rng.RNG, a, b []int) ([]int, []int) {
+			cut := r.Intn(len(a) + 1)
+			mk := func(x, y []int) []int {
+				c := append([]int(nil), x[:cut]...)
+				used := map[int]bool{}
+				for _, v := range c {
+					used[v] = true
+				}
+				for _, v := range y {
+					if !used[v] {
+						c = append(c, v)
+					}
+				}
+				return c
+			}
+			return mk(a, b), mk(b, a)
+		},
+		Mutate: func(r *rng.RNG, g []int) {
+			i, j := r.Intn(len(g)), r.Intn(len(g))
+			g[i], g[j] = g[j], g[i]
+		},
+	}
+}
+
+func TestPoolEvaluatorCorrect(t *testing.T) {
+	genomes := [][]int{{1}, {2}, {3}, {4}, {5}, {6}, {7}}
+	out := make([]float64, len(genomes))
+	PoolEvaluator[[]int]{Workers: 3}.EvalAll(genomes, func(g []int) float64 {
+		return float64(g[0] * 10)
+	}, out)
+	for i := range genomes {
+		if out[i] != float64((i+1)*10) {
+			t.Fatalf("out[%d] = %v", i, out[i])
+		}
+	}
+}
+
+func TestPoolEvaluatorSingleWorkerPath(t *testing.T) {
+	out := make([]float64, 2)
+	PoolEvaluator[int]{Workers: 1}.EvalAll([]int{3, 4}, func(g int) float64 { return float64(g) }, out)
+	if out[0] != 3 || out[1] != 4 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestPoolEvaluatorUsesConcurrency(t *testing.T) {
+	var calls int64
+	out := make([]float64, 50)
+	genomes := make([]int, 50)
+	PoolEvaluator[int]{Workers: 8}.EvalAll(genomes, func(int) float64 {
+		atomic.AddInt64(&calls, 1)
+		return 0
+	}, out)
+	if calls != 50 {
+		t.Fatalf("evaluated %d genomes", calls)
+	}
+}
+
+func TestBatchEvaluatorCorrect(t *testing.T) {
+	genomes := make([]int, 97)
+	for i := range genomes {
+		genomes[i] = i
+	}
+	out := make([]float64, len(genomes))
+	BatchEvaluator[int]{Workers: 4, Batch: 10}.EvalAll(genomes, func(g int) float64 {
+		return float64(g * g)
+	}, out)
+	for i := range out {
+		if out[i] != float64(i*i) {
+			t.Fatalf("out[%d] = %v", i, out[i])
+		}
+	}
+	// Default batch path.
+	BatchEvaluator[int]{Workers: 4}.EvalAll(genomes, func(g int) float64 { return 1 }, out)
+	for i := range out {
+		if out[i] != 1 {
+			t.Fatalf("default batch out[%d] = %v", i, out[i])
+		}
+	}
+}
+
+// TestMasterSlaveTrajectoryIdentical verifies the survey's central claim
+// about the model: distributing evaluation does not affect the algorithm.
+func TestMasterSlaveTrajectoryIdentical(t *testing.T) {
+	prob := slowProblem(10, 50)
+	mk := func(ev core.Evaluator[[]int]) core.Result[[]int] {
+		return core.New(prob, rng.New(99), core.Config[[]int]{
+			Pop: 24, Ops: permOps(), Evaluator: ev,
+			Term: core.Termination{MaxGenerations: 30},
+		}).Run()
+	}
+	serial := mk(core.SerialEvaluator[[]int]{})
+	pooled := mk(PoolEvaluator[[]int]{Workers: 4})
+	batched := mk(BatchEvaluator[[]int]{Workers: 4, Batch: 5})
+	if serial.Best.Obj != pooled.Best.Obj || serial.Evaluations != pooled.Evaluations {
+		t.Fatalf("pool diverged from serial: %v/%v vs %v/%v",
+			serial.Best.Obj, serial.Evaluations, pooled.Best.Obj, pooled.Evaluations)
+	}
+	if serial.Best.Obj != batched.Best.Obj {
+		t.Fatalf("batch diverged from serial: %v vs %v", serial.Best.Obj, batched.Best.Obj)
+	}
+	for i := range serial.Best.Genome {
+		if serial.Best.Genome[i] != pooled.Best.Genome[i] {
+			t.Fatal("pool best genome differs from serial")
+		}
+	}
+}
+
+func TestRunPool(t *testing.T) {
+	res := RunPool(slowProblem(8, 0), rng.New(5), core.Config[[]int]{
+		Pop: 20, Ops: permOps(),
+		Term: core.Termination{MaxGenerations: 60, Target: 1, TargetSet: true},
+	}, 4)
+	if res.Best.Obj > 3 {
+		t.Errorf("master-slave GA made little progress: %v", res.Best.Obj)
+	}
+}
+
+func TestSimEvaluatorAccounting(t *testing.T) {
+	cl := sim.Uniform(4, 1)
+	se := &SimEvaluator[int]{Cluster: cl, Batch: 1}
+	out := make([]float64, 8)
+	se.EvalAll(make([]int, 8), func(int) float64 { return 0 }, out)
+	if se.Evaluations != 8 {
+		t.Errorf("evaluations = %d", se.Evaluations)
+	}
+	// 8 unit tasks over 4 ideal workers: span 2, serial 8, speedup 4.
+	if se.VirtualTime != 2 || se.SerialTime != 8 {
+		t.Errorf("virtual=%v serial=%v", se.VirtualTime, se.SerialTime)
+	}
+	if se.Speedup() != 4 {
+		t.Errorf("speedup = %v", se.Speedup())
+	}
+	// Custom cost function.
+	se2 := &SimEvaluator[int]{Cluster: sim.Uniform(2, 1), CostFn: func(g int) float64 { return float64(g) }}
+	out2 := make([]float64, 2)
+	se2.EvalAll([]int{3, 3}, func(int) float64 { return 0 }, out2)
+	if se2.SerialTime != 6 {
+		t.Errorf("cost function ignored: %v", se2.SerialTime)
+	}
+	// Zero virtual time edge.
+	empty := &SimEvaluator[int]{Cluster: cl}
+	if empty.Speedup() != 1 {
+		t.Errorf("empty speedup = %v", empty.Speedup())
+	}
+}
+
+func TestSimEvaluatorInsideEngine(t *testing.T) {
+	se := &SimEvaluator[[]int]{Cluster: sim.Uniform(6, 1), Batch: 1}
+	res := core.New(slowProblem(8, 0), rng.New(77), core.Config[[]int]{
+		Pop: 12, Ops: permOps(), Evaluator: se,
+		Term: core.Termination{MaxGenerations: 10},
+	}).Run()
+	if res.Evaluations != se.Evaluations {
+		t.Errorf("engine evals %d != evaluator evals %d", res.Evaluations, se.Evaluations)
+	}
+	if sp := se.Speedup(); sp < 5 || sp > 6.01 {
+		t.Errorf("ideal 6-worker speedup = %v", sp)
+	}
+}

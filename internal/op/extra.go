@@ -1,0 +1,171 @@
+package op
+
+import "repro/internal/rng"
+
+// NPointInt is the classic n-point crossover on integer vectors (the survey
+// names the n-point crossover among the classic methods). It does not
+// preserve permutations; use it on assignment vectors or with a repair step.
+func NPointInt(points int) func(r *rng.RNG, a, b []int) ([]int, []int) {
+	if points < 1 {
+		panic("op: n-point crossover needs n >= 1")
+	}
+	return func(r *rng.RNG, a, b []int) ([]int, []int) {
+		n := len(a)
+		c1 := make([]int, n)
+		c2 := make([]int, n)
+		// Draw cut points; duplicates merely merge segments.
+		cuts := make([]bool, n+1)
+		for k := 0; k < points; k++ {
+			cuts[r.Intn(n+1)] = true
+		}
+		fromA := true
+		for i := 0; i < n; i++ {
+			if cuts[i] {
+				fromA = !fromA
+			}
+			if fromA {
+				c1[i], c2[i] = a[i], b[i]
+			} else {
+				c1[i], c2[i] = b[i], a[i]
+			}
+		}
+		return c1, c2
+	}
+}
+
+// PPX is the precedence-preservative crossover for operation sequences: a
+// random mask decides, position by position, which parent donates its
+// leftmost not-yet-used token, so every precedence relation of the child
+// exists in one of its parents. The token multiset is preserved exactly.
+func PPX(numJobs int) func(r *rng.RNG, a, b []int) ([]int, []int) {
+	return func(r *rng.RNG, a, b []int) ([]int, []int) {
+		mask := make([]bool, len(a))
+		for i := range mask {
+			mask[i] = r.Bool(0.5)
+		}
+		return ppxChild(a, b, mask, numJobs), ppxChild(b, a, mask, numJobs)
+	}
+}
+
+func ppxChild(a, b []int, mask []bool, numJobs int) []int {
+	n := len(a)
+	child := make([]int, 0, n)
+	// taken[j] counts how many tokens of job j are already in the child;
+	// each parent pointer skips tokens whose quota is consumed.
+	taken := make([]int, numJobs)
+	ai, bi := 0, 0
+	advance := func(seq []int, idx int) int {
+		for idx < len(seq) {
+			j := seq[idx]
+			// Count occurrences of j up to idx in seq.
+			cnt := 0
+			for k := 0; k <= idx; k++ {
+				if seq[k] == j {
+					cnt++
+				}
+			}
+			if cnt > taken[j] {
+				return idx
+			}
+			idx++
+		}
+		return idx
+	}
+	for len(child) < n {
+		var src []int
+		var idx *int
+		if mask[len(child)] {
+			src, idx = a, &ai
+		} else {
+			src, idx = b, &bi
+		}
+		*idx = advance(src, *idx)
+		if *idx >= len(src) {
+			// Donor exhausted (can happen if the other parent consumed all
+			// remaining tokens): fall back to the other parent.
+			if mask[len(child)] {
+				src, idx = b, &bi
+			} else {
+				src, idx = a, &ai
+			}
+			*idx = advance(src, *idx)
+		}
+		j := src[*idx]
+		child = append(child, j)
+		taken[j]++
+	}
+	return child
+}
+
+// AlignByLCS reorders b's genes so that a longest common subsequence of a
+// and b sits at a's positions, maximising positional agreement before a
+// positional crossover — the "longest common substring and rearranging of
+// the chromosomes chosen in the mating pool" idea of Huang et al. [24].
+// The result contains exactly b's multiset; a is untouched.
+func AlignByLCS(a, b []int) []int {
+	n := len(a)
+	if len(b) != n {
+		panic("op: AlignByLCS needs equal lengths")
+	}
+	// Standard LCS dynamic program.
+	dp := make([][]int16, n+1)
+	for i := range dp {
+		dp[i] = make([]int16, n+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := n - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	// Recover one LCS as index pairs.
+	type pair struct{ ia, ib int }
+	var lcs []pair
+	for i, j := 0, 0; i < n && j < n; {
+		switch {
+		case a[i] == b[j]:
+			lcs = append(lcs, pair{i, j})
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	out := make([]int, n)
+	usedPos := make([]bool, n)
+	usedB := make([]bool, n)
+	for _, p := range lcs {
+		out[p.ia] = b[p.ib]
+		usedPos[p.ia] = true
+		usedB[p.ib] = true
+	}
+	// Fill the remaining positions with b's unused genes in order.
+	bi := 0
+	for i := 0; i < n; i++ {
+		if usedPos[i] {
+			continue
+		}
+		for usedB[bi] {
+			bi++
+		}
+		out[i] = b[bi]
+		usedB[bi] = true
+	}
+	return out
+}
+
+// LCSAlignedCrossover wraps a positional crossover with Huang's mating-pool
+// rearrangement: the second parent is LCS-aligned to the first before the
+// inner crossover runs, so common subsequences survive recombination.
+func LCSAlignedCrossover(inner func(r *rng.RNG, a, b []int) ([]int, []int)) func(r *rng.RNG, a, b []int) ([]int, []int) {
+	return func(r *rng.RNG, a, b []int) ([]int, []int) {
+		return inner(r, a, AlignByLCS(a, b))
+	}
+}

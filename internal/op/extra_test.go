@@ -1,0 +1,172 @@
+package op
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNPointIntComplementary(t *testing.T) {
+	r := rng.New(300)
+	cross := NPointInt(3)
+	a := []int{1, 1, 1, 1, 1, 1, 1, 1}
+	b := []int{2, 2, 2, 2, 2, 2, 2, 2}
+	for trial := 0; trial < 100; trial++ {
+		c1, c2 := cross(r, a, b)
+		for i := range c1 {
+			if c1[i]+c2[i] != 3 {
+				t.Fatalf("children not complementary at %d: %v %v", i, c1, c2)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	NPointInt(0)
+}
+
+func TestNPointIntActuallyMixes(t *testing.T) {
+	r := rng.New(301)
+	cross := NPointInt(2)
+	a := []int{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	b := []int{2, 2, 2, 2, 2, 2, 2, 2, 2, 2}
+	mixed := false
+	for trial := 0; trial < 50 && !mixed; trial++ {
+		c1, _ := cross(r, a, b)
+		has1, has2 := false, false
+		for _, v := range c1 {
+			if v == 1 {
+				has1 = true
+			}
+			if v == 2 {
+				has2 = true
+			}
+		}
+		mixed = has1 && has2
+	}
+	if !mixed {
+		t.Fatal("2-point crossover never mixed parents")
+	}
+}
+
+func TestPPXPreservesMultisetAndPrecedence(t *testing.T) {
+	r := rng.New(302)
+	const jobs, opsPer = 5, 4
+	cross := PPX(jobs)
+	for trial := 0; trial < 150; trial++ {
+		a := randomOpSeq(r, jobs, opsPer)
+		b := randomOpSeq(r, jobs, opsPer)
+		c1, c2 := cross(r, a, b)
+		if !sameMultiset(a, c1) || !sameMultiset(a, c2) {
+			t.Fatalf("PPX broke the multiset: %v -> %v / %v", a, c1, c2)
+		}
+	}
+}
+
+func TestPPXExtremeMasksCopyParents(t *testing.T) {
+	a := []int{0, 1, 0, 2, 1, 2}
+	b := []int{2, 2, 1, 1, 0, 0}
+	allA := make([]bool, len(a))
+	for i := range allA {
+		allA[i] = true
+	}
+	got := ppxChild(a, b, allA, 3)
+	for i := range a {
+		if got[i] != a[i] {
+			t.Fatalf("all-A mask child = %v, want parent A %v", got, a)
+		}
+	}
+	got = ppxChild(a, b, make([]bool, len(a)), 3)
+	for i := range b {
+		if got[i] != b[i] {
+			t.Fatalf("all-B mask child = %v, want parent B %v", got, b)
+		}
+	}
+}
+
+func TestAlignByLCSIdentity(t *testing.T) {
+	a := []int{3, 1, 4, 1, 5}
+	out := AlignByLCS(a, append([]int(nil), a...))
+	for i := range a {
+		if out[i] != a[i] {
+			t.Fatalf("self-alignment changed the genome: %v", out)
+		}
+	}
+}
+
+func TestAlignByLCSPreservesMultiset(t *testing.T) {
+	r := rng.New(303)
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		n := len(raw)
+		if n > 30 {
+			n = 30
+		}
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = int(raw[i] % 6)
+		}
+		copy(b, a)
+		r.Shuffle(n, func(i, j int) { b[i], b[j] = b[j], b[i] })
+		out := AlignByLCS(a, b)
+		if !sameMultiset(b, out) {
+			return false
+		}
+		// Alignment must not reduce positional agreement below the
+		// unaligned level.
+		agreeBefore, agreeAfter := 0, 0
+		for i := 0; i < n; i++ {
+			if a[i] == b[i] {
+				agreeBefore++
+			}
+			if a[i] == out[i] {
+				agreeAfter++
+			}
+		}
+		return agreeAfter >= agreeBefore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignByLCSImprovesAgreement(t *testing.T) {
+	a := []int{0, 1, 2, 3, 4, 5}
+	b := []int{5, 0, 1, 2, 3, 4} // rotated: zero positional agreement
+	out := AlignByLCS(a, b)
+	agree := 0
+	for i := range a {
+		if out[i] == a[i] {
+			agree++
+		}
+	}
+	if agree < 5 {
+		t.Fatalf("alignment found only %d agreements: %v", agree, out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	AlignByLCS([]int{1}, []int{1, 2})
+}
+
+func TestLCSAlignedCrossover(t *testing.T) {
+	r := rng.New(304)
+	const jobs, opsPer = 4, 3
+	cross := LCSAlignedCrossover(SeqOnePoint(jobs))
+	for trial := 0; trial < 100; trial++ {
+		a := randomOpSeq(r, jobs, opsPer)
+		b := randomOpSeq(r, jobs, opsPer)
+		c1, c2 := cross(r, a, b)
+		if !sameMultiset(a, c1) || !sameMultiset(a, c2) {
+			t.Fatalf("aligned crossover broke the multiset")
+		}
+	}
+}

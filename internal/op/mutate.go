@@ -1,0 +1,100 @@
+package op
+
+import "repro/internal/rng"
+
+// Mutations. The survey's Section III.A notes that shop scheduling
+// mutations are neighbourhood moves rather than bit flips: the swap
+// (pairwise-interchange) and shift (insertion) neighbourhoods keep genomes
+// feasible by construction.
+
+// SwapMutation exchanges two random positions (pairwise interchange /
+// swap-neighbourhood mutation).
+func SwapMutation(r *rng.RNG, g []int) {
+	n := len(g)
+	if n < 2 {
+		return
+	}
+	i, j := r.Intn(n), r.Intn(n)
+	g[i], g[j] = g[j], g[i]
+}
+
+// ShiftMutation removes a random element and reinserts it at a random
+// position (insertion-neighbourhood mutation).
+func ShiftMutation(r *rng.RNG, g []int) {
+	n := len(g)
+	if n < 2 {
+		return
+	}
+	from := r.Intn(n)
+	to := r.Intn(n)
+	if from == to {
+		return
+	}
+	v := g[from]
+	if from < to {
+		copy(g[from:], g[from+1:to+1])
+	} else {
+		copy(g[to+1:], g[to:from])
+	}
+	g[to] = v
+}
+
+// InvertMutation reverses a random subsequence (Kokosiński's invert
+// mutation).
+func InvertMutation(r *rng.RNG, g []int) {
+	n := len(g)
+	if n < 2 {
+		return
+	}
+	c1, c2 := twoCuts(r, n)
+	for i, j := c1, c2-1; i < j; i, j = i+1, j-1 {
+		g[i], g[j] = g[j], g[i]
+	}
+}
+
+// ScrambleMutation shuffles a random subsequence.
+func ScrambleMutation(r *rng.RNG, g []int) {
+	n := len(g)
+	if n < 2 {
+		return
+	}
+	c1, c2 := twoCuts(r, n)
+	seg := g[c1:c2]
+	r.Shuffle(len(seg), func(i, j int) { seg[i], seg[j] = seg[j], seg[i] })
+}
+
+// ResetWithin returns a mutation that assigns one random position a fresh
+// value below its positional limit — the machine-reassignment mutation for
+// flexible shop assignment vectors, where limits[i] is the number of
+// eligible machines of operation i.
+func ResetWithin(limits []int) func(r *rng.RNG, g []int) {
+	return func(r *rng.RNG, g []int) {
+		if len(g) == 0 {
+			return
+		}
+		i := r.Intn(len(g))
+		if i < len(limits) && limits[i] > 0 {
+			g[i] = r.Intn(limits[i])
+		}
+	}
+}
+
+// GaussianKeys perturbs each key with probability perKey by N(0, sigma)
+// (Zajicek & Šucha's Gaussian mutation on real-coded genomes).
+func GaussianKeys(sigma, perKey float64) func(r *rng.RNG, g []float64) {
+	return func(r *rng.RNG, g []float64) {
+		for i := range g {
+			if r.Bool(perKey) {
+				g[i] += r.NormFloat64() * sigma
+			}
+		}
+	}
+}
+
+// ResetKeys redraws one random key uniformly in [0,1).
+func ResetKeys(r *rng.RNG, g []float64) {
+	if len(g) == 0 {
+		return
+	}
+	g[r.Intn(len(g))] = r.Float64()
+}

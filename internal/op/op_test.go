@@ -1,0 +1,456 @@
+package op
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func isPermutation(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func sameMultiset(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := map[int]int{}
+	for _, v := range a {
+		count[v]++
+	}
+	for _, v := range b {
+		count[v]--
+	}
+	for _, c := range count {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPermutationCrossoversPreserveValidity(t *testing.T) {
+	r := rng.New(100)
+	ops := map[string]core.Crossover[[]int]{
+		"PMX": PMX, "OX": OX, "LOX": LOX, "CX": CX,
+	}
+	for name, cross := range ops {
+		for trial := 0; trial < 200; trial++ {
+			n := r.Intn(20) + 2
+			a, b := r.Perm(n), r.Perm(n)
+			ac := append([]int(nil), a...)
+			bc := append([]int(nil), b...)
+			c1, c2 := cross(r, a, b)
+			if !isPermutation(c1) || !isPermutation(c2) {
+				t.Fatalf("%s produced invalid child: %v / %v", name, c1, c2)
+			}
+			// Parents untouched.
+			for i := range a {
+				if a[i] != ac[i] || b[i] != bc[i] {
+					t.Fatalf("%s modified a parent", name)
+				}
+			}
+		}
+	}
+}
+
+func TestPMXKeepsSegment(t *testing.T) {
+	a := []int{0, 1, 2, 3, 4}
+	b := []int{4, 3, 2, 1, 0}
+	c := pmxChild(a, b, 1, 3)
+	if c[1] != b[1] || c[2] != b[2] {
+		t.Fatalf("segment not copied: %v", c)
+	}
+	if !isPermutation(c) {
+		t.Fatalf("invalid child %v", c)
+	}
+}
+
+func TestCXPositionsFromParents(t *testing.T) {
+	r := rng.New(101)
+	for trial := 0; trial < 100; trial++ {
+		n := r.Intn(15) + 2
+		a, b := r.Perm(n), r.Perm(n)
+		c1, c2 := CX(r, a, b)
+		for i := range a {
+			if c1[i] != a[i] && c1[i] != b[i] {
+				t.Fatalf("CX child1[%d]=%d from neither parent", i, c1[i])
+			}
+			if c2[i] != a[i] && c2[i] != b[i] {
+				t.Fatalf("CX child2[%d]=%d from neither parent", i, c2[i])
+			}
+		}
+	}
+}
+
+func randomOpSeq(r *rng.RNG, jobs, opsPer int) []int {
+	seq := make([]int, 0, jobs*opsPer)
+	for j := 0; j < jobs; j++ {
+		for k := 0; k < opsPer; k++ {
+			seq = append(seq, j)
+		}
+	}
+	r.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+	return seq
+}
+
+func TestSequenceCrossoversPreserveMultiset(t *testing.T) {
+	r := rng.New(102)
+	const jobs, opsPer = 6, 4
+	crossers := map[string]core.Crossover[[]int]{
+		"JOX":         JOX(jobs),
+		"SeqOnePoint": SeqOnePoint(jobs),
+		"MSXF":        MSXF(12, 0.3),
+	}
+	for name, cross := range crossers {
+		for trial := 0; trial < 150; trial++ {
+			a := randomOpSeq(r, jobs, opsPer)
+			b := randomOpSeq(r, jobs, opsPer)
+			c1, c2 := cross(r, a, b)
+			if !sameMultiset(a, c1) || !sameMultiset(a, c2) {
+				t.Fatalf("%s broke the token multiset", name)
+			}
+		}
+	}
+}
+
+func TestSeqOnePointPrefix(t *testing.T) {
+	// With cut = len, child1 equals parent1.
+	a := []int{0, 1, 0, 1}
+	b := []int{1, 1, 0, 0}
+	c := seqFill(a, b, 4, 2)
+	for i := range a {
+		if c[i] != a[i] {
+			t.Fatalf("full-cut child differs: %v", c)
+		}
+	}
+	// With cut = 0, child1 is parent2.
+	c = seqFill(a, b, 0, 2)
+	for i := range b {
+		if c[i] != b[i] {
+			t.Fatalf("zero-cut child differs: %v", c)
+		}
+	}
+}
+
+func TestMSXFMovesTowardSecondParent(t *testing.T) {
+	r := rng.New(103)
+	a := []int{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	b := []int{2, 2, 2, 1, 1, 1, 0, 0, 0}
+	total, reduced := 0, 0
+	for trial := 0; trial < 50; trial++ {
+		c := msxfChild(r, a, b, 30, 0.1)
+		if hamming(c, b) < hamming(a, b) {
+			reduced++
+		}
+		total++
+	}
+	if reduced < total/2 {
+		t.Errorf("MSXF reduced distance in only %d/%d trials", reduced, total)
+	}
+}
+
+func TestKeysCrossovers(t *testing.T) {
+	r := rng.New(104)
+	a := []float64{0.1, 0.2, 0.3, 0.4}
+	b := []float64{0.9, 0.8, 0.7, 0.6}
+	for name, cross := range map[string]core.Crossover[[]float64]{
+		"uniform":       UniformKeys,
+		"parameterized": ParameterizedUniformKeys(0.8),
+		"one-point":     OnePointKeys,
+	} {
+		c1, c2 := cross(r, a, b)
+		for i := range a {
+			if (c1[i] != a[i] && c1[i] != b[i]) || (c2[i] != a[i] && c2[i] != b[i]) {
+				t.Fatalf("%s: key from neither parent", name)
+			}
+			if (c1[i] == a[i]) != (c2[i] == b[i]) {
+				t.Fatalf("%s: children not complementary", name)
+			}
+		}
+	}
+	c1, c2 := ArithmeticKeys(r, a, b)
+	for i := range a {
+		lo, hi := math.Min(a[i], b[i]), math.Max(a[i], b[i])
+		if c1[i] < lo-1e-12 || c1[i] > hi+1e-12 || c2[i] < lo-1e-12 || c2[i] > hi+1e-12 {
+			t.Fatalf("arithmetic child outside hull at %d", i)
+		}
+		if math.Abs(c1[i]+c2[i]-(a[i]+b[i])) > 1e-12 {
+			t.Fatalf("arithmetic children don't conserve the sum at %d", i)
+		}
+	}
+}
+
+func TestParameterizedBias(t *testing.T) {
+	r := rng.New(105)
+	a := make([]float64, 1000)
+	b := make([]float64, 1000)
+	for i := range a {
+		a[i], b[i] = 1, 0
+	}
+	c1, _ := ParameterizedUniformKeys(0.9)(r, a, b)
+	ones := 0
+	for _, v := range c1 {
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones < 850 || ones > 950 {
+		t.Errorf("bias 0.9 gave %d/1000 keys from the first parent", ones)
+	}
+}
+
+func TestIntMutationsPreserveMultiset(t *testing.T) {
+	r := rng.New(106)
+	muts := map[string]core.Mutation[[]int]{
+		"swap": SwapMutation, "shift": ShiftMutation,
+		"invert": InvertMutation, "scramble": ScrambleMutation,
+	}
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		g := make([]int, len(raw))
+		for i, v := range raw {
+			g[i] = int(v)
+		}
+		for _, mut := range muts {
+			c := append([]int(nil), g...)
+			mut(r, c)
+			if !sameMultiset(g, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftMutationExactMove(t *testing.T) {
+	// Deterministically test the re-insertion logic both directions.
+	g := []int{0, 1, 2, 3, 4}
+	// Simulate from=1, to=3 by calling the internals through many seeds and
+	// checking one case by hand instead: use a crafted copy.
+	moved := append([]int(nil), g...)
+	// from < to path.
+	from, to, v := 1, 3, moved[1]
+	copy(moved[from:], moved[from+1:to+1])
+	moved[to] = v
+	want := []int{0, 2, 3, 1, 4}
+	for i := range want {
+		if moved[i] != want[i] {
+			t.Fatalf("forward shift = %v", moved)
+		}
+	}
+	moved = append([]int(nil), g...)
+	from, to, v = 3, 1, moved[3]
+	copy(moved[to+1:], moved[to:from])
+	moved[to] = v
+	want = []int{0, 3, 1, 2, 4}
+	for i := range want {
+		if moved[i] != want[i] {
+			t.Fatalf("backward shift = %v", moved)
+		}
+	}
+}
+
+func TestInvertMutationReverses(t *testing.T) {
+	r := rng.New(107)
+	g := []int{5, 4, 3, 2, 1, 0}
+	before := append([]int(nil), g...)
+	InvertMutation(r, g)
+	if !sameMultiset(before, g) {
+		t.Fatal("invert broke multiset")
+	}
+}
+
+func TestResetWithin(t *testing.T) {
+	r := rng.New(108)
+	limits := []int{3, 1, 5, 2}
+	mut := ResetWithin(limits)
+	g := []int{0, 0, 0, 0}
+	for trial := 0; trial < 200; trial++ {
+		mut(r, g)
+		for i, v := range g {
+			if v < 0 || v >= limits[i] {
+				t.Fatalf("position %d got %d, limit %d", i, v, limits[i])
+			}
+		}
+	}
+	mut(r, nil) // must not panic
+}
+
+func TestGaussianAndResetKeys(t *testing.T) {
+	r := rng.New(109)
+	g := make([]float64, 100)
+	GaussianKeys(0.1, 1.0)(r, g)
+	changed := 0
+	for _, v := range g {
+		if v != 0 {
+			changed++
+		}
+	}
+	if changed < 90 {
+		t.Errorf("perKey=1 changed only %d keys", changed)
+	}
+	h := make([]float64, 4)
+	ResetKeys(r, h)
+	nonzero := 0
+	for _, v := range h {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Errorf("ResetKeys changed %d keys", nonzero)
+	}
+	ResetKeys(r, nil) // must not panic
+}
+
+func fitPop(fits ...float64) []core.Individual[int] {
+	pop := make([]core.Individual[int], len(fits))
+	for i, f := range fits {
+		pop[i] = core.Individual[int]{Genome: i, Fit: f, Obj: -f}
+	}
+	return pop
+}
+
+func TestTournamentFavorsFit(t *testing.T) {
+	r := rng.New(110)
+	pop := fitPop(1, 2, 3, 4, 100)
+	sel := Tournament[int](3)
+	hits := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if sel(r, pop) == 4 {
+			hits++
+		}
+	}
+	// P(best in 3 draws) = 1-(4/5)^3 = 0.488.
+	if hits < trials/3 || hits > 2*trials/3 {
+		t.Errorf("best picked %d/%d times", hits, trials)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k=0")
+		}
+	}()
+	Tournament[int](0)
+}
+
+func TestRouletteProportional(t *testing.T) {
+	r := rng.New(111)
+	pop := fitPop(1, 3)
+	sel := RouletteWheel[int]()
+	count := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if sel(r, pop) == 1 {
+			count++
+		}
+	}
+	got := float64(count) / trials
+	if math.Abs(got-0.75) > 0.02 {
+		t.Errorf("heavier individual frequency = %v, want ~0.75", got)
+	}
+	// Zero-fitness fallback must be uniform, not panic.
+	zero := fitPop(0, 0, 0)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[sel(r, zero)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("zero-fitness roulette not uniform")
+	}
+}
+
+func TestElitistRoulette(t *testing.T) {
+	r := rng.New(112)
+	pop := fitPop(1, 2, 50)
+	sel := ElitistRoulette[int](1.0)
+	for i := 0; i < 20; i++ {
+		if sel(r, pop) != 2 {
+			t.Fatal("eliteProb=1 must always return the best")
+		}
+	}
+}
+
+func TestRankingSelection(t *testing.T) {
+	r := rng.New(113)
+	// Huge fitness gap, but ranking only sees ranks: frequencies follow
+	// linear ranking, not proportions.
+	pop := fitPop(1, 2, 1e9)
+	sel := Ranking[int](2.0)
+	counts := make([]int, 3)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		counts[sel(r, pop)]++
+	}
+	// Weights with sp=2: worst 0, middle 1, best 2.
+	if counts[0] != 0 {
+		t.Errorf("worst selected %d times with sp=2", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("best/middle ratio = %v, want ~2", ratio)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for sp out of range")
+		}
+	}()
+	Ranking[int](3)
+}
+
+func TestSUSCoversProportionally(t *testing.T) {
+	r := rng.New(114)
+	pop := fitPop(1, 1, 2) // total 4, n=3: expected picks 0.75,0.75,1.5
+	sel := SUS[int]()
+	counts := make([]int, 3)
+	const rounds = 3000
+	for i := 0; i < rounds*len(pop); i++ {
+		counts[sel(r, pop)]++
+	}
+	frac2 := float64(counts[2]) / float64(rounds*3)
+	if math.Abs(frac2-0.5) > 0.03 {
+		t.Errorf("SUS heavy individual frequency %v, want ~0.5", frac2)
+	}
+	// Zero fitness: uniform fallback.
+	selZ := SUS[int]()
+	zero := fitPop(0, 0)
+	seen := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		seen[selZ(r, zero)] = true
+	}
+	if len(seen) == 0 {
+		t.Error("SUS zero-fitness broken")
+	}
+}
+
+func TestBestAndRandomSelection(t *testing.T) {
+	r := rng.New(115)
+	pop := fitPop(5, 9, 1)
+	if BestSelection[int]()(r, pop) != 1 {
+		t.Error("BestSelection wrong")
+	}
+	seen := map[int]bool{}
+	sel := RandomSelection[int]()
+	for i := 0; i < 100; i++ {
+		seen[sel(r, pop)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("random selection coverage %v", seen)
+	}
+}

@@ -1,0 +1,181 @@
+package qga
+
+import (
+	"testing"
+
+	"repro/internal/decode"
+	"repro/internal/rng"
+	"repro/internal/shop"
+)
+
+func stochastic(t *testing.T) *StochasticJSSP {
+	t.Helper()
+	base := shop.GenerateJobShop("sjs", 5, 4, 123, 321)
+	return NewStochastic(base, 8, 0.15, 99)
+}
+
+func TestNewStochasticShape(t *testing.T) {
+	s := stochastic(t)
+	if len(s.Scenarios) != 8 {
+		t.Fatalf("scenarios = %d", len(s.Scenarios))
+	}
+	for k, inst := range s.Scenarios {
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("scenario %d invalid: %v", k, err)
+		}
+		if inst.TotalOps() != s.Base.TotalOps() {
+			t.Fatalf("scenario %d shape changed", k)
+		}
+	}
+	// Scenarios differ from the base and from each other somewhere.
+	diff := false
+	for _, inst := range s.Scenarios {
+		for j := range inst.Jobs {
+			for o := range inst.Jobs[j].Ops {
+				if inst.Jobs[j].Ops[o].Times[0] != s.Base.Jobs[j].Ops[o].Times[0] {
+					diff = true
+				}
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("sampling produced identical scenarios")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero scenarios")
+		}
+	}()
+	NewStochastic(s.Base, 0, 0.1, 1)
+}
+
+func TestExpectedMakespanBounds(t *testing.T) {
+	s := stochastic(t)
+	r := rng.New(7)
+	seq := decode.RandomOpSequence(s.Base, r)
+	exp := s.ExpectedMakespan(seq)
+	lo, hi := 1<<30, 0
+	for _, inst := range s.Scenarios {
+		ms := decode.JobShop(inst, seq).Makespan()
+		if ms < lo {
+			lo = ms
+		}
+		if ms > hi {
+			hi = ms
+		}
+	}
+	if exp < float64(lo) || exp > float64(hi) {
+		t.Fatalf("expected makespan %v outside [%d, %d]", exp, lo, hi)
+	}
+}
+
+func TestProblemAdapter(t *testing.T) {
+	s := stochastic(t)
+	p := s.Problem()
+	r := rng.New(3)
+	g := p.Random(r)
+	if err := decode.CountOpSequence(s.Base, g); err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Evaluate(g); v <= 0 {
+		t.Fatalf("objective %v", v)
+	}
+	c := p.Clone(g)
+	c[0] = -1
+	if g[0] == -1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestDecodeBitsProducesValidSequence(t *testing.T) {
+	s := stochastic(t)
+	q := NewQGA(s, rng.New(5), Config{Pop: 4, Bits: 3})
+	for trial := 0; trial < 20; trial++ {
+		bits := q.observe(q.thetas[trial%len(q.thetas)])
+		seq := q.decodeBits(bits)
+		if err := decode.CountOpSequence(s.Base, seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQGAImproves(t *testing.T) {
+	s := stochastic(t)
+	q := NewQGA(s, rng.New(11), Config{Pop: 16, Generations: 30})
+	q.Step()
+	first, _ := q.Best()
+	obj, seq := q.Run()
+	if obj > first {
+		t.Fatalf("best worsened: %v -> %v", first, obj)
+	}
+	if err := decode.CountOpSequence(s.Base, seq); err != nil {
+		t.Fatal(err)
+	}
+	if q.Evaluations() != int64(16*30) {
+		t.Fatalf("evaluations = %d", q.Evaluations())
+	}
+}
+
+func TestQGADeterministic(t *testing.T) {
+	s := stochastic(t)
+	run := func() float64 {
+		q := NewQGA(s, rng.New(21), Config{Pop: 10, Generations: 15})
+		obj, _ := q.Run()
+		return obj
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("QGA not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestInjectBestOnlyImproves(t *testing.T) {
+	s := stochastic(t)
+	q := NewQGA(s, rng.New(31), Config{Pop: 6, Generations: 5})
+	q.Run()
+	before, _ := q.Best()
+	// Worse injection is ignored.
+	q.InjectBest(make([]bool, q.chromosomeLen()), before+100)
+	if after, _ := q.Best(); after != before {
+		t.Fatalf("worse injection accepted: %v -> %v", before, after)
+	}
+	// Better injection is adopted.
+	q.InjectBest(q.BestBits(), before-1)
+	if after, _ := q.Best(); after != before-1 {
+		t.Fatalf("better injection rejected: %v", after)
+	}
+}
+
+func TestStarPQGA(t *testing.T) {
+	s := stochastic(t)
+	res := StarPQGA(s, rng.New(41), 4, 3, 5, Config{Pop: 8})
+	if len(res.PerIsland) != 4 {
+		t.Fatalf("per-island results = %d", len(res.PerIsland))
+	}
+	for i, obj := range res.PerIsland {
+		if obj < res.BestObj {
+			t.Fatalf("island %d better than global best", i)
+		}
+	}
+	if err := decode.CountOpSequence(s.Base, res.BestSeq); err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != int64(4*8*3*5) {
+		t.Fatalf("evaluations = %d", res.Evaluations)
+	}
+	// Broadcast pulls leaves close to the global best.
+	spread := 0.0
+	for _, obj := range res.PerIsland {
+		if d := obj - res.BestObj; d > spread {
+			spread = d
+		}
+	}
+	if spread > res.BestObj {
+		t.Errorf("island bests far apart after penetration migration: %v", spread)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero islands")
+		}
+	}()
+	StarPQGA(s, rng.New(1), 0, 1, 1, Config{})
+}

@@ -1,0 +1,44 @@
+package rng
+
+// Taillard is the portable linear congruential generator used by Taillard
+// (1993, "Benchmarks for basic scheduling problems") to publish his flow shop
+// and job shop instances. Reimplementing it lets the instance generator
+// regenerate the classic ta-series matrices from their published seeds.
+//
+// The recurrence is seed = 16807*seed mod (2^31-1), computed with the
+// Schrage decomposition 2^31-1 = 16807*127773 + 2836.
+type Taillard struct {
+	seed int32
+}
+
+// NewTaillard returns the generator initialised with a published seed.
+// Seeds must lie in [1, 2^31-2].
+func NewTaillard(seed int32) *Taillard {
+	if seed <= 0 || seed >= 2147483647 {
+		panic("rng: Taillard seed out of range [1, 2^31-2]")
+	}
+	return &Taillard{seed: seed}
+}
+
+const (
+	taA = 16807
+	taB = 127773
+	taC = 2836
+	taM = 2147483647
+)
+
+// next advances the LCG and returns a float in (0,1).
+func (t *Taillard) next() float64 {
+	k := t.seed / taB
+	t.seed = taA*(t.seed%taB) - k*taC
+	if t.seed < 0 {
+		t.seed += taM
+	}
+	return float64(t.seed) / float64(taM)
+}
+
+// Unif returns an integer uniformly distributed in [low, high], exactly as
+// Taillard's unif() does, so generated matrices match the published ones.
+func (t *Taillard) Unif(low, high int) int {
+	return low + int(t.next()*float64(high-low+1))
+}

@@ -1,0 +1,30 @@
+package shop
+
+// FT06Optimum is the proven optimal makespan of the Fisher-Thompson 6x6
+// job shop instance.
+const FT06Optimum = 55
+
+// FT06 returns the classic Fisher & Thompson (1963) 6-job 6-machine job shop
+// instance ("mt06"/"ft06"), the standard small benchmark whose known optimum
+// (55) anchors the correctness of decoders and GA configurations in tests
+// and experiments.
+func FT06() *Instance {
+	// Each row: (machine, duration) pairs in technological order.
+	data := [6][6][2]int{
+		{{2, 1}, {0, 3}, {1, 6}, {3, 7}, {5, 3}, {4, 6}},
+		{{1, 8}, {2, 5}, {4, 10}, {5, 10}, {0, 10}, {3, 4}},
+		{{2, 5}, {3, 4}, {5, 8}, {0, 9}, {1, 1}, {4, 7}},
+		{{1, 5}, {0, 5}, {2, 5}, {3, 3}, {4, 8}, {5, 9}},
+		{{2, 9}, {1, 3}, {4, 5}, {5, 4}, {0, 3}, {3, 1}},
+		{{1, 3}, {3, 3}, {5, 9}, {0, 10}, {4, 4}, {2, 1}},
+	}
+	in := &Instance{Name: "ft06", Kind: JobShop, NumMachines: 6, Jobs: make([]Job, 6)}
+	for j := range data {
+		ops := make([]Operation, 6)
+		for s, md := range data[j] {
+			ops[s] = Operation{Machines: []int{md[0]}, Times: []int{md[1]}}
+		}
+		in.Jobs[j] = Job{Ops: ops, Weight: 1}
+	}
+	return in
+}

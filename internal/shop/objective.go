@@ -1,0 +1,49 @@
+package shop
+
+import "math"
+
+// mathPow isolates the single math dependency of the schedule code.
+func mathPow(base, exp float64) float64 { return math.Pow(base, exp) }
+
+// Objective maps a feasible schedule to a scalar to be minimised. The
+// survey's Section II lists the four common optimality criteria implemented
+// here plus arbitrary weighted combinations of them.
+type Objective func(*Schedule) float64
+
+// Makespan is the C_max criterion.
+func Makespan(s *Schedule) float64 { return float64(s.Makespan()) }
+
+// TotalWeightedCompletion is the sum w_j C_j criterion.
+func TotalWeightedCompletion(s *Schedule) float64 { return s.TotalWeightedCompletion() }
+
+// TotalWeightedTardiness is the sum w_j T_j criterion.
+func TotalWeightedTardiness(s *Schedule) float64 { return s.TotalWeightedTardiness() }
+
+// TotalWeightedUnitPenalty is the sum w_j U_j criterion.
+func TotalWeightedUnitPenalty(s *Schedule) float64 { return s.TotalWeightedUnitPenalty() }
+
+// MaxTardiness is the T_max criterion used as the second objective by
+// Rashidi et al. [38].
+func MaxTardiness(s *Schedule) float64 { return float64(s.MaxTardiness()) }
+
+// Energy is the total energy criterion for speed-scaled schedules, used by
+// the energy-aware extensions the survey's Section II motivates.
+func Energy(s *Schedule) float64 { return s.Energy() }
+
+// Weighted combines objectives with fixed weights: sum_i w_i * f_i(s).
+// Rashidi et al. transform their bi-objective problem into exactly such a
+// single weighted objective, with different weight pairs on each island.
+func Weighted(weights []float64, objs ...Objective) Objective {
+	if len(weights) != len(objs) {
+		panic("shop: Weighted needs one weight per objective")
+	}
+	ws := append([]float64(nil), weights...)
+	fs := append([]Objective(nil), objs...)
+	return func(s *Schedule) float64 {
+		var sum float64
+		for i, f := range fs {
+			sum += ws[i] * f(s)
+		}
+		return sum
+	}
+}

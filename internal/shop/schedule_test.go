@@ -1,0 +1,247 @@
+package shop
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// twoJobInstance builds a tiny 2-job, 2-machine job shop:
+// job 0: M0(3) then M1(2); job 1: M1(4) then M0(1).
+func twoJobInstance() *Instance {
+	return &Instance{
+		Name: "tiny", Kind: JobShop, NumMachines: 2,
+		Jobs: []Job{
+			{Ops: []Operation{
+				{Machines: []int{0}, Times: []int{3}},
+				{Machines: []int{1}, Times: []int{2}},
+			}, Due: 5, Weight: 2},
+			{Ops: []Operation{
+				{Machines: []int{1}, Times: []int{4}},
+				{Machines: []int{0}, Times: []int{1}},
+			}, Due: 4, Weight: 3},
+		},
+	}
+}
+
+func feasibleSchedule(in *Instance) *Schedule {
+	return &Schedule{Inst: in, Ops: []Assignment{
+		{Job: 0, Op: 0, Machine: 0, Start: 0, End: 3},
+		{Job: 0, Op: 1, Machine: 1, Start: 4, End: 6},
+		{Job: 1, Op: 0, Machine: 1, Start: 0, End: 4},
+		{Job: 1, Op: 1, Machine: 0, Start: 4, End: 5},
+	}}
+}
+
+func TestObjectives(t *testing.T) {
+	s := feasibleSchedule(twoJobInstance())
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(); got != 6 {
+		t.Errorf("Makespan = %d", got)
+	}
+	c := s.CompletionTimes()
+	if c[0] != 6 || c[1] != 5 {
+		t.Errorf("CompletionTimes = %v", c)
+	}
+	// T0 = max(0, 6-5) = 1, T1 = max(0, 5-4) = 1.
+	tt := s.Tardiness()
+	if tt[0] != 1 || tt[1] != 1 {
+		t.Errorf("Tardiness = %v", tt)
+	}
+	if got := s.MaxTardiness(); got != 1 {
+		t.Errorf("MaxTardiness = %d", got)
+	}
+	if got := s.TotalWeightedCompletion(); got != 2*6+3*5 {
+		t.Errorf("TWC = %v", got)
+	}
+	if got := s.TotalWeightedTardiness(); got != 2*1+3*1 {
+		t.Errorf("TWT = %v", got)
+	}
+	if got := s.TotalWeightedUnitPenalty(); got != 5 {
+		t.Errorf("TWU = %v", got)
+	}
+	// Objective function wrappers agree with methods.
+	if Makespan(s) != 6 || MaxTardiness(s) != 1 {
+		t.Error("objective wrappers disagree")
+	}
+	w := Weighted([]float64{0.5, 2}, Makespan, TotalWeightedTardiness)
+	if got := w(s); math.Abs(got-(0.5*6+2*5)) > 1e-9 {
+		t.Errorf("Weighted = %v", got)
+	}
+}
+
+func TestWeightedPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Weighted([]float64{1}, Makespan, Energy)
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	in := twoJobInstance()
+	mutate := []struct {
+		name string
+		edit func(*Schedule)
+		want string
+	}{
+		{"bad job index", func(s *Schedule) { s.Ops[0].Job = 9 }, "references job"},
+		{"bad op index", func(s *Schedule) { s.Ops[0].Op = 9 }, "no op"},
+		{"duplicate op", func(s *Schedule) { s.Ops[1] = s.Ops[0] }, "twice"},
+		{"ineligible machine", func(s *Schedule) { s.Ops[0].Machine = 1 }, "ineligible"},
+		{"wrong duration", func(s *Schedule) { s.Ops[0].End = 99 }, "duration"},
+		{"before release", func(s *Schedule) {
+			s.Inst.Jobs[0].Release = 2
+		}, "release"},
+		{"machine overlap", func(s *Schedule) {
+			// Move job1 op1 on M0 to overlap job0 op0.
+			s.Ops[3].Start, s.Ops[3].End = 1, 2
+		}, "overlap"},
+		{"job on two machines", func(s *Schedule) {
+			// Job 1 op 1 on M0 [3,4) overlaps job 1 op 0 on M1 [0,4),
+			// without any machine overlap (M0 is free from t=3).
+			s.Ops[3].Start, s.Ops[3].End = 3, 4
+		}, "two machines"},
+		{"missing op", func(s *Schedule) { s.Ops = s.Ops[:3] }, "operations scheduled"},
+	}
+	for _, tc := range mutate {
+		s := feasibleSchedule(in)
+		// Deep-copy instance so release-date edits don't leak across cases.
+		inst := *in
+		jobs := append([]Job(nil), in.Jobs...)
+		inst.Jobs = jobs
+		s.Inst = &inst
+		tc.edit(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateTechnologicalOrder(t *testing.T) {
+	in := twoJobInstance()
+	s := &Schedule{Inst: in, Ops: []Assignment{
+		// Job 0 runs op 1 before op 0 — legal in an open shop, not here.
+		{Job: 0, Op: 1, Machine: 1, Start: 0, End: 2},
+		{Job: 0, Op: 0, Machine: 0, Start: 2, End: 5},
+		{Job: 1, Op: 0, Machine: 1, Start: 2, End: 6},
+		{Job: 1, Op: 1, Machine: 0, Start: 6, End: 7},
+	}}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "technological") {
+		t.Fatalf("expected technological-order violation, got %v", err)
+	}
+	in.Kind = OpenShop
+	if err := s.Validate(); err != nil {
+		t.Fatalf("open shop should accept reversed ops: %v", err)
+	}
+}
+
+func TestValidateSetupTimes(t *testing.T) {
+	in := twoJobInstance()
+	WithSetupTimes(in, 3, 3, 42) // all setups exactly 3
+	s := feasibleSchedule(in)
+	// M0: job0 [0,3) then job1 [4,5): gap 1 < setup 3 -> invalid.
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "setup") {
+		t.Fatalf("expected setup violation, got %v", err)
+	}
+	// Push both successors out to respect setups on M0 and M1:
+	// M0: job0 [0,3) + setup 3 -> job1 op1 at [6,7);
+	// M1: job1 [0,4) + setup 3 -> job0 op1 at [7,9).
+	s.Ops[3].Start, s.Ops[3].End = 6, 7
+	s.Ops[1].Start, s.Ops[1].End = 7, 9
+	if err := s.Validate(); err != nil {
+		t.Fatalf("schedule with setup gaps should validate: %v", err)
+	}
+}
+
+func TestValidateMissingInstance(t *testing.T) {
+	s := &Schedule{}
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected error for schedule without instance")
+	}
+}
+
+func TestEnergyUnitSpeed(t *testing.T) {
+	s := feasibleSchedule(twoJobInstance())
+	if got := s.Energy(); got != 3+2+4+1 {
+		t.Errorf("unit-speed energy = %v", got)
+	}
+}
+
+func TestEnergySpeedScaled(t *testing.T) {
+	in := twoJobInstance()
+	WithSpeedLevels(in, []float64{1, 2}, 2)
+	// Run job0 op0 at speed level 1 (factor 2): duration ceil(3/2)=2,
+	// energy 2*2^2 = 8.
+	s := &Schedule{Inst: in, Ops: []Assignment{
+		{Job: 0, Op: 0, Machine: 0, Start: 0, End: 2, Speed: 1},
+		{Job: 0, Op: 1, Machine: 1, Start: 4, End: 6},
+		{Job: 1, Op: 0, Machine: 1, Start: 0, End: 4},
+		{Job: 1, Op: 1, Machine: 0, Start: 4, End: 5},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := 8.0 + 2 + 4 + 1
+	if got := s.Energy(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Energy = %v want %v", got, want)
+	}
+	if got := Energy(s); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Energy objective = %v", got)
+	}
+	// Invalid speed index must be caught.
+	s.Ops[0].Speed = 5
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "speed") {
+		t.Fatalf("expected speed index error, got %v", err)
+	}
+}
+
+func TestScaledDuration(t *testing.T) {
+	if d := ScaledDuration(3, 2); d != 2 {
+		t.Errorf("ceil(3/2) = %d", d)
+	}
+	if d := ScaledDuration(4, 2); d != 2 {
+		t.Errorf("4/2 = %d", d)
+	}
+	if d := ScaledDuration(1, 10); d != 1 {
+		t.Errorf("min duration = %d", d)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	s := feasibleSchedule(twoJobInstance())
+	g := s.Gantt(40)
+	if !strings.Contains(g, "makespan=6") {
+		t.Errorf("missing makespan: %q", g)
+	}
+	if !strings.Contains(g, "M00") || !strings.Contains(g, "M01") {
+		t.Errorf("missing machine rows: %q", g)
+	}
+	if !strings.Contains(g, "0") || !strings.Contains(g, "1") {
+		t.Errorf("missing job marks: %q", g)
+	}
+	empty := &Schedule{Inst: twoJobInstance()}
+	if !strings.Contains(empty.Gantt(10), "empty") {
+		t.Error("empty schedule not labelled")
+	}
+	// Long schedules must be scaled down, not overflow.
+	long := feasibleSchedule(twoJobInstance())
+	for i := range long.Ops {
+		long.Ops[i].Start *= 100
+		long.Ops[i].End *= 100
+	}
+	lines := strings.Split(strings.TrimSpace(long.Gantt(50)), "\n")
+	for _, l := range lines[1:] {
+		if len(l) > 60 {
+			t.Errorf("row too wide (%d): %q", len(l), l)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package shopga bridges the shop scheduling substrate to the GA engine:
+// it wraps each machine environment and chromosome representation from the
+// survey as a core.Problem, and bundles sensible default operators for each
+// genome family. Experiments and examples compose these problems with any
+// of the parallel models.
+package shopga
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/decode"
+	"repro/internal/op"
+	"repro/internal/rng"
+	"repro/internal/shop"
+)
+
+func cloneInts(g []int) []int { return append([]int(nil), g...) }
+
+// FlowShopProblem is the permutation-encoded flow shop under an arbitrary
+// objective.
+func FlowShopProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]int] {
+	return core.FuncProblem[[]int]{
+		RandomFn:   func(r *rng.RNG) []int { return decode.RandomPermutation(in, r) },
+		EvaluateFn: func(g []int) float64 { return obj(decode.FlowShop(in, g)) },
+		CloneFn:    cloneInts,
+	}
+}
+
+// FlowShopMakespanProblem is the makespan special case using the fast
+// completion-row recurrence with pooled buffers (safe under the parallel
+// evaluators).
+func FlowShopMakespanProblem(in *shop.Instance) core.Problem[[]int] {
+	pool := sync.Pool{New: func() interface{} {
+		buf := make([]int, in.NumMachines)
+		return &buf
+	}}
+	return core.FuncProblem[[]int]{
+		RandomFn: func(r *rng.RNG) []int { return decode.RandomPermutation(in, r) },
+		EvaluateFn: func(g []int) float64 {
+			bufp := pool.Get().(*[]int)
+			ms := decode.FlowShopMakespan(in, g, *bufp)
+			pool.Put(bufp)
+			return float64(ms)
+		},
+		CloneFn: cloneInts,
+	}
+}
+
+// JobShopProblem is the operation-sequence-encoded job shop (the direct
+// representation of Section III.A) under an arbitrary objective.
+func JobShopProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]int] {
+	return core.FuncProblem[[]int]{
+		RandomFn:   func(r *rng.RNG) []int { return decode.RandomOpSequence(in, r) },
+		EvaluateFn: func(g []int) float64 { return obj(decode.JobShop(in, g)) },
+		CloneFn:    cloneInts,
+	}
+}
+
+// BlockingJobShopProblem is the job shop with blocking of AitZai et al.
+// [14]: the objective is the blocking makespan, with deadlocked
+// orientations penalised by the decoder.
+func BlockingJobShopProblem(in *shop.Instance) core.Problem[[]int] {
+	return core.FuncProblem[[]int]{
+		RandomFn: func(r *rng.RNG) []int { return decode.RandomOpSequence(in, r) },
+		EvaluateFn: func(g []int) float64 {
+			ms, _ := decode.Blocking(in, g)
+			return float64(ms)
+		},
+		CloneFn: cloneInts,
+	}
+}
+
+// OpenShopProblem is the open shop with the given decoding rule.
+func OpenShopProblem(in *shop.Instance, rule decode.OpenRule, obj shop.Objective) core.Problem[[]int] {
+	return core.FuncProblem[[]int]{
+		RandomFn:   func(r *rng.RNG) []int { return decode.RandomOpSequence(in, r) },
+		EvaluateFn: func(g []int) float64 { return obj(decode.OpenShop(in, g, rule)) },
+		CloneFn:    cloneInts,
+	}
+}
+
+// GTProblem encodes job shop schedules as priority vectors decoded by the
+// Giffler-Thompson active schedule builder (Mui et al. [17]).
+func GTProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]float64] {
+	total := in.TotalOps()
+	return core.FuncProblem[[]float64]{
+		RandomFn: func(r *rng.RNG) []float64 {
+			g := make([]float64, total)
+			for i := range g {
+				g[i] = r.Float64()
+			}
+			return g
+		},
+		EvaluateFn: func(g []float64) float64 { return obj(decode.GifflerThompson(in, g)) },
+		CloneFn:    func(g []float64) []float64 { return append([]float64(nil), g...) },
+	}
+}
+
+// FlexGenome is the two-chromosome genome of flexible shops (Belkadi et
+// al. [37]): a machine assignment per operation plus an operation sequence.
+type FlexGenome struct {
+	Assign []int
+	Seq    []int
+}
+
+// CloneFlex deep-copies a FlexGenome.
+func CloneFlex(g FlexGenome) FlexGenome {
+	return FlexGenome{Assign: cloneInts(g.Assign), Seq: cloneInts(g.Seq)}
+}
+
+// FlexibleProblem is the flexible job/flow shop with assignment+sequence
+// genomes, honouring sequence-dependent setups when the instance has them.
+func FlexibleProblem(in *shop.Instance, obj shop.Objective) core.Problem[FlexGenome] {
+	return core.FuncProblem[FlexGenome]{
+		RandomFn: func(r *rng.RNG) FlexGenome {
+			return FlexGenome{
+				Assign: decode.RandomAssignment(in, r),
+				Seq:    decode.RandomOpSequence(in, r),
+			}
+		},
+		EvaluateFn: func(g FlexGenome) float64 {
+			return obj(decode.Flexible(in, g.Assign, g.Seq, nil))
+		},
+		CloneFn: CloneFlex,
+	}
+}
+
+// EligibleCounts returns limits[i] = number of eligible machines of
+// flattened operation i (the ResetWithin mutation bound).
+func EligibleCounts(in *shop.Instance) []int {
+	limits := make([]int, 0, in.TotalOps())
+	for _, job := range in.Jobs {
+		for _, o := range job.Ops {
+			limits = append(limits, len(o.Machines))
+		}
+	}
+	return limits
+}
+
+// PermOps bundles tournament selection, order crossover and swap mutation
+// for permutation genomes (flow shop defaults).
+func PermOps() core.Operators[[]int] {
+	return core.Operators[[]int]{
+		Select: op.Tournament[[]int](2),
+		Cross:  op.OX,
+		Mutate: op.SwapMutation,
+	}
+}
+
+// SeqOps bundles tournament selection, job-order crossover and swap
+// mutation for operation-sequence genomes (job/open shop defaults).
+func SeqOps(in *shop.Instance) core.Operators[[]int] {
+	return core.Operators[[]int]{
+		Select: op.Tournament[[]int](2),
+		Cross:  op.JOX(len(in.Jobs)),
+		Mutate: op.SwapMutation,
+	}
+}
+
+// KeysOps bundles tournament selection, parameterized uniform crossover and
+// Gaussian mutation for random-keys genomes (GT priorities, Huang [24]).
+func KeysOps() core.Operators[[]float64] {
+	return core.Operators[[]float64]{
+		Select: op.Tournament[[]float64](2),
+		Cross:  op.ParameterizedUniformKeys(0.7),
+		Mutate: op.GaussianKeys(0.3, 0.1),
+	}
+}
+
+// FlexOps bundles operators acting on both chromosomes of a FlexGenome:
+// uniform crossover on assignments + job-order crossover on sequences, and
+// a mutation that flips a coin between machine reassignment and a sequence
+// swap (the structure of Belkadi et al.'s operators).
+func FlexOps(in *shop.Instance) core.Operators[FlexGenome] {
+	limits := EligibleCounts(in)
+	reset := op.ResetWithin(limits)
+	seqCross := op.JOX(len(in.Jobs))
+	return core.Operators[FlexGenome]{
+		Select: op.Tournament[FlexGenome](2),
+		Cross: func(r *rng.RNG, a, b FlexGenome) (FlexGenome, FlexGenome) {
+			a1, a2 := op.UniformInt(r, a.Assign, b.Assign)
+			s1, s2 := seqCross(r, a.Seq, b.Seq)
+			return FlexGenome{Assign: a1, Seq: s1}, FlexGenome{Assign: a2, Seq: s2}
+		},
+		Mutate: func(r *rng.RNG, g FlexGenome) {
+			if r.Bool(0.5) {
+				reset(r, g.Assign)
+			} else {
+				op.SwapMutation(r, g.Seq)
+			}
+		},
+	}
+}
+
+// SeqView exposes an operation sequence for diversity statistics.
+func SeqView(g []int) []int { return g }
+
+// FlexSeqView exposes a FlexGenome's sequence chromosome for diversity
+// statistics.
+func FlexSeqView(g FlexGenome) []int { return g.Seq }

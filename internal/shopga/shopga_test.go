@@ -1,0 +1,183 @@
+package shopga
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/decode"
+	"repro/internal/island"
+	"repro/internal/rng"
+	"repro/internal/shop"
+)
+
+func TestFlowShopProblemsAgree(t *testing.T) {
+	in := shop.GenerateFlowShop("f", 10, 5, 314)
+	general := FlowShopProblem(in, shop.Makespan)
+	fast := FlowShopMakespanProblem(in)
+	r := rng.New(1)
+	for i := 0; i < 30; i++ {
+		g := general.Random(r)
+		if a, b := general.Evaluate(g), fast.Evaluate(g); a != b {
+			t.Fatalf("objective mismatch: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestProblemCloneIndependence(t *testing.T) {
+	in := shop.FT06()
+	p := JobShopProblem(in, shop.Makespan)
+	r := rng.New(2)
+	g := p.Random(r)
+	c := p.Clone(g)
+	c[0] = c[0] + 1 // mutating the clone must not affect the original
+	if p.Evaluate(g) != p.Evaluate(append([]int(nil), g...)) {
+		t.Fatal("original genome was mutated through the clone")
+	}
+}
+
+func TestJobShopProblemMatchesDecoder(t *testing.T) {
+	in := shop.FT06()
+	p := JobShopProblem(in, shop.Makespan)
+	r := rng.New(3)
+	for i := 0; i < 20; i++ {
+		g := decode.RandomOpSequence(in, r)
+		if got, want := p.Evaluate(g), float64(decode.JobShop(in, g).Makespan()); got != want {
+			t.Fatalf("evaluate %v != decode %v", got, want)
+		}
+	}
+}
+
+func TestBlockingProblemPenalisesDeadlock(t *testing.T) {
+	in := &shop.Instance{
+		Name: "swap", Kind: shop.JobShop, NumMachines: 2,
+		Jobs: []shop.Job{
+			{Ops: []shop.Operation{
+				{Machines: []int{0}, Times: []int{3}},
+				{Machines: []int{1}, Times: []int{2}},
+			}, Weight: 1},
+			{Ops: []shop.Operation{
+				{Machines: []int{1}, Times: []int{4}},
+				{Machines: []int{0}, Times: []int{1}},
+			}, Weight: 1},
+		},
+	}
+	p := BlockingJobShopProblem(in)
+	if got := p.Evaluate([]int{0, 1, 0, 1}); got != 20 {
+		t.Fatalf("deadlock penalty = %v", got)
+	}
+	if got := p.Evaluate([]int{0, 0, 1, 1}); got != 10 {
+		t.Fatalf("feasible blocking makespan = %v", got)
+	}
+}
+
+func TestOpenShopAndGTProblems(t *testing.T) {
+	os := shop.GenerateOpenShop("o", 5, 4, 271)
+	p := OpenShopProblem(os, decode.LPTTask, shop.Makespan)
+	r := rng.New(4)
+	g := p.Random(r)
+	if v := p.Evaluate(g); v < float64(os.LowerBoundMakespan()) {
+		t.Fatalf("open shop objective %v below bound", v)
+	}
+
+	js := shop.FT06()
+	gt := GTProblem(js, shop.Makespan)
+	pri := gt.Random(r)
+	if len(pri) != js.TotalOps() {
+		t.Fatalf("priority vector length %d", len(pri))
+	}
+	if v := gt.Evaluate(pri); v < shop.FT06Optimum {
+		t.Fatalf("GT objective %v below optimum", v)
+	}
+	c := gt.Clone(pri)
+	c[0] = 99
+	if pri[0] == 99 {
+		t.Fatal("GT clone shares storage")
+	}
+}
+
+func TestFlexibleProblemAndOps(t *testing.T) {
+	in := shop.GenerateFlexibleJobShop("fj", 5, 4, 3, 3, 99)
+	shop.WithSetupTimes(in, 1, 4, 100)
+	p := FlexibleProblem(in, shop.Makespan)
+	ops := FlexOps(in)
+	r := rng.New(5)
+	a, b := p.Random(r), p.Random(r)
+	c1, c2 := ops.Cross(r, a, b)
+	for _, g := range []FlexGenome{c1, c2} {
+		if err := decode.CountOpSequence(in, g.Seq); err != nil {
+			t.Fatalf("crossover broke sequence: %v", err)
+		}
+		if len(g.Assign) != in.TotalOps() {
+			t.Fatalf("assignment length %d", len(g.Assign))
+		}
+		if v := p.Evaluate(g); v <= 0 {
+			t.Fatalf("objective %v", v)
+		}
+	}
+	limits := EligibleCounts(in)
+	if len(limits) != in.TotalOps() {
+		t.Fatalf("EligibleCounts length %d", len(limits))
+	}
+	for trial := 0; trial < 100; trial++ {
+		ops.Mutate(r, c1)
+	}
+	if err := decode.CountOpSequence(in, c1.Seq); err != nil {
+		t.Fatalf("mutation broke sequence: %v", err)
+	}
+	// Views for diversity statistics.
+	if len(FlexSeqView(c1)) != len(c1.Seq) || len(SeqView(c1.Seq)) != len(c1.Seq) {
+		t.Error("genome views broken")
+	}
+}
+
+func TestOperatorBundlesDriveEngine(t *testing.T) {
+	in := shop.GenerateFlowShop("f", 8, 4, 717)
+	res := core.New(FlowShopMakespanProblem(in), rng.New(6), core.Config[[]int]{
+		Pop: 30, Ops: PermOps(), Term: core.Termination{MaxGenerations: 40},
+	}).Run()
+	ref := decode.Reference(in, shop.Makespan)
+	if res.Best.Obj > ref {
+		t.Errorf("GA (%v) worse than dispatching heuristic (%v)", res.Best.Obj, ref)
+	}
+}
+
+// TestIslandGAFindsFT06Optimum is the end-to-end integration anchor: the
+// island GA over Giffler-Thompson priorities must reach the proven optimum
+// (55) of the classic ft06 instance.
+func TestIslandGAFindsFT06Optimum(t *testing.T) {
+	in := shop.FT06()
+	res := island.New(rng.New(2024), island.Config[[]float64]{
+		Islands: 4, SubPop: 50, Interval: 5, Migrants: 2, Epochs: 100,
+		Topology: island.Ring{},
+		Engine:   core.Config[[]float64]{Ops: KeysOps(), Elite: 2},
+		Problem: func(int) core.Problem[[]float64] {
+			return GTProblem(in, shop.Makespan)
+		},
+		Target: shop.FT06Optimum, TargetSet: true,
+	}).Run()
+	if res.Best.Obj != shop.FT06Optimum {
+		t.Fatalf("island GA reached only %v on ft06 (optimum %d)", res.Best.Obj, shop.FT06Optimum)
+	}
+	if res.Epochs >= 100 {
+		t.Errorf("optimum found but target stop failed (epochs=%d)", res.Epochs)
+	}
+}
+
+func TestSeqOpsValidOffspring(t *testing.T) {
+	in := shop.FT06()
+	ops := SeqOps(in)
+	r := rng.New(7)
+	a := decode.RandomOpSequence(in, r)
+	b := decode.RandomOpSequence(in, r)
+	for i := 0; i < 50; i++ {
+		c1, c2 := ops.Cross(r, a, b)
+		ops.Mutate(r, c1)
+		if err := decode.CountOpSequence(in, c1); err != nil {
+			t.Fatal(err)
+		}
+		if err := decode.CountOpSequence(in, c2); err != nil {
+			t.Fatal(err)
+		}
+		a, b = c1, c2
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestEvalSpanWorkConservation: the span can never beat the aggregate
+// processing capacity — span * totalSpeed >= total work.
+func TestEvalSpanWorkConservation(t *testing.T) {
+	r := rng.New(1)
+	f := func(nRaw, wRaw, bRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		w := int(wRaw%8) + 1
+		batch := int(bRaw%10) + 1
+		costs := make([]float64, n)
+		var total float64
+		for i := range costs {
+			costs[i] = float64(r.Intn(20) + 1)
+			total += costs[i]
+		}
+		c := Uniform(w, 1)
+		span := c.EvalSpan(costs, batch)
+		return span*c.TotalSpeed() >= total-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalSpanMonotoneInWorkers: adding workers never lengthens the span
+// (free[] assignment picks the earliest finisher).
+func TestEvalSpanMonotoneInWorkers(t *testing.T) {
+	r := rng.New(2)
+	costs := make([]float64, 40)
+	for i := range costs {
+		costs[i] = float64(r.Intn(9) + 1)
+	}
+	prev := Uniform(1, 1).EvalSpan(costs, 1)
+	for w := 2; w <= 16; w *= 2 {
+		cur := Uniform(w, 1).EvalSpan(costs, 1)
+		if cur > prev+1e-9 {
+			t.Fatalf("span grew from %v to %v at %d workers", prev, cur, w)
+		}
+		prev = cur
+	}
+}
+
+// TestSpeedupNeverExceedsWorkerCount for overhead-free uniform clusters.
+func TestSpeedupNeverExceedsWorkerCount(t *testing.T) {
+	r := rng.New(3)
+	f := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		w := int(wRaw%8) + 1
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = float64(r.Intn(9) + 1)
+		}
+		c := Uniform(w, 1)
+		speedup := SerialSpan(costs) / c.EvalSpan(costs, 1)
+		return speedup <= float64(w)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverheadsOnlyHurt: any positive overhead must not shorten the span.
+func TestOverheadsOnlyHurt(t *testing.T) {
+	costs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	base := Uniform(3, 1)
+	clean := base.EvalSpan(costs, 2)
+	for _, mutate := range []func(*Cluster){
+		func(c *Cluster) { c.DispatchOverhead = 0.5 },
+		func(c *Cluster) { c.BatchOverhead = 2 },
+		func(c *Cluster) { c.ResultOverhead = 1 },
+	} {
+		c := Uniform(3, 1)
+		mutate(c)
+		if got := c.EvalSpan(costs, 2); got < clean-1e-9 {
+			t.Fatalf("overhead shortened the span: %v < %v", got, clean)
+		}
+	}
+}
+
+// TestThroughputConsistentWithExplored: ExploredInBudget is Throughput
+// scaled by the budget (floored).
+func TestThroughputConsistentWithExplored(t *testing.T) {
+	c := GPULike(64, 0.5, 2)
+	rate := c.Throughput(1.5, 16)
+	if got, want := c.ExploredInBudget(1.5, 16, 100), int(rate*100); got != want {
+		t.Fatalf("explored %d, want %d", got, want)
+	}
+}

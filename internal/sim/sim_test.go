@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func uniformCosts(n int, c float64) []float64 {
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = c
+	}
+	return costs
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Uniform(0, 1) },
+		func() { Hetero(nil) },
+		func() { Hetero([]float64{1, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSerialSpan(t *testing.T) {
+	if got := SerialSpan(uniformCosts(10, 2)); got != 20 {
+		t.Errorf("SerialSpan = %v", got)
+	}
+	if got := SerialSpan(nil); got != 0 {
+		t.Errorf("empty SerialSpan = %v", got)
+	}
+}
+
+func TestEvalSpanIdealSpeedup(t *testing.T) {
+	costs := uniformCosts(64, 1)
+	serial := SerialSpan(costs)
+	for _, w := range []int{1, 2, 4, 8} {
+		c := Uniform(w, 1) // no overheads: ideal speedup
+		span := c.EvalSpan(costs, 1)
+		speedup := serial / span
+		if math.Abs(speedup-float64(w)) > 1e-9 {
+			t.Errorf("w=%d: speedup %v, want %d", w, speedup, w)
+		}
+	}
+}
+
+func TestEvalSpanEmpty(t *testing.T) {
+	if got := Uniform(4, 1).EvalSpan(nil, 1); got != 0 {
+		t.Errorf("empty span = %v", got)
+	}
+}
+
+func TestEvalSpanDispatchSerialisation(t *testing.T) {
+	// Heavy dispatch overhead makes the master the bottleneck: adding
+	// workers cannot help beyond the dispatch rate.
+	costs := uniformCosts(100, 1)
+	c2 := Uniform(2, 1)
+	c2.DispatchOverhead = 1 // dispatching costs as much as evaluating
+	c16 := Uniform(16, 1)
+	c16.DispatchOverhead = 1
+	span2 := c2.EvalSpan(costs, 1)
+	span16 := c16.EvalSpan(costs, 1)
+	if span16 < 100 {
+		t.Errorf("master-bound span %v below dispatch floor 100", span16)
+	}
+	if span2 < span16 {
+		t.Errorf("more workers should never hurt: %v vs %v", span2, span16)
+	}
+	if span2/span16 > 1.5 {
+		t.Errorf("comm-bound config should barely benefit from workers: %v vs %v", span2, span16)
+	}
+}
+
+func TestBatchingAmortisesBatchOverhead(t *testing.T) {
+	// Per-batch overhead (kernel launch, message envelope) is amortised by
+	// larger batches; per-task dispatch cost is not — that is the point of
+	// Akhshabi's and Huang's batching.
+	costs := uniformCosts(256, 1)
+	c := Uniform(8, 1)
+	c.BatchOverhead = 0.5
+	unbatched := c.EvalSpan(costs, 1)
+	batched := c.EvalSpan(costs, 32)
+	if batched >= unbatched {
+		t.Errorf("batching did not amortise batch overhead: %v vs %v", batched, unbatched)
+	}
+	// Per-task overhead is invariant under batching (same total master time).
+	d := Uniform(8, 1)
+	d.DispatchOverhead = 0.5
+	if a, b := d.EvalSpan(costs, 1), d.EvalSpan(costs, 32); b > a*1.5 {
+		t.Errorf("per-task dispatch should not explode under batching: %v vs %v", b, a)
+	}
+}
+
+func TestHeteroPrefersFastWorkers(t *testing.T) {
+	costs := uniformCosts(20, 1)
+	slowOnly := Hetero([]float64{0.5, 0.5})
+	mixed := Hetero([]float64{0.5, 4})
+	if mixed.EvalSpan(costs, 1) >= slowOnly.EvalSpan(costs, 1) {
+		t.Error("adding a fast worker should shorten the span")
+	}
+}
+
+func TestGPULikeBeatsCPUOnThroughput(t *testing.T) {
+	// AitZai's shape: few fast CPU workers with per-task dispatch vs
+	// hundreds of slow GPU cores with batched kernel launches.
+	cpu := Uniform(2, 1)
+	cpu.DispatchOverhead = 0.05
+	gpu := GPULike(448, 0.15, 5)
+	budget := 300.0
+	cost := 1.0
+	cpuN := cpu.ExploredInBudget(cost, 1, budget)
+	gpuN := gpu.ExploredInBudget(cost, 256, budget)
+	ratio := float64(gpuN) / float64(cpuN)
+	if ratio < 5 {
+		t.Errorf("GPU should explore many times more solutions, ratio=%v", ratio)
+	}
+}
+
+func TestThroughputLimits(t *testing.T) {
+	c := Uniform(4, 1)
+	// No overhead: worker-bound.
+	if got := c.Throughput(2, 1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("worker-bound throughput = %v, want 2", got)
+	}
+	c.DispatchOverhead = 10
+	// Master-bound: 1 task per 10 time units.
+	if got := c.Throughput(0.001, 1); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("master-bound throughput = %v, want 0.1", got)
+	}
+}
+
+func TestIslandSpan(t *testing.T) {
+	c := Uniform(4, 1)
+	// 4 islands on 4 workers, 10 epochs of 5 generations costing 2 each,
+	// no migration cost: 10*5*2 = 100.
+	if got := c.IslandSpan(4, 10, 5, 2, 0, 0); math.Abs(got-100) > 1e-9 {
+		t.Errorf("ideal island span = %v", got)
+	}
+	// 8 islands on 4 workers: twice the compute span.
+	if got := c.IslandSpan(8, 10, 5, 2, 0, 0); math.Abs(got-200) > 1e-9 {
+		t.Errorf("oversubscribed island span = %v", got)
+	}
+	// Migration messages add serial time per epoch.
+	withComm := c.IslandSpan(4, 10, 5, 2, 4, 1)
+	if math.Abs(withComm-140) > 1e-9 {
+		t.Errorf("comm-inclusive span = %v, want 140", withComm)
+	}
+}
+
+func TestEvalSpanMonotoneInWork(t *testing.T) {
+	c := Uniform(3, 1)
+	c.DispatchOverhead = 0.1
+	small := c.EvalSpan(uniformCosts(10, 1), 2)
+	big := c.EvalSpan(uniformCosts(20, 1), 2)
+	if big <= small {
+		t.Errorf("more work should take longer: %v vs %v", big, small)
+	}
+}
+
+func TestResultOverheadAddsToSpan(t *testing.T) {
+	c := Uniform(2, 1)
+	base := c.EvalSpan(uniformCosts(4, 1), 1)
+	c.ResultOverhead = 3
+	if got := c.EvalSpan(uniformCosts(4, 1), 1); got != base+3 {
+		t.Errorf("result overhead not applied: %v vs %v", got, base)
+	}
+}

@@ -1,0 +1,133 @@
+// Package tables renders the experiment harness output as aligned text,
+// CSV, or Markdown. Every experiment in internal/exp produces one or more
+// Table values; cmd/experiments renders them, and EXPERIMENTS.md embeds them.
+package tables
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of string cells with a header row.
+type Table struct {
+	ID      string // experiment identifier, e.g. "T3a"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string // free-form annotations (paper claim, interpretation)
+}
+
+// AddRow appends a row built from arbitrary values formatted with %v,
+// floats with 2 decimals.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends an annotation line shown beneath the rendered table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render returns the table as aligned monospace text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.ID != "" {
+		fmt.Fprintf(&b, "[%s] ", t.ID)
+	}
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w, cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  * %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV returns the table in RFC-4180-ish CSV (quotes only when needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown returns the table as a GitHub-flavoured Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**", t.Title)
+		if t.ID != "" {
+			fmt.Fprintf(&b, " _(%s)_", t.ID)
+		}
+		b.WriteString("\n\n")
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n_%s_\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{ID: "T0", Title: "demo", Columns: []string{"name", "value"}}
+	t.AddRow("alpha", 1.5)
+	t.AddRow("b", 10)
+	t.Note("note %d", 1)
+	return t
+}
+
+func TestRenderAlignment(t *testing.T) {
+	out := sample().Render()
+	if !strings.Contains(out, "[T0] demo") {
+		t.Errorf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "alpha  1.50") {
+		t.Errorf("missing formatted row: %q", out)
+	}
+	if !strings.Contains(out, "* note 1") {
+		t.Errorf("missing note: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 2 rows + 1 note
+	if len(lines) != 6 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := &Table{Columns: []string{"x"}}
+	tb.AddRow(3.14159)
+	tb.AddRow(float32(2.5))
+	tb.AddRow(42)
+	tb.AddRow("s")
+	want := []string{"3.14", "2.50", "42", "s"}
+	for i, w := range want {
+		if tb.Rows[i][0] != w {
+			t.Errorf("row %d = %q want %q", i, tb.Rows[i][0], w)
+		}
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	tb.AddRow(`has,comma`, `has"quote`)
+	out := tb.CSV()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Errorf("comma not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Errorf("quote not doubled: %q", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("want 2 lines, got %d", lines)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := sample().Markdown()
+	if !strings.Contains(out, "| name | value |") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "|---|---|") {
+		t.Errorf("missing separator: %q", out)
+	}
+	if !strings.Contains(out, "| alpha | 1.50 |") {
+		t.Errorf("missing row: %q", out)
+	}
+}
+
+func TestRenderShortRow(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b", "c"}}
+	tb.Rows = append(tb.Rows, []string{"only"})
+	out := tb.Render() // must not panic on ragged rows
+	if !strings.Contains(out, "only") {
+		t.Errorf("short row lost: %q", out)
+	}
+}
