@@ -7,6 +7,7 @@ package repro
 // regenerate the published speedup shapes.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/shop"
 	"repro/internal/shopga"
+	"repro/internal/solver"
 )
 
 // BenchmarkTableII_SimpleGA times one serial generation of the Table II
@@ -142,6 +144,38 @@ func BenchmarkQGA(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q.Step()
+	}
+}
+
+// BenchmarkSolverPool times the batch-serving path: 12 heterogeneous
+// instances (mixed kinds and models) solved concurrently through the
+// unified solver layer at several pool widths.
+func BenchmarkSolverPool(b *testing.B) {
+	kinds := []string{"job", "flow", "open", "fjs"}
+	models := []string{"serial", "ms", "island", "cellular"}
+	specs := make([]solver.Spec, 12)
+	for i := range specs {
+		specs[i] = solver.Spec{
+			Problem: solver.ProblemSpec{
+				Kind: kinds[i%len(kinds)], Jobs: 8, Machines: 4, Seed: int32(920 + i),
+			},
+			Model:  models[i%len(models)],
+			Params: solver.Params{Pop: 32},
+			Budget: solver.Budget{Generations: 30},
+		}
+	}
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pool := &solver.Pool{Workers: w, BaseSeed: 42}
+			for i := 0; i < b.N; i++ {
+				items := pool.Solve(context.Background(), specs)
+				for _, it := range items {
+					if it.Err != nil {
+						b.Fatal(it.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -1,5 +1,8 @@
 // Command shopsched solves a shop scheduling instance with any of the
 // survey's GA models and prints the best schedule with an ASCII Gantt chart.
+// Models are resolved through the solver registry, so every registered
+// model (serial, ms, island, cellular, hybrid, agents, qga) is available
+// without command changes.
 //
 // Usage examples:
 //
@@ -7,171 +10,101 @@
 //	shopsched -problem flow -jobs 20 -machines 5 -seed 42 -model ms -workers 4
 //	shopsched -instance path/to/instance.json -model cellular
 //	shopsched -problem open -jobs 8 -machines 8 -model serial
+//	shopsched -problem job -model qga -wall-ms 2000
+//	shopsched -spec spec.json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
-	"repro/internal/cellular"
-	"repro/internal/core"
-	"repro/internal/decode"
-	"repro/internal/hybrid"
-	"repro/internal/island"
-	"repro/internal/masterslave"
-	"repro/internal/rng"
-	"repro/internal/shop"
-	"repro/internal/shopga"
+	"repro/internal/solver"
 )
 
 func main() {
 	var (
+		specPath    = flag.String("spec", "", "JSON solver.Spec file (overrides the other flags)")
 		instPath    = flag.String("instance", "", "instance: 'ft06' or a JSON file path (overrides -problem)")
 		problem     = flag.String("problem", "job", "generated problem kind: flow, job, open, fjs, ffs")
 		jobs        = flag.Int("jobs", 10, "jobs for generated instances")
 		machines    = flag.Int("machines", 5, "machines for generated instances")
 		seed        = flag.Int("seed", 12345, "instance generation seed")
-		model       = flag.String("model", "serial", "GA model: serial, ms, island, cellular, hybrid")
-		workers     = flag.Int("workers", 4, "slaves for -model ms")
-		islands     = flag.Int("islands", 4, "islands for -model island/hybrid")
+		model       = flag.String("model", "serial", "GA model: "+strings.Join(solver.Names(), ", "))
+		encoding    = flag.String("encoding", "", "chromosome encoding: perm, seq, keys, flex (default: by kind)")
+		objective   = flag.String("objective", "", "objective: makespan (default), twc, twt, twu, max-tardiness, energy")
+		workers     = flag.Int("workers", 4, "slaves for -model ms / partitions for cellular")
+		islands     = flag.Int("islands", 0, "islands/grids/agents for the multi-deme models")
 		pop         = flag.Int("pop", 80, "population (total across islands)")
 		generations = flag.Int("generations", 150, "generation budget")
+		wallMS      = flag.Int64("wall-ms", 0, "wall clock budget in milliseconds (0: none)")
 		gaSeed      = flag.Uint64("ga-seed", 1, "GA master seed")
 		gantt       = flag.Bool("gantt", true, "print the Gantt chart")
 	)
 	flag.Parse()
 
-	in, err := buildInstance(*instPath, *problem, *jobs, *machines, int32(*seed))
+	spec := solver.Spec{
+		Problem: solver.ProblemSpec{
+			Instance: *instPath,
+			Kind:     *problem,
+			Jobs:     *jobs,
+			Machines: *machines,
+			Seed:     int32(*seed),
+		},
+		Encoding:  *encoding,
+		Objective: *objective,
+		Model:     *model,
+		Params:    solver.Params{Pop: *pop, Workers: *workers, Islands: *islands},
+		Budget:    solver.Budget{Generations: *generations, WallMillis: *wallMS},
+		Seed:      *gaSeed,
+	}
+	if *specPath != "" {
+		raw, err := os.ReadFile(*specPath)
+		if err != nil {
+			fail(err)
+		}
+		spec = solver.Spec{}
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			fail(fmt.Errorf("parsing %s: %w", *specPath, err))
+		}
+	}
+
+	in, err := solver.BuildInstance(spec.Problem)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "shopsched:", err)
-		os.Exit(2)
+		fail(err)
 	}
 	fmt.Printf("instance %s: %s, %d jobs x %d machines (%d operations)\n",
 		in.Name, in.Kind, in.NumJobs(), in.NumMachines, in.TotalOps())
-	fmt.Printf("heuristic reference makespan: %.0f\n", decode.Reference(in, shop.Makespan))
-
-	best, evals := solve(in, *model, *workers, *islands, *pop, *generations, *gaSeed)
-	fmt.Printf("model %s: best makespan %.0f after %d evaluations\n", *model, best.obj, evals)
-	if *gantt {
-		fmt.Print(best.schedule.Gantt(96))
+	if ref, err := solver.ReferenceFor(in, spec.Objective); err == nil {
+		fmt.Printf("heuristic reference objective: %.0f\n", ref)
 	}
-	if err := best.schedule.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "shopsched: INVALID SCHEDULE:", err)
-		os.Exit(1)
+
+	// Ctrl-C cancels the run; the solver returns the best found so far.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	res, err := solver.Solve(ctx, spec)
+	if err != nil {
+		fail(err)
+	}
+	state := ""
+	if res.Canceled {
+		state = " (interrupted)"
+	}
+	fmt.Printf("model %s [%s]: best %.0f after %d evaluations in %s%s\n",
+		res.Model, res.Encoding, res.BestObjective, res.Evaluations,
+		res.RoundedElapsed(), state)
+	if *gantt {
+		fmt.Print(res.Schedule.Gantt(96))
 	}
 	fmt.Println("schedule validated: all Table I feasibility conditions hold")
 }
 
-func buildInstance(path, kind string, jobs, machines int, seed int32) (*shop.Instance, error) {
-	switch {
-	case path == "ft06":
-		return shop.FT06(), nil
-	case path != "":
-		return shop.LoadFile(path)
-	}
-	switch kind {
-	case "flow":
-		return shop.GenerateFlowShop("gen-flow", jobs, machines, seed), nil
-	case "job":
-		return shop.GenerateJobShop("gen-job", jobs, machines, seed, seed+1), nil
-	case "open":
-		return shop.GenerateOpenShop("gen-open", jobs, machines, seed), nil
-	case "fjs":
-		return shop.GenerateFlexibleJobShop("gen-fjs", jobs, machines, machines, 3, seed), nil
-	case "ffs":
-		per := machines / 2
-		if per < 1 {
-			per = 1
-		}
-		return shop.GenerateFlexibleFlowShop("gen-ffs", jobs, []int{per, machines - per}, true, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown problem kind %q", kind)
-	}
-}
-
-type solution struct {
-	obj      float64
-	schedule *shop.Schedule
-}
-
-func solve(in *shop.Instance, model string, workers, islands_, pop, gens int, seed uint64) (solution, int64) {
-	r := rng.New(seed)
-	switch in.Kind {
-	case shop.FlexibleFlowShop, shop.FlexibleJobShop:
-		prob := shopga.FlexibleProblem(in, shop.Makespan)
-		ops := shopga.FlexOps(in)
-		res := island.New(r, island.Config[shopga.FlexGenome]{
-			Islands: islands_, SubPop: pop / islands_, Interval: 5, Epochs: gens / 5,
-			Engine:  core.Config[shopga.FlexGenome]{Ops: ops, Elite: 1},
-			Problem: func(int) core.Problem[shopga.FlexGenome] { return prob },
-		}).Run()
-		g := res.Best.Genome
-		return solution{obj: res.Best.Obj, schedule: decode.Flexible(in, g.Assign, g.Seq, nil)}, res.Evaluations
-	}
-
-	prob := seqProblem(in)
-	ops := seqOps(in)
-	mkSchedule := func(g []int) *shop.Schedule { return decode.Any(in, g) }
-	cfg := core.Config[[]int]{
-		Pop: pop, Elite: 1, Ops: ops,
-		Term: core.Termination{MaxGenerations: gens},
-	}
-	switch model {
-	case "serial":
-		res := core.New(prob, r, cfg).Run()
-		return solution{res.Best.Obj, mkSchedule(res.Best.Genome)}, res.Evaluations
-	case "ms":
-		res := masterslave.RunPool(prob, r, cfg, workers)
-		return solution{res.Best.Obj, mkSchedule(res.Best.Genome)}, res.Evaluations
-	case "island":
-		res := island.New(r, island.Config[[]int]{
-			Islands: islands_, SubPop: pop / islands_, Interval: 5, Epochs: gens / 5,
-			Engine:  cfg,
-			Problem: func(int) core.Problem[[]int] { return prob },
-		}).Run()
-		return solution{res.Best.Obj, mkSchedule(res.Best.Genome)}, res.Evaluations
-	case "cellular":
-		side := 1
-		for side*side < pop {
-			side++
-		}
-		res := cellular.New(prob, r, cellular.Config[[]int]{
-			Width: side, Height: side,
-			Cross: ops.Cross, Mutate: ops.Mutate, ReplaceIfBetter: true,
-			Generations: gens,
-		}).Run()
-		return solution{res.Best.Obj, mkSchedule(res.Best.Genome)}, res.Evaluations
-	case "hybrid":
-		res := hybrid.NewRingOfTorus(prob, r, hybrid.RingOfTorusConfig[[]int]{
-			Grids: islands_, Interval: 10, Epochs: gens / 10,
-			Grid: cellular.Config[[]int]{
-				Width: 5, Height: 5,
-				Cross: ops.Cross, Mutate: ops.Mutate, ReplaceIfBetter: true,
-			},
-		}).Run()
-		return solution{res.Best.Obj, mkSchedule(res.Best.Genome)}, res.Evaluations
-	default:
-		fmt.Fprintf(os.Stderr, "shopsched: unknown model %q\n", model)
-		os.Exit(2)
-		return solution{}, 0
-	}
-}
-
-func seqProblem(in *shop.Instance) core.Problem[[]int] {
-	switch in.Kind {
-	case shop.FlowShop:
-		return shopga.FlowShopMakespanProblem(in)
-	case shop.OpenShop:
-		return shopga.OpenShopProblem(in, decode.EarliestStart, shop.Makespan)
-	default:
-		return shopga.JobShopProblem(in, shop.Makespan)
-	}
-}
-
-func seqOps(in *shop.Instance) core.Operators[[]int] {
-	if in.Kind == shop.FlowShop {
-		return shopga.PermOps()
-	}
-	return shopga.SeqOps(in)
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "shopsched:", err)
+	os.Exit(2)
 }

@@ -1,85 +1,76 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/shop"
+	"repro/internal/solver"
 )
 
-func TestBuildInstanceKinds(t *testing.T) {
-	cases := map[string]shop.Kind{
-		"flow": shop.FlowShop,
-		"job":  shop.JobShop,
-		"open": shop.OpenShop,
-		"fjs":  shop.FlexibleJobShop,
-		"ffs":  shop.FlexibleFlowShop,
-	}
-	for kind, want := range cases {
-		in, err := buildInstance("", kind, 4, 3, 99)
+// TestEveryRegisteredModelProducesValidSchedule drives the exact path main
+// takes — a Spec through the registry — for every registered model, so a
+// new model registration is automatically covered by the command's tests.
+func TestEveryRegisteredModelProducesValidSchedule(t *testing.T) {
+	for _, model := range solver.Names() {
+		spec := solver.Spec{
+			Problem: solver.ProblemSpec{Kind: "job", Jobs: 6, Machines: 4, Seed: 42},
+			Model:   model,
+			Params:  solver.Params{Pop: 26, Workers: 2, Islands: 2},
+			Budget:  solver.Budget{Generations: 20},
+			Seed:    1,
+		}
+		res, err := solver.Solve(context.Background(), spec)
 		if err != nil {
-			t.Fatalf("%s: %v", kind, err)
+			t.Errorf("%s: %v", model, err)
+			continue
 		}
-		if in.Kind != want {
-			t.Errorf("%s: kind %v", kind, in.Kind)
+		if res.Evaluations <= 0 {
+			t.Errorf("%s: no evaluations", model)
 		}
-		if err := in.Validate(); err != nil {
-			t.Errorf("%s: %v", kind, err)
+		if res.Schedule == nil {
+			t.Fatalf("%s: nil schedule", model)
 		}
-	}
-	if _, err := buildInstance("", "nope", 4, 3, 99); err == nil {
-		t.Error("unknown kind accepted")
-	}
-	in, err := buildInstance("ft06", "", 0, 0, 0)
-	if err != nil || in.Name != "ft06" {
-		t.Errorf("ft06 lookup failed: %v %v", in, err)
-	}
-	if _, err := buildInstance("/does/not/exist.json", "", 0, 0, 0); err == nil {
-		t.Error("missing file accepted")
+		if err := res.Schedule.Validate(); err != nil {
+			t.Errorf("%s: invalid schedule: %v", model, err)
+		}
+		if model != "qga" {
+			if got := float64(res.Schedule.Makespan()); got != res.BestObjective {
+				t.Errorf("%s: objective %v != schedule makespan %v", model, res.BestObjective, got)
+			}
+		}
 	}
 }
 
-func TestBuildInstanceFromFile(t *testing.T) {
-	in := shop.GenerateJobShop("file-test", 3, 2, 5, 6)
-	path := t.TempDir() + "/i.json"
-	if err := in.SaveFile(path); err != nil {
-		t.Fatal(err)
+// TestFlexibleRoute: the flexible kinds route through the flex encoding.
+func TestFlexibleRoute(t *testing.T) {
+	spec := solver.Spec{
+		Problem: solver.ProblemSpec{Kind: "fjs", Jobs: 4, Machines: 3, Seed: 7},
+		Model:   "island",
+		Params:  solver.Params{Pop: 24, Islands: 2},
+		Budget:  solver.Budget{Generations: 20},
+		Seed:    1,
 	}
-	back, err := buildInstance(path, "", 0, 0, 0)
+	res, err := solver.Solve(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Name != "file-test" {
-		t.Errorf("loaded %q", back.Name)
-	}
-}
-
-func TestSolveEveryModelProducesValidSchedule(t *testing.T) {
-	in, _ := buildInstance("", "job", 6, 4, 42)
-	for _, model := range []string{"serial", "ms", "island", "cellular", "hybrid"} {
-		sol, evals := solve(in, model, 2, 2, 26, 20, 1)
-		if evals <= 0 {
-			t.Errorf("%s: no evaluations", model)
-		}
-		if sol.schedule == nil {
-			t.Fatalf("%s: nil schedule", model)
-		}
-		if err := sol.schedule.Validate(); err != nil {
-			t.Errorf("%s: invalid schedule: %v", model, err)
-		}
-		if got := float64(sol.schedule.Makespan()); got != sol.obj {
-			t.Errorf("%s: objective %v != schedule makespan %v", model, sol.obj, got)
-		}
-	}
-}
-
-func TestSolveFlexibleRoute(t *testing.T) {
-	in, _ := buildInstance("", "fjs", 4, 3, 7)
-	sol, _ := solve(in, "island", 2, 2, 24, 20, 1)
-	if err := sol.schedule.Validate(); err != nil {
+	if err := res.Schedule.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(in.Kind.String(), "flexible") {
-		t.Fatalf("kind = %v", in.Kind)
+	if res.Encoding != "flex" {
+		t.Errorf("encoding %q", res.Encoding)
+	}
+	if !strings.Contains(res.Kind, "flexible") {
+		t.Fatalf("kind = %v", res.Kind)
+	}
+}
+
+// TestFT06Route: the embedded benchmark resolves by name through a Spec.
+func TestFT06Route(t *testing.T) {
+	in, err := solver.BuildInstance(solver.ProblemSpec{Instance: "ft06"})
+	if err != nil || in.Name != "ft06" || in.Kind != shop.JobShop {
+		t.Fatalf("ft06 lookup: %v %v", in, err)
 	}
 }

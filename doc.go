@@ -8,7 +8,12 @@
 // survey's five tables plus the quantitative claims of the ~25 surveyed
 // works as figure-equivalent experiments.
 //
-// See README.md for the layout, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The top-level bench suite (bench_test.go) times one kernel per table.
+// The internal/solver package is the unified entry point: a declarative,
+// JSON-serialisable Spec resolved through a model registry, with a
+// concurrent batch Pool for many-scenario workloads.
+//
+// See README.md for the layout and the solver API, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The top-level bench suite (bench_test.go)
+// times one kernel per table plus the solver pool.
 package repro

@@ -1,44 +1,53 @@
-// Agent-based parallel GA (Asadzadeh & Zamanifar [27]): a management agent
-// splits the population across eight processor agents living on a virtual
-// cube (three neighbours each); a synchronisation agent routes migrants
-// between them. JADE middleware is substituted by goroutines and typed
-// mailbox channels — the architecture, message flow and topology are
-// preserved.
+// Agent-based parallel GA (Asadzadeh & Zamanifar [27]) through the solver
+// layer: the virtual-cube agent system is just another registry model, so
+// comparing a single-agent run against the eight-agent cube — at the same
+// total population and budget — is a two-Spec batch on a solver.Pool, with
+// both runs solved concurrently.
 //
 // Run with: go run ./examples/agents
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/agents"
-	"repro/internal/core"
-	"repro/internal/rng"
-	"repro/internal/shop"
-	"repro/internal/shopga"
+	"repro/internal/solver"
 )
 
 func main() {
-	in := shop.GenerateJobShop("agents-12x6", 12, 6, 555001, 555002)
-	prob := shopga.JobShopProblem(in, shop.Makespan)
+	problem := solver.ProblemSpec{Kind: "job", Jobs: 12, Machines: 6, Seed: 555001}
+	in, err := solver.BuildInstance(problem)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("instance %s: %d jobs x %d machines\n", in.Name, in.NumJobs(), in.NumMachines)
 
-	serial := agents.Run(prob, rng.New(1), agents.Config[[]int]{
-		Processors: 1, SubPop: 80, Interval: 5, Epochs: 16,
-		Engine: core.Config[[]int]{Ops: shopga.SeqOps(in), Elite: 1},
-	})
-	fmt.Printf("serial agent GA (1 x 80):    best %.0f (%d evaluations)\n",
-		serial.Best.Obj, serial.Evaluations)
-
-	cube := agents.Run(prob, rng.New(1), agents.Config[[]int]{
-		Processors: 8, SubPop: 10, Interval: 5, Epochs: 16,
-		Engine: core.Config[[]int]{Ops: shopga.SeqOps(in), Elite: 1},
-	})
-	fmt.Printf("cube agents (8 x 10):        best %.0f (%d evaluations)\n",
-		cube.Best.Obj, cube.Evaluations)
-	fmt.Println("\nper-agent bests (the cube keeps subpopulations diverse while")
-	fmt.Println("migrants flow along the three cube edges of each agent):")
-	for i, obj := range cube.PerAgent {
-		fmt.Printf("  processor agent %d: %.0f\n", i, obj)
+	specs := []solver.Spec{
+		{ // one processor agent holding the whole population
+			Problem: problem,
+			Model:   "agents",
+			Params:  solver.Params{Pop: 80, Islands: 1, Interval: 5},
+			Budget:  solver.Budget{Generations: 80},
+			Seed:    1,
+		},
+		{ // the virtual cube: 8 agents x 10 individuals, 3 neighbours each
+			Problem: problem,
+			Model:   "agents",
+			Params:  solver.Params{Pop: 80, Islands: 8, Interval: 5},
+			Budget:  solver.Budget{Generations: 80},
+			Seed:    1,
+		},
 	}
+	items := (&solver.Pool{Workers: 2}).Solve(context.Background(), specs)
+	labels := []string{"serial agent GA (1 x 80)", "cube agents (8 x 10)"}
+	for i, it := range items {
+		if it.Err != nil {
+			panic(it.Err)
+		}
+		fmt.Printf("%-26s best %.0f (%d evaluations, %s)\n",
+			labels[i]+":", it.Result.BestObjective, it.Result.Evaluations,
+			it.Result.RoundedElapsed())
+	}
+	fmt.Println("\nsame budget, same seed: the cube trades panmictic mixing for")
+	fmt.Println("migration along the three cube edges of each processor agent")
 }

@@ -1,48 +1,53 @@
-// Quickstart: solve the classic ft06 job shop (proven optimum 55) with an
-// island GA over Giffler-Thompson priorities — the shortest path through
-// the library's API:
+// Quickstart: solve the classic ft06 job shop (proven optimum 55) through
+// the unified solver layer — the shortest path through the library's API:
 //
-//	instance -> problem -> island model -> schedule.
+//	spec -> solver.Solve -> result + schedule.
+//
+// The Spec is plain data (it round-trips through JSON), so the same
+// request could arrive over a wire, sit in a batch file, or be built in
+// code as here.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/decode"
-	"repro/internal/island"
-	"repro/internal/rng"
 	"repro/internal/shop"
-	"repro/internal/shopga"
+	"repro/internal/solver"
 )
 
 func main() {
-	// 1. The instance: 6 jobs x 6 machines, embedded benchmark data.
-	in := shop.FT06()
+	// One declarative request: the embedded ft06 benchmark, random-keys
+	// priorities decoded by Giffler-Thompson, the island model (Table V),
+	// stopping as soon as the known optimum is reached.
+	spec := solver.Spec{
+		Problem:  solver.ProblemSpec{Instance: "ft06"},
+		Encoding: "keys",
+		Model:    "island",
+		Params:   solver.Params{Pop: 200, Islands: 4, Interval: 5, Migrants: 2, Elite: 2},
+		Budget:   solver.Budget{Generations: 500, Target: shop.FT06Optimum, TargetSet: true},
+		Seed:     2024,
+	}
 
-	// 2. The problem: random-keys priorities decoded by the Giffler-
-	//    Thompson active schedule builder, minimising the makespan.
-	prob := shopga.GTProblem(in, shop.Makespan)
-
-	// 3. The parallel model: 4 islands on a ring, migrating the 2 best
-	//    individuals every 5 generations (the survey's Table V loop).
-	res := island.New(rng.New(2024), island.Config[[]float64]{
-		Islands: 4, SubPop: 50, Interval: 5, Migrants: 2, Epochs: 100,
-		Topology: island.Ring{},
-		Engine:   core.Config[[]float64]{Ops: shopga.KeysOps(), Elite: 2},
-		Problem:  func(int) core.Problem[[]float64] { return prob },
-		Target:   shop.FT06Optimum, TargetSet: true,
-	}).Run()
-
-	// 4. The schedule: decode the winning genome and show it.
-	schedule := decode.GifflerThompson(in, res.Best.Genome)
-	fmt.Printf("ft06: makespan %.0f (optimum %d) after %d evaluations on %d islands\n",
-		res.Best.Obj, shop.FT06Optimum, res.Evaluations, res.IslandsLeft)
-	fmt.Print(schedule.Gantt(80))
-	if err := schedule.Validate(); err != nil {
+	res, err := solver.Solve(context.Background(), spec)
+	if err != nil {
 		panic(err)
 	}
-	fmt.Println("schedule is feasible (Table I conditions hold)")
+
+	fmt.Printf("ft06 via %s [%s]: makespan %.0f (optimum %d) after %d evaluations in %s\n",
+		res.Model, res.Encoding, res.BestObjective, shop.FT06Optimum,
+		res.Evaluations, res.RoundedElapsed())
+	fmt.Print(res.Schedule.Gantt(80))
+	fmt.Println("schedule is feasible (Table I conditions hold; solver validated it)")
+
+	// The same problem through a different model is a one-field change.
+	spec.Model = "cellular"
+	res, err = solver.Solve(context.Background(), spec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ft06 via %s [%s]: makespan %.0f after %d evaluations\n",
+		res.Model, res.Encoding, res.BestObjective, res.Evaluations)
 }

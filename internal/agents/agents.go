@@ -35,6 +35,18 @@ type Config[G any] struct {
 	Interval   int // generations between synchronisations (default 5)
 	Epochs     int // synchronisation rounds (default 10)
 	Engine     core.Config[G]
+
+	// Target, when TargetSet, stops the system at the first epoch barrier
+	// where any processor agent's best reaches it (the synchronisation
+	// agent decides, so all agents halt together).
+	Target    float64
+	TargetSet bool
+
+	// Stop, when set, is polled between generations by every processor
+	// agent; returning true makes agents skip further GA steps while still
+	// completing the synchronisation protocol (so no agent deadlocks on the
+	// epoch barrier). Must be safe for concurrent use.
+	Stop func() bool
 }
 
 // Result reports an agent-system run.
@@ -42,7 +54,7 @@ type Result[G any] struct {
 	Best        core.Individual[G]
 	PerAgent    []float64
 	Evaluations int64
-	Epochs      int
+	Epochs      int // synchronisation rounds actually executed
 }
 
 // Run executes the agent-based island GA and blocks until the management
@@ -85,18 +97,45 @@ func Run[G any](p core.Problem[G], r *rng.RNG, cfg Config[G]) Result[G] {
 	type report struct {
 		from   int
 		genome G
+		obj    float64
 	}
 	syncIn := make(chan report, n)
 	done := make(chan core.Individual[G], n)
+	// ctl carries the synchronisation agent's per-epoch continue/halt
+	// decision; buffered so the sync agent never blocks on a processor.
+	ctl := make([]chan bool, n)
+	for i := range ctl {
+		ctl[i] = make(chan bool, 1)
+	}
 
-	// Synchronisation agent: every epoch, gather all bests, then route each
-	// agent's best to its cube neighbours.
+	// Synchronisation agent: every epoch, gather all bests, decide whether
+	// to halt (the single cancellation decision point: every processor
+	// sees the same verdict at the same barrier, so early termination
+	// cannot deadlock the exchange), then route each agent's best to its
+	// cube neighbours.
+	epochsDone := make(chan int, 1)
 	go func() {
+		completed := 0
 		for e := 0; e < cfg.Epochs; e++ {
 			bests := make([]G, n)
+			bestObj := math.Inf(1)
 			for k := 0; k < n; k++ {
 				rep := <-syncIn
 				bests[rep.from] = rep.genome
+				if rep.obj < bestObj {
+					bestObj = rep.obj
+				}
+			}
+			completed = e + 1
+			halt := cfg.Stop != nil && cfg.Stop()
+			if cfg.TargetSet && bestObj <= cfg.Target {
+				halt = true
+			}
+			for i := range ctl {
+				ctl[i] <- !halt
+			}
+			if halt {
+				break
 			}
 			for i := 0; i < n; i++ {
 				for _, t := range cube.Targets(i, n, e, nil) {
@@ -104,6 +143,7 @@ func Run[G any](p core.Problem[G], r *rng.RNG, cfg Config[G]) Result[G] {
 				}
 			}
 		}
+		epochsDone <- completed
 	}()
 
 	// Processor agents.
@@ -113,10 +153,16 @@ func Run[G any](p core.Problem[G], r *rng.RNG, cfg Config[G]) Result[G] {
 			expect := len(cube.Targets(id, n, 0, nil)) // cube degree is epoch-invariant
 			for epoch := 0; epoch < cfg.Epochs; epoch++ {
 				for s := 0; s < cfg.Interval; s++ {
+					if cfg.Stop != nil && cfg.Stop() {
+						break
+					}
 					e.Step()
 				}
 				best := e.Best()
-				syncIn <- report{from: id, genome: best.Genome}
+				syncIn <- report{from: id, genome: best.Genome, obj: best.Obj}
+				if !<-ctl[id] {
+					break
+				}
 				for k := 0; k < expect; k++ {
 					m := <-inbox[id]
 					ind := e.MakeIndividual(e.Problem().Clone(m.genome))
@@ -135,11 +181,12 @@ func Run[G any](p core.Problem[G], r *rng.RNG, cfg Config[G]) Result[G] {
 	}
 
 	// Management agent: collect results.
-	res := Result[G]{Epochs: cfg.Epochs, Best: core.Individual[G]{Obj: math.Inf(1)}}
+	res := Result[G]{Best: core.Individual[G]{Obj: math.Inf(1)}}
 	finals := make([]core.Individual[G], 0, n)
 	for k := 0; k < n; k++ {
 		finals = append(finals, <-done)
 	}
+	res.Epochs = <-epochsDone
 	for _, e := range engines {
 		res.Evaluations += e.Evaluations()
 	}

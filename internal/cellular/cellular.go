@@ -114,6 +114,10 @@ type Config[G any] struct {
 	Target      float64
 	TargetSet   bool
 
+	// Stop, when set, is polled between generations; returning true ends
+	// the run with the best found so far (external cancellation seam).
+	Stop func() bool
+
 	// CellCost and CommCost drive the Transputer-style virtual-time model:
 	// each generation costs cells*CellCost/Partitions compute time plus
 	// CommCost per cross-partition neighbour exchange.
@@ -389,6 +393,9 @@ func (m *Model[G]) Best() core.Individual[G] { return m.cloneInd(m.best) }
 func (m *Model[G]) Run() Result[G] {
 	for m.gen < m.cfg.Generations {
 		if m.cfg.TargetSet && m.best.Obj <= m.cfg.Target {
+			break
+		}
+		if m.cfg.Stop != nil && m.cfg.Stop() {
 			break
 		}
 		m.Step()

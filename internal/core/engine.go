@@ -18,6 +18,12 @@ type Termination struct {
 	Target         float64       // stop once best objective <= Target ...
 	TargetSet      bool          // ... if TargetSet
 	WallClock      time.Duration // stop after this much real time
+
+	// Stop, when set, is polled between generations; returning true stops
+	// the run. It is the seam external cancellation (a context's Done
+	// channel) threads through, and must be safe to call concurrently: the
+	// parallel models poll it from every island/partition goroutine.
+	Stop func() bool
 }
 
 // Immigration configures Huang et al.'s generation scheme [24]: the next
@@ -223,6 +229,9 @@ func (e *Engine[G]) Done() bool {
 		return true
 	}
 	if t.WallClock > 0 && time.Since(e.started) >= t.WallClock {
+		return true
+	}
+	if t.Stop != nil && t.Stop() {
 		return true
 	}
 	return false

@@ -9,6 +9,9 @@ import (
 // the harness's integration test: each experiment must produce non-empty,
 // well-formed tables and must be deterministic in its first run cell.
 func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment end-to-end (~16s); skipped under -short")
+	}
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {

@@ -31,6 +31,11 @@ type RingOfTorusConfig[G any] struct {
 
 	Target    float64
 	TargetSet bool
+
+	// Stop, when set, is polled between cellular generations on every grid
+	// and at every epoch boundary; returning true ends the run. Must be
+	// safe for concurrent use.
+	Stop func() bool
 }
 
 // RingOfTorus is the configured hybrid model.
@@ -117,9 +122,13 @@ func (h *RingOfTorus[G]) migrate() {
 // Run executes the epochs; grids advance concurrently between migrations
 // (deterministic: every grid owns its randomness).
 func (h *RingOfTorus[G]) Run() Result[G] {
+	stopped := func() bool { return h.cfg.Stop != nil && h.cfg.Stop() }
 	epoch := 0
 	for ; epoch < h.cfg.Epochs; epoch++ {
 		if h.cfg.TargetSet && h.Best().Obj <= h.cfg.Target {
+			break
+		}
+		if stopped() {
 			break
 		}
 		var wg sync.WaitGroup
@@ -128,6 +137,9 @@ func (h *RingOfTorus[G]) Run() Result[G] {
 			go func(g *cellular.Model[G]) {
 				defer wg.Done()
 				for s := 0; s < h.cfg.Interval; s++ {
+					if stopped() {
+						break
+					}
 					g.Step()
 				}
 			}(g)

@@ -128,6 +128,12 @@ type Config[G any] struct {
 
 	Target    float64 // optional global early stop on best objective
 	TargetSet bool
+
+	// Stop, when set, is polled between generations on every island and at
+	// every epoch boundary; returning true ends the run with the best found
+	// so far. Must be safe for concurrent use (the islands poll it from
+	// their goroutines).
+	Stop func() bool
 }
 
 // Result reports an island-model run.
@@ -233,7 +239,15 @@ func (m *Model[G]) Best() core.Individual[G] {
 }
 
 func (m *Model[G]) done() bool {
+	if m.cfg.Stop != nil && m.cfg.Stop() {
+		return true
+	}
 	return m.cfg.TargetSet && m.Best().Obj <= m.cfg.Target
+}
+
+// stopped polls the external cancellation hook only (no Target check).
+func (m *Model[G]) stopped() bool {
+	return m.cfg.Stop != nil && m.cfg.Stop()
 }
 
 // stepAll advances every island by the migration interval, in parallel
@@ -244,6 +258,9 @@ func (m *Model[G]) stepAll() {
 	if m.cfg.Sequential || len(m.engines) == 1 {
 		for _, e := range m.engines {
 			for s := 0; s < steps; s++ {
+				if m.stopped() {
+					break
+				}
 				e.Step()
 			}
 		}
@@ -254,6 +271,9 @@ func (m *Model[G]) stepAll() {
 			go func(e *core.Engine[G]) {
 				defer wg.Done()
 				for s := 0; s < steps; s++ {
+					if m.stopped() {
+						break
+					}
 					e.Step()
 				}
 			}(e)

@@ -95,6 +95,15 @@ type Config struct {
 	NotGateRate float64 // per-individual Not-gate mutation probability (default 0.05)
 	CrossRate   float64 // per-individual quantum crossover probability (default 0.2)
 	Generations int     // default 100
+
+	// Target, when TargetSet, stops a run once the best expected makespan
+	// reaches it (checked between generations / at star epoch barriers).
+	Target    float64
+	TargetSet bool
+
+	// Stop, when set, is polled between generations; returning true ends
+	// the run with the best found so far (external cancellation seam).
+	Stop func() bool
 }
 
 func (c *Config) defaults() {
@@ -301,6 +310,12 @@ func (q *QGA) Evaluations() int64 { return q.evals }
 // Run executes the configured generations.
 func (q *QGA) Run() (float64, []int) {
 	for q.gen < q.cfg.Generations {
+		if q.cfg.Stop != nil && q.cfg.Stop() {
+			break
+		}
+		if q.cfg.TargetSet && q.bestObj <= q.cfg.Target {
+			break
+		}
 		q.Step()
 	}
 	return q.bestObj, q.bestSeq
@@ -312,6 +327,7 @@ type StarResult struct {
 	BestSeq     []int
 	PerIsland   []float64
 	Evaluations int64
+	Epochs      int // migration epochs actually executed
 }
 
 // StarPQGA runs `islands` QGAs on a star topology: every interval
@@ -327,9 +343,31 @@ func StarPQGA(prob *StochasticJSSP, r *rng.RNG, islands, interval, epochs int, c
 	for i := range qs {
 		qs[i] = NewQGA(prob, r.Split(), cfg)
 	}
+	atTarget := func() bool {
+		if !cfg.TargetSet {
+			return false
+		}
+		for _, q := range qs {
+			if q.bestObj <= cfg.Target {
+				return true
+			}
+		}
+		return false
+	}
+	completed := 0
 	for e := 0; e < epochs; e++ {
+		if cfg.Stop != nil && cfg.Stop() {
+			break
+		}
+		if atTarget() {
+			break
+		}
+		completed = e + 1
 		for _, q := range qs {
 			for s := 0; s < interval; s++ {
+				if cfg.Stop != nil && cfg.Stop() {
+					break
+				}
 				q.Step()
 			}
 		}
@@ -349,7 +387,7 @@ func StarPQGA(prob *StochasticJSSP, r *rng.RNG, islands, interval, epochs int, c
 			}
 		}
 	}
-	res := StarResult{BestObj: math.Inf(1)}
+	res := StarResult{BestObj: math.Inf(1), Epochs: completed}
 	for _, q := range qs {
 		obj, seq := q.Best()
 		res.PerIsland = append(res.PerIsland, obj)

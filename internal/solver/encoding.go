@@ -1,0 +1,148 @@
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/decode"
+	"repro/internal/rng"
+	"repro/internal/shop"
+	"repro/internal/shopga"
+)
+
+// Encoding names (Spec.Encoding).
+const (
+	EncPerm = "perm" // job permutation (flow shop)
+	EncSeq  = "seq"  // operation sequence with repetition
+	EncKeys = "keys" // random keys decoded by Giffler-Thompson
+	EncFlex = "flex" // machine assignment + operation sequence
+)
+
+// encoding bundles everything a model needs for one genome family: the
+// bridge problem, the default operators, and the genome->schedule decoder
+// (which must agree with the problem's evaluation).
+type encoding[G any] struct {
+	problem  core.Problem[G]
+	ops      core.Operators[G]
+	schedule func(G) *shop.Schedule
+}
+
+// resolveEncoding picks the default encoding for the instance kind or
+// validates an explicit choice against it.
+func resolveEncoding(name string, in *shop.Instance) (string, error) {
+	if name == "" {
+		switch {
+		case in.Kind.Flexible():
+			return EncFlex, nil
+		case in.Kind == shop.FlowShop:
+			return EncPerm, nil
+		default:
+			return EncSeq, nil
+		}
+	}
+	switch name {
+	case EncPerm:
+		if in.Kind != shop.FlowShop {
+			return "", fmt.Errorf("solver: encoding %q requires a flow shop, got %s", name, in.Kind)
+		}
+	case EncSeq:
+		if in.Kind == shop.FlowShop {
+			return "", fmt.Errorf("solver: flow shops use the %q encoding, not %q", EncPerm, name)
+		}
+	case EncKeys:
+		if !in.Kind.Ordered() || in.Kind.Flexible() {
+			return "", fmt.Errorf("solver: encoding %q requires an ordered non-flexible shop, got %s", name, in.Kind)
+		}
+	case EncFlex:
+		if !in.Kind.Flexible() {
+			return "", fmt.Errorf("solver: encoding %q requires a flexible shop, got %s", name, in.Kind)
+		}
+	default:
+		return "", fmt.Errorf("solver: unknown encoding %q", name)
+	}
+	return name, nil
+}
+
+// openRule resolves Params.Rule for open shop decoding.
+func openRule(name string) (decode.OpenRule, error) {
+	switch name {
+	case "", "earliest":
+		return decode.EarliestStart, nil
+	case "lpt-task":
+		return decode.LPTTask, nil
+	case "lpt-machine":
+		return decode.LPTMachine, nil
+	default:
+		return decode.EarliestStart, fmt.Errorf("solver: unknown open shop rule %q", name)
+	}
+}
+
+// seqEncoding builds the []int-genome encoding (perm for flow shops, seq
+// for everything else).
+func seqEncoding(run *Run) (encoding[[]int], error) {
+	in, obj := run.Instance, run.Objective
+	switch {
+	case run.Encoding == EncPerm:
+		prob := shopga.FlowShopProblem(in, obj)
+		if run.Spec.Objective == "" || run.Spec.Objective == "makespan" {
+			prob = shopga.FlowShopMakespanProblem(in)
+		}
+		return encoding[[]int]{
+			problem:  prob,
+			ops:      shopga.PermOps(),
+			schedule: func(g []int) *shop.Schedule { return decode.FlowShop(in, g) },
+		}, nil
+	case in.Kind == shop.OpenShop:
+		rule, err := openRule(run.Spec.Params.Rule)
+		if err != nil {
+			return encoding[[]int]{}, err
+		}
+		return encoding[[]int]{
+			problem:  shopga.OpenShopProblem(in, rule, obj),
+			ops:      shopga.SeqOps(in),
+			schedule: func(g []int) *shop.Schedule { return decode.OpenShop(in, g, rule) },
+		}, nil
+	case in.Kind.Flexible():
+		// Sequence-only search over flexible shops: machines are fixed by
+		// the greedy fastest-available assignment (decode.Any's rule).
+		assign := decode.GreedyAssignment(in)
+		return encoding[[]int]{
+			problem: core.FuncProblem[[]int]{
+				RandomFn:   func(r *rng.RNG) []int { return decode.RandomOpSequence(in, r) },
+				EvaluateFn: func(g []int) float64 { return obj(decode.Flexible(in, assign, g, nil)) },
+				CloneFn:    func(g []int) []int { return append([]int(nil), g...) },
+			},
+			ops:      shopga.SeqOps(in),
+			schedule: func(g []int) *shop.Schedule { return decode.Flexible(in, assign, g, nil) },
+		}, nil
+	default:
+		return encoding[[]int]{
+			problem:  shopga.JobShopProblem(in, obj),
+			ops:      shopga.SeqOps(in),
+			schedule: func(g []int) *shop.Schedule { return decode.JobShop(in, g) },
+		}, nil
+	}
+}
+
+// keysEncoding builds the random-keys encoding decoded by the
+// Giffler-Thompson active schedule builder.
+func keysEncoding(run *Run) (encoding[[]float64], error) {
+	in, obj := run.Instance, run.Objective
+	return encoding[[]float64]{
+		problem:  shopga.GTProblem(in, obj),
+		ops:      shopga.KeysOps(),
+		schedule: func(g []float64) *shop.Schedule { return decode.GifflerThompson(in, g) },
+	}, nil
+}
+
+// flexEncoding builds the two-chromosome flexible shop encoding.
+func flexEncoding(run *Run) (encoding[shopga.FlexGenome], error) {
+	in, obj := run.Instance, run.Objective
+	return encoding[shopga.FlexGenome]{
+		problem: shopga.FlexibleProblem(in, obj),
+		ops:     shopga.FlexOps(in),
+		schedule: func(g shopga.FlexGenome) *shop.Schedule {
+			return decode.Flexible(in, g.Assign, g.Seq, nil)
+		},
+	}, nil
+}

@@ -1,0 +1,403 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/agents"
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/decode"
+	"repro/internal/hybrid"
+	"repro/internal/island"
+	"repro/internal/masterslave"
+	"repro/internal/qga"
+	"repro/internal/shop"
+	"repro/internal/shopga"
+)
+
+// engineModel dispatches one generic runner over the three genome
+// families. Go interfaces cannot carry generic methods, so each model
+// registers explicit instantiations of its runner; the registry and Spec
+// stay entirely non-generic.
+type engineModel struct {
+	name string
+	seq  func(ctx context.Context, run *Run, enc encoding[[]int]) (*Result, error)
+	keys func(ctx context.Context, run *Run, enc encoding[[]float64]) (*Result, error)
+	flex func(ctx context.Context, run *Run, enc encoding[shopga.FlexGenome]) (*Result, error)
+}
+
+// Name implements Model.
+func (m engineModel) Name() string { return m.name }
+
+// Solve implements Model: build the encoding for the resolved genome
+// family and hand off to the instantiated runner.
+func (m engineModel) Solve(ctx context.Context, run *Run) (*Result, error) {
+	switch run.Encoding {
+	case EncKeys:
+		enc, err := keysEncoding(run)
+		if err != nil {
+			return nil, err
+		}
+		return m.keys(ctx, run, enc)
+	case EncFlex:
+		enc, err := flexEncoding(run)
+		if err != nil {
+			return nil, err
+		}
+		return m.flex(ctx, run, enc)
+	default: // EncSeq, EncPerm
+		enc, err := seqEncoding(run)
+		if err != nil {
+			return nil, err
+		}
+		return m.seq(ctx, run, enc)
+	}
+}
+
+func init() {
+	Register(engineModel{"serial", runSerial[[]int], runSerial[[]float64], runSerial[shopga.FlexGenome]})
+	Register(engineModel{"ms", runMasterSlave[[]int], runMasterSlave[[]float64], runMasterSlave[shopga.FlexGenome]})
+	Register(engineModel{"island", runIsland[[]int], runIsland[[]float64], runIsland[shopga.FlexGenome]})
+	Register(engineModel{"cellular", runCellular[[]int], runCellular[[]float64], runCellular[shopga.FlexGenome]})
+	Register(engineModel{"hybrid", runHybrid[[]int], runHybrid[[]float64], runHybrid[shopga.FlexGenome]})
+	Register(engineModel{"agents", runAgents[[]int], runAgents[[]float64], runAgents[shopga.FlexGenome]})
+	Register(qgaModel{})
+}
+
+// engineConfig maps Spec params and budget onto a core.Config.
+func engineConfig[G any](run *Run, enc encoding[G]) core.Config[G] {
+	p := run.Spec.Params
+	return core.Config[G]{
+		Pop:           p.Pop,
+		Elite:         p.Elite,
+		CrossoverRate: p.CrossoverRate,
+		MutationRate:  p.MutationRate,
+		Ops:           enc.ops,
+		Term:          run.termination(),
+		RecordHistory: run.Spec.Trace,
+	}
+}
+
+// islandCount returns the configured island/grid/agent count.
+func islandCount(run *Run, def int) int {
+	if n := run.Spec.Params.Islands; n > 0 {
+		return n
+	}
+	return def
+}
+
+// subPop splits the total population over n demes, at least 2 each.
+func subPop(run *Run, n int) int {
+	sp := run.Spec.Params.Pop / n
+	if sp < 2 {
+		sp = 2
+	}
+	return sp
+}
+
+// interval returns the migration interval.
+func interval(run *Run, def int) int {
+	if v := run.Spec.Params.Interval; v > 0 {
+		return v
+	}
+	return def
+}
+
+// epochs converts the generation budget into migration epochs.
+func epochs(run *Run, interval int) int {
+	e := run.Spec.Budget.Generations / interval
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+func topologyByName(name string) (island.Topology, error) {
+	switch name {
+	case "", "ring":
+		return island.Ring{}, nil
+	case "bi-ring":
+		return island.BiRing{}, nil
+	case "torus":
+		return island.Torus2D{}, nil
+	case "full":
+		return island.FullyConnected{}, nil
+	case "star":
+		return island.Star{}, nil
+	case "hypercube":
+		return island.Hypercube{}, nil
+	default:
+		return nil, fmt.Errorf("solver: unknown topology %q", name)
+	}
+}
+
+func neighborhoodByName(name string) (cellular.Neighborhood, error) {
+	switch name {
+	case "", "l5":
+		return cellular.L5, nil
+	case "c9":
+		return cellular.C9, nil
+	case "l9":
+		return cellular.L9, nil
+	default:
+		return cellular.L5, fmt.Errorf("solver: unknown neighborhood %q", name)
+	}
+}
+
+// gridDims returns the cellular grid dimensions: explicit params (a
+// missing dimension is derived so the grid still holds the population),
+// the model's default side, or the smallest square holding the
+// configured population.
+func gridDims(run *Run, defSide int) (w, h int) {
+	p := run.Spec.Params
+	other := func(dim int) int {
+		if defSide > 0 {
+			return defSide
+		}
+		o := (p.Pop + dim - 1) / dim
+		if o < 1 {
+			o = 1
+		}
+		return o
+	}
+	switch {
+	case p.Width > 0 && p.Height > 0:
+		return p.Width, p.Height
+	case p.Width > 0:
+		return p.Width, other(p.Width)
+	case p.Height > 0:
+		return other(p.Height), p.Height
+	case defSide > 0:
+		return defSide, defSide
+	}
+	side := 1
+	for side*side < p.Pop {
+		side++
+	}
+	return side, side
+}
+
+// coreResult converts a core.Result into the unified Result.
+func coreResult[G any](enc encoding[G], res core.Result[G]) *Result {
+	out := &Result{
+		BestObjective: res.Best.Obj,
+		Evaluations:   res.Evaluations,
+		Generations:   res.Generations,
+		Schedule:      enc.schedule(res.Best.Genome),
+	}
+	for _, gs := range res.History {
+		out.Trace = append(out.Trace, TracePoint{
+			Generation: gs.Generation, Evaluations: gs.Evaluations, BestObj: gs.BestSoFar,
+		})
+	}
+	return out
+}
+
+// runSerial is the panmictic Table II GA.
+func runSerial[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, error) {
+	res := core.New(enc.problem, run.RNG, engineConfig(run, enc)).Run()
+	return coreResult(enc, res), nil
+}
+
+// runMasterSlave is Table III: the serial trajectory with the fitness
+// evaluation fanned out to a goroutine pool.
+func runMasterSlave[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, error) {
+	workers := run.Spec.Params.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	cfg := engineConfig(run, enc)
+	cfg.Evaluator = masterslave.PoolEvaluator[G]{Workers: workers}
+	res := core.New(enc.problem, run.RNG, cfg).Run()
+	return coreResult(enc, res), nil
+}
+
+// runIsland is Table V: the coarse-grained multi-deme model.
+func runIsland[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, error) {
+	n := islandCount(run, 4)
+	iv := interval(run, 5)
+	topo, err := topologyByName(run.Spec.Params.Topology)
+	if err != nil {
+		return nil, err
+	}
+	b := run.Spec.Budget
+	res := island.New(run.RNG, island.Config[G]{
+		Islands:  n,
+		SubPop:   subPop(run, n),
+		Interval: iv,
+		Migrants: run.Spec.Params.Migrants,
+		Epochs:   epochs(run, iv),
+		Topology: topo,
+		Engine:   engineConfig(run, enc),
+		Problem:  func(int) core.Problem[G] { return enc.problem },
+		Target:   b.Target, TargetSet: b.TargetSet,
+		Stop: run.stop,
+	}).Run()
+	out := &Result{
+		BestObjective: res.Best.Obj,
+		Evaluations:   res.Evaluations,
+		Generations:   res.Generations,
+		Schedule:      enc.schedule(res.Best.Genome),
+	}
+	if run.Spec.Trace {
+		for _, es := range res.History {
+			out.Trace = append(out.Trace, TracePoint{Generation: es.Generation, BestObj: es.BestObj})
+		}
+	}
+	return out, nil
+}
+
+// runCellular is Table IV: the fine-grained torus model.
+func runCellular[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, error) {
+	nb, err := neighborhoodByName(run.Spec.Params.Neighborhood)
+	if err != nil {
+		return nil, err
+	}
+	w, h := gridDims(run, 0)
+	b := run.Spec.Budget
+	p := run.Spec.Params
+	res := cellular.New(enc.problem, run.RNG, cellular.Config[G]{
+		Width: w, Height: h,
+		Neighborhood:    nb,
+		ReplaceIfBetter: true,
+		CrossoverRate:   p.CrossoverRate,
+		MutationRate:    p.MutationRate,
+		Cross:           enc.ops.Cross,
+		Mutate:          enc.ops.Mutate,
+		Partitions:      p.Workers,
+		Generations:     b.Generations,
+		Target:          b.Target, TargetSet: b.TargetSet,
+		Stop:          run.stop,
+		RecordHistory: run.Spec.Trace,
+	}).Run()
+	out := &Result{
+		BestObjective: res.Best.Obj,
+		Evaluations:   res.Evaluations,
+		Generations:   res.Generations,
+		Schedule:      enc.schedule(res.Best.Genome),
+	}
+	cells := int64(w * h)
+	for _, gs := range res.History {
+		out.Trace = append(out.Trace, TracePoint{
+			Generation:  gs.Generation,
+			Evaluations: cells * int64(gs.Generation+1),
+			BestObj:     gs.BestSoFar,
+		})
+	}
+	return out, nil
+}
+
+// runHybrid is Lin's ring-of-torus hybrid: islands whose subpopulations
+// are cellular grids.
+func runHybrid[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, error) {
+	nb, err := neighborhoodByName(run.Spec.Params.Neighborhood)
+	if err != nil {
+		return nil, err
+	}
+	iv := interval(run, 10)
+	w, h := gridDims(run, 5)
+	b := run.Spec.Budget
+	p := run.Spec.Params
+	res := hybrid.NewRingOfTorus(enc.problem, run.RNG, hybrid.RingOfTorusConfig[G]{
+		Grids:    islandCount(run, 4),
+		Interval: iv,
+		Epochs:   epochs(run, iv),
+		Grid: cellular.Config[G]{
+			Width: w, Height: h,
+			Neighborhood:    nb,
+			ReplaceIfBetter: true,
+			CrossoverRate:   p.CrossoverRate,
+			MutationRate:    p.MutationRate,
+			Cross:           enc.ops.Cross,
+			Mutate:          enc.ops.Mutate,
+		},
+		Target: b.Target, TargetSet: b.TargetSet,
+		Stop: run.stop,
+	}).Run()
+	return &Result{
+		BestObjective: res.Best.Obj,
+		Evaluations:   res.Evaluations,
+		Generations:   res.Epochs * iv,
+		Schedule:      enc.schedule(res.Best.Genome),
+	}, nil
+}
+
+// runAgents is the agent-based island GA on the virtual cube.
+func runAgents[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, error) {
+	n := islandCount(run, 8)
+	iv := interval(run, 5)
+	ep := epochs(run, iv)
+	b := run.Spec.Budget
+	res := agents.Run(enc.problem, run.RNG, agents.Config[G]{
+		Processors: n,
+		SubPop:     subPop(run, n),
+		Interval:   iv,
+		Epochs:     ep,
+		Engine:     engineConfig(run, enc),
+		Target:     b.Target, TargetSet: b.TargetSet,
+		Stop: run.stop,
+	})
+	return &Result{
+		BestObjective: res.Best.Obj,
+		Evaluations:   res.Evaluations,
+		Generations:   res.Epochs * iv,
+		Schedule:      enc.schedule(res.Best.Genome),
+	}, nil
+}
+
+// qgaModel is the star-topology parallel quantum GA on the stochastic job
+// shop. It has its own Q-bit encoding, so it bypasses the encoding
+// dispatch; the instance must be a (non-flexible) job shop and the
+// objective is the expected makespan over the sampled scenarios.
+type qgaModel struct{}
+
+// Name implements Model.
+func (qgaModel) Name() string { return "qga" }
+
+// Solve implements Model.
+func (qgaModel) Solve(_ context.Context, run *Run) (*Result, error) {
+	in := run.Instance
+	if in.Kind != shop.JobShop {
+		return nil, fmt.Errorf("qga requires a job shop instance, got %s", in.Kind)
+	}
+	if o := run.Spec.Objective; o != "" && o != "makespan" {
+		return nil, fmt.Errorf("qga optimises the expected makespan only, got objective %q", o)
+	}
+	if e := run.Spec.Encoding; e != "" {
+		return nil, fmt.Errorf("qga uses its own Q-bit encoding; leave Spec.Encoding empty, got %q", e)
+	}
+	p := run.Spec.Params
+	scenarios := p.Scenarios
+	if scenarios <= 0 {
+		scenarios = 6
+	}
+	sigma := p.Sigma
+	if sigma <= 0 {
+		sigma = 0.1
+	}
+	st := qga.NewStochastic(in, scenarios, sigma, run.RNG.Uint64())
+	n := islandCount(run, 4)
+	iv := interval(run, 5)
+	ep := epochs(run, iv)
+	b := run.Spec.Budget
+	res := qga.StarPQGA(st, run.RNG, n, iv, ep, qga.Config{
+		Pop:    subPop(run, n),
+		Bits:   p.Bits,
+		Target: b.Target, TargetSet: b.TargetSet,
+		Stop: run.stop,
+	})
+	if res.BestSeq == nil {
+		return nil, fmt.Errorf("qga cancelled before the first generation")
+	}
+	return &Result{
+		BestObjective: res.BestObj,
+		Evaluations:   res.Evaluations,
+		Generations:   res.Epochs * iv,
+		Encoding:      "qbits",
+		// The schedule realises the best sequence on the base (expected
+		// time) instance; BestObjective is its expected makespan over the
+		// scenarios, so the two deliberately differ.
+		Schedule: decode.JobShop(in, res.BestSeq),
+	}, nil
+}

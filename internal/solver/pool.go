@@ -1,0 +1,94 @@
+package solver
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool solves batches of Specs concurrently on a bounded worker pool —
+// the serving shape: many scenarios in flight, one process. The zero
+// value is ready to use.
+type Pool struct {
+	// Workers bounds the number of Specs solved concurrently
+	// (default GOMAXPROCS). Note the models parallelise internally too;
+	// for throughput over many small Specs, prefer pool-level parallelism
+	// (serial per-run models, many workers).
+	Workers int
+	// BaseSeed seeds the deterministic per-run derivation: a Spec whose
+	// Seed is 0 gets derive(BaseSeed, index), so a batch is reproducible
+	// run-to-run regardless of worker scheduling, while distinct indices
+	// still search independently.
+	BaseSeed uint64
+}
+
+// BatchItem pairs one Spec of a batch with its outcome. Exactly one of
+// Result/Err is set.
+type BatchItem struct {
+	Index  int     `json:"index"`
+	Spec   Spec    `json:"spec"`
+	Result *Result `json:"result,omitempty"`
+	Err    error   `json:"-"`
+}
+
+// deriveSeed is the SplitMix64 finaliser over (base, index): statistically
+// independent streams, deterministic in the index alone.
+func deriveSeed(base uint64, index int) uint64 {
+	z := base + 0x9E3779B97F4A7C15*uint64(index+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// Solve runs every spec and returns the items in input order. Cancelling
+// the context stops in-flight runs at their next generation boundary
+// (their partial Results carry Canceled) and fails not-yet-started items
+// with the context's error.
+func (p *Pool) Solve(ctx context.Context, specs []Spec) []BatchItem {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	items := make([]BatchItem, len(specs))
+	for i, s := range specs {
+		if s.Seed == 0 {
+			s.Seed = deriveSeed(p.BaseSeed, i)
+		}
+		items[i] = BatchItem{Index: i, Spec: s}
+	}
+	if len(specs) == 0 {
+		return items
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(items) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					items[i].Err = err
+					continue
+				}
+				items[i].Result, items[i].Err = Solve(ctx, items[i].Spec)
+			}
+		}()
+	}
+	wg.Wait()
+	return items
+}

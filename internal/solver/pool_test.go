@@ -1,0 +1,145 @@
+package solver
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// batchSpecs builds a mixed batch covering several models and kinds, all
+// with Seed 0 so the Pool derives the seeds.
+func batchSpecs(n int) []Spec {
+	models := []string{"serial", "ms", "island", "cellular"}
+	kinds := []string{"job", "flow", "open", "fjs"}
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = Spec{
+			Problem: ProblemSpec{Kind: kinds[i%len(kinds)], Jobs: 5, Machines: 3, Seed: int32(i + 1)},
+			Model:   models[i%len(models)],
+			Params:  Params{Pop: 16},
+			Budget:  Budget{Generations: 10},
+		}
+	}
+	return specs
+}
+
+// TestPoolSolvesBatch: a mixed batch comes back complete, in order, with
+// feasible schedules.
+func TestPoolSolvesBatch(t *testing.T) {
+	specs := batchSpecs(12)
+	items := (&Pool{Workers: 4, BaseSeed: 99}).Solve(context.Background(), specs)
+	if len(items) != len(specs) {
+		t.Fatalf("%d items for %d specs", len(items), len(specs))
+	}
+	for i, it := range items {
+		if it.Index != i {
+			t.Errorf("item %d has index %d", i, it.Index)
+		}
+		if it.Err != nil {
+			t.Errorf("item %d: %v", i, it.Err)
+			continue
+		}
+		if it.Result == nil || it.Result.Schedule == nil {
+			t.Errorf("item %d: no result", i)
+			continue
+		}
+		if err := it.Result.Schedule.Validate(); err != nil {
+			t.Errorf("item %d: infeasible: %v", i, err)
+		}
+		if it.Spec.Seed == 0 {
+			t.Errorf("item %d: seed not derived", i)
+		}
+	}
+}
+
+// TestPoolDeterministicSeeds: the same batch under the same BaseSeed is
+// reproducible run-to-run regardless of worker count or scheduling, and a
+// different BaseSeed changes the derived seeds.
+func TestPoolDeterministicSeeds(t *testing.T) {
+	specs := batchSpecs(8)
+	a := (&Pool{Workers: 1, BaseSeed: 5}).Solve(context.Background(), specs)
+	b := (&Pool{Workers: 8, BaseSeed: 5}).Solve(context.Background(), specs)
+	for i := range a {
+		if a[i].Err != nil || b[i].Err != nil {
+			t.Fatalf("item %d: %v / %v", i, a[i].Err, b[i].Err)
+		}
+		if a[i].Spec.Seed != b[i].Spec.Seed {
+			t.Errorf("item %d: derived seeds differ: %d vs %d", i, a[i].Spec.Seed, b[i].Spec.Seed)
+		}
+		if a[i].Result.BestObjective != b[i].Result.BestObjective {
+			t.Errorf("item %d: objective %v vs %v", i,
+				a[i].Result.BestObjective, b[i].Result.BestObjective)
+		}
+		if a[i].Result.Evaluations != b[i].Result.Evaluations {
+			t.Errorf("item %d: evaluations differ", i)
+		}
+	}
+	c := (&Pool{Workers: 4, BaseSeed: 6}).Solve(context.Background(), specs[:2])
+	if c[0].Spec.Seed == a[0].Spec.Seed {
+		t.Error("different BaseSeed derived the same run seed")
+	}
+	// Explicit seeds are respected verbatim.
+	fixed := batchSpecs(1)
+	fixed[0].Seed = 1234
+	d := (&Pool{BaseSeed: 5}).Solve(context.Background(), fixed)
+	if d[0].Spec.Seed != 1234 {
+		t.Errorf("explicit seed overridden: %d", d[0].Spec.Seed)
+	}
+}
+
+// TestPoolCancellation: cancelling the batch context stops in-flight runs
+// at a generation boundary and fails queued runs with the context error.
+func TestPoolCancellation(t *testing.T) {
+	specs := batchSpecs(16)
+	for i := range specs {
+		specs[i].Budget = Budget{Generations: 1 << 20}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	start := time.Now()
+	items := (&Pool{Workers: 2, BaseSeed: 7}).Solve(ctx, specs)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("pool did not cancel: ran %s", elapsed)
+	}
+	canceled, failed := 0, 0
+	for i, it := range items {
+		switch {
+		case it.Err != nil:
+			if it.Err != context.Canceled {
+				t.Errorf("item %d: unexpected error %v", i, it.Err)
+			}
+			failed++
+		case it.Result != nil && it.Result.Canceled:
+			canceled++
+		default:
+			t.Errorf("item %d finished an unbounded run uncancelled", i)
+		}
+	}
+	if canceled == 0 {
+		t.Error("no in-flight run reported a cancelled partial result")
+	}
+	if failed == 0 {
+		t.Error("no queued run failed fast with the context error")
+	}
+}
+
+// TestPoolEmpty: a nil batch is a no-op.
+func TestPoolEmpty(t *testing.T) {
+	if items := (&Pool{}).Solve(context.Background(), nil); len(items) != 0 {
+		t.Errorf("items %v", items)
+	}
+}
+
+// TestPoolSpecError: invalid specs fail their item without sinking the
+// batch.
+func TestPoolSpecError(t *testing.T) {
+	specs := batchSpecs(3)
+	specs[1].Model = "nope"
+	items := (&Pool{Workers: 2}).Solve(context.Background(), specs)
+	if items[1].Err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if items[0].Err != nil || items[2].Err != nil {
+		t.Errorf("valid specs failed: %v %v", items[0].Err, items[2].Err)
+	}
+}

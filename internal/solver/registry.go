@@ -1,0 +1,58 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Model is one parallelisation strategy behind a registry name. Solve is
+// handed the resolved Run and returns a Result with at least
+// BestObjective, Evaluations, Generations and Schedule set; the common
+// fields (model, instance, encoding, seed, elapsed, canceled) are filled
+// in by the solver layer.
+type Model interface {
+	Name() string
+	Solve(ctx context.Context, run *Run) (*Result, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Model{}
+)
+
+// Register adds a model to the registry. Registering a duplicate name
+// panics: names are the public API of Specs.
+func Register(m Model) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	name := m.Name()
+	if name == "" {
+		panic("solver: model with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("solver: duplicate model %q", name))
+	}
+	registry[name] = m
+}
+
+// Lookup resolves a registry name.
+func Lookup(name string) (Model, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	m, ok := registry[name]
+	return m, ok
+}
+
+// Names returns the registered model names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,368 @@
+// Package solver is the unified entry point over every parallel GA model
+// of the survey reproduction. The survey's central observation is that
+// master-slave, fine-grained, island and hybrid PGAs are interchangeable
+// parallelisation strategies over the same GA skeleton; this package makes
+// that interchangeability operational:
+//
+//   - a JSON-serialisable Spec names a problem (embedded benchmark,
+//     instance file, or generator parameters), an encoding, an objective,
+//     a model from the registry, model parameters, budgets and a seed;
+//   - Solve builds the instance, the bridge problem and the model, runs it
+//     under a context (cancellation and deadlines are threaded down to the
+//     engines' generation loops), and returns a unified Result with the
+//     best schedule, objective, evaluation count, wall time and an
+//     optional convergence trace;
+//   - Pool solves many Specs concurrently on a bounded worker pool with
+//     deterministic per-run seed derivation — the batch-serving shape.
+//
+// Models self-register in this package's init (serial, ms, island,
+// cellular, hybrid, agents, qga); external packages may Register more.
+package solver
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decode"
+	"repro/internal/rng"
+	"repro/internal/shop"
+)
+
+// ProblemSpec names or generates a shop scheduling instance.
+type ProblemSpec struct {
+	// Instance is an embedded benchmark name ("ft06") or a JSON file path.
+	// When set it overrides the generator fields below.
+	Instance string `json:"instance,omitempty"`
+	// Kind selects the generated machine environment: "flow", "job",
+	// "open", "fjs" (flexible job shop) or "ffs" (flexible flow shop).
+	Kind     string `json:"kind,omitempty"`
+	Jobs     int    `json:"jobs,omitempty"`     // generated jobs (default 10)
+	Machines int    `json:"machines,omitempty"` // generated machines (default 5)
+	Seed     int32  `json:"seed,omitempty"`     // instance generation seed
+}
+
+// Params bundles the model parameters a Spec may set; zero values select
+// model-specific defaults. One flat struct keeps Specs trivially
+// JSON-round-trippable; each model reads the fields it understands.
+type Params struct {
+	Pop      int `json:"pop,omitempty"`      // total population across islands (default 80)
+	Workers  int `json:"workers,omitempty"`  // ms slaves / cellular partitions (default 4 / 1)
+	Islands  int `json:"islands,omitempty"`  // islands, grids, processor agents (default 4; agents 8)
+	Interval int `json:"interval,omitempty"` // generations between migrations (default 5; hybrid 10)
+	Migrants int `json:"migrants,omitempty"` // emigrants per edge per epoch (default 1)
+
+	// Topology names the island connection graph: "ring" (default),
+	// "bi-ring", "torus", "full", "star" or "hypercube".
+	Topology string `json:"topology,omitempty"`
+
+	Width        int    `json:"width,omitempty"`        // cellular grid width
+	Height       int    `json:"height,omitempty"`       // cellular grid height
+	Neighborhood string `json:"neighborhood,omitempty"` // "l5" (default), "c9", "l9"
+
+	Elite         int     `json:"elite,omitempty"`          // elites per generation (default 1)
+	CrossoverRate float64 `json:"crossover_rate,omitempty"` // default 0.9
+	MutationRate  float64 `json:"mutation_rate,omitempty"`  // default 0.2
+
+	// Rule selects the open shop decoding rule: "earliest" (default),
+	// "lpt-task" or "lpt-machine".
+	Rule string `json:"rule,omitempty"`
+
+	Scenarios int     `json:"scenarios,omitempty"` // qga sampled scenarios (default 6)
+	Sigma     float64 `json:"sigma,omitempty"`     // qga processing-time deviation (default 0.1)
+	Bits      int     `json:"bits,omitempty"`      // qga bits per priority (default 4)
+}
+
+// Budget bundles the termination criteria; any satisfied criterion stops
+// the run. All-zero budgets default to 150 generations.
+//
+// Generations, Target and WallMillis apply to every model. Evaluations is
+// enforced exactly by the engine-driven models (serial, ms) and as a
+// derived generation bound by the epoch-structured models, which may
+// overshoot by up to one migration epoch. Stagnation applies to serial
+// and ms only.
+type Budget struct {
+	Generations int     `json:"generations,omitempty"`
+	Evaluations int64   `json:"evaluations,omitempty"`
+	Stagnation  int     `json:"stagnation,omitempty"`
+	Target      float64 `json:"target,omitempty"`
+	TargetSet   bool    `json:"target_set,omitempty"`
+	WallMillis  int64   `json:"wall_ms,omitempty"`
+}
+
+// Spec declares one solver run. The zero value is not valid: Problem and
+// Model must be set. Specs marshal to and from JSON without loss.
+type Spec struct {
+	Problem ProblemSpec `json:"problem"`
+	// Encoding selects the chromosome representation: "" (auto by kind),
+	// "perm" (job permutation, flow shop), "seq" (operation sequence),
+	// "keys" (random keys decoded by Giffler-Thompson) or "flex"
+	// (assignment + sequence, flexible shops).
+	Encoding string `json:"encoding,omitempty"`
+	// Objective names the minimised objective: "" or "makespan" (default),
+	// "twc", "twt", "twu", "max-tardiness", "energy".
+	Objective string `json:"objective,omitempty"`
+	// Model is a registry name; see Names().
+	Model  string `json:"model"`
+	Params Params `json:"params,omitempty"`
+	Budget Budget `json:"budget,omitempty"`
+	// Seed is the GA master seed (default 1). Pool derives per-run seeds
+	// for Specs left at 0.
+	Seed uint64 `json:"seed,omitempty"`
+	// Trace records the convergence trace in the Result (off by default:
+	// it costs per-generation statistics).
+	Trace bool `json:"trace,omitempty"`
+}
+
+// TracePoint is one sample of the convergence trace. Granularity depends
+// on the model: per generation for the panmictic and cellular models, per
+// migration epoch for the island model.
+type TracePoint struct {
+	Generation  int     `json:"gen"`
+	Evaluations int64   `json:"evals,omitempty"`
+	BestObj     float64 `json:"best"`
+}
+
+// Result is the unified outcome of a Solve.
+type Result struct {
+	Model         string        `json:"model"`
+	Instance      string        `json:"instance"`
+	Kind          string        `json:"kind"`
+	Encoding      string        `json:"encoding"`
+	Seed          uint64        `json:"seed"`
+	BestObjective float64       `json:"best_objective"`
+	Evaluations   int64         `json:"evaluations"`
+	Generations   int           `json:"generations"`
+	Elapsed       time.Duration `json:"elapsed_ns"`
+	Canceled      bool          `json:"canceled,omitempty"`
+	Trace         []TracePoint  `json:"trace,omitempty"`
+
+	// Schedule is the decoded best schedule. It is reconstructed from the
+	// winning genome and validated against Table I before Solve returns.
+	Schedule *shop.Schedule `json:"-"`
+}
+
+// RoundedElapsed returns Elapsed rounded to ~2 significant figures for
+// display.
+func (r *Result) RoundedElapsed() time.Duration {
+	return r.Elapsed.Round(r.Elapsed/100 + 1)
+}
+
+// Run is the resolved form of a Spec handed to a Model: the built
+// instance, the objective, the resolved encoding name, the seeded RNG and
+// the cancellation hook.
+type Run struct {
+	Spec      Spec // normalised: defaults applied
+	Instance  *shop.Instance
+	Objective shop.Objective
+	Encoding  string
+	RNG       *rng.RNG
+
+	stop func() bool
+}
+
+// Stopped reports whether the run's context has been cancelled; models
+// poll it between generations (it is also threaded into the engines as
+// Termination.Stop).
+func (r *Run) Stopped() bool { return r.stop != nil && r.stop() }
+
+// BuildInstance materialises a ProblemSpec: embedded benchmarks and files
+// by name, generated instances by kind.
+func BuildInstance(p ProblemSpec) (*shop.Instance, error) {
+	switch {
+	case p.Instance == "ft06":
+		return shop.FT06(), nil
+	case p.Instance != "":
+		return shop.LoadFile(p.Instance)
+	}
+	jobs, machines := p.Jobs, p.Machines
+	if jobs <= 0 {
+		jobs = 10
+	}
+	if machines <= 0 {
+		machines = 5
+	}
+	seed := p.Seed
+	if seed < 1 {
+		// The Taillard generator stream requires seeds in [1, 2^31-2].
+		seed = 1
+	}
+	switch p.Kind {
+	case "flow":
+		return shop.GenerateFlowShop("gen-flow", jobs, machines, seed), nil
+	case "job", "":
+		return shop.GenerateJobShop("gen-job", jobs, machines, seed, seed+1), nil
+	case "open":
+		return shop.GenerateOpenShop("gen-open", jobs, machines, seed), nil
+	case "fjs":
+		return shop.GenerateFlexibleJobShop("gen-fjs", jobs, machines, machines, 3, seed), nil
+	case "ffs":
+		per := machines / 2
+		if per < 1 {
+			per = 1
+		}
+		return shop.GenerateFlexibleFlowShop("gen-ffs", jobs, []int{per, machines - per}, true, seed), nil
+	default:
+		return nil, fmt.Errorf("solver: unknown problem kind %q", p.Kind)
+	}
+}
+
+// objectiveByName resolves an objective name to the shop objective.
+func objectiveByName(name string) (shop.Objective, error) {
+	switch name {
+	case "", "makespan":
+		return shop.Makespan, nil
+	case "twc":
+		return shop.TotalWeightedCompletion, nil
+	case "twt":
+		return shop.TotalWeightedTardiness, nil
+	case "twu":
+		return shop.TotalWeightedUnitPenalty, nil
+	case "max-tardiness":
+		return shop.MaxTardiness, nil
+	case "energy":
+		return shop.Energy, nil
+	default:
+		return nil, fmt.Errorf("solver: unknown objective %q", name)
+	}
+}
+
+// normalized applies the spec-level defaults shared by all models.
+func (s Spec) normalized() Spec {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Params.Pop <= 0 {
+		s.Params.Pop = 80
+	}
+	b := &s.Budget
+	if b.Generations <= 0 && b.Evaluations <= 0 && b.Stagnation <= 0 &&
+		!b.TargetSet && b.WallMillis <= 0 {
+		b.Generations = 150
+	}
+	if b.Generations <= 0 {
+		if b.Evaluations > 0 {
+			// Epoch-structured models drive their run length from the
+			// generation budget; derive one so an evaluations-only budget
+			// bounds them too (~Pop evaluations per generation).
+			b.Generations = int(b.Evaluations/int64(s.Params.Pop)) + 1
+		} else {
+			// A wall/target-only budget still needs a generation scale.
+			b.Generations = 1 << 20
+		}
+	}
+	return s
+}
+
+// termination maps the budget and the cancellation hook onto the engine's
+// stopping criteria.
+func (r *Run) termination() core.Termination {
+	b := r.Spec.Budget
+	return core.Termination{
+		MaxGenerations: b.Generations,
+		MaxEvaluations: b.Evaluations,
+		MaxStagnation:  b.Stagnation,
+		Target:         b.Target,
+		TargetSet:      b.TargetSet,
+		WallClock:      time.Duration(b.WallMillis) * time.Millisecond,
+		Stop:           r.stop,
+	}
+}
+
+// Solve runs one Spec to completion (or cancellation) and returns the
+// unified Result. The context's cancellation and deadline are polled by
+// the model between generations, so Solve returns promptly with the best
+// found so far and Result.Canceled set. Errors are reserved for invalid
+// specs and infeasible decoded schedules.
+func Solve(ctx context.Context, spec Spec) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	spec = spec.normalized()
+	in, err := BuildInstance(spec.Problem)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := objectiveByName(spec.Objective)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := resolveEncoding(spec.Encoding, in)
+	if err != nil {
+		return nil, err
+	}
+	model, ok := Lookup(spec.Model)
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown model %q (registered: %v)", spec.Model, Names())
+	}
+	// Enforce the wall budget as a context deadline so it reaches every
+	// model through the Stop hook (the epoch-structured models never see
+	// the engine-level WallClock criterion).
+	userCtx := ctx
+	if w := spec.Budget.WallMillis; w > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(w)*time.Millisecond)
+		defer cancel()
+	}
+	run := &Run{
+		Spec:      spec,
+		Instance:  in,
+		Objective: obj,
+		Encoding:  enc,
+		RNG:       rng.New(spec.Seed),
+		stop: func() bool {
+			select {
+			case <-ctx.Done():
+				return true
+			default:
+				return false
+			}
+		},
+	}
+	start := time.Now()
+	res, err := model.Solve(ctx, run)
+	if err != nil {
+		return nil, fmt.Errorf("solver: model %s: %w", spec.Model, err)
+	}
+	res.Model = spec.Model
+	res.Instance = in.Name
+	res.Kind = in.Kind.String()
+	if res.Encoding == "" {
+		// Models with a private representation (qga's Q-bits) set their
+		// own; everything else reports the resolved encoding it ran.
+		res.Encoding = enc
+	}
+	res.Seed = spec.Seed
+	res.Elapsed = time.Since(start)
+	// A run stopped by its own wall budget completed normally; Canceled
+	// reports only caller-initiated cancellation.
+	res.Canceled = userCtx.Err() != nil
+	if res.Schedule == nil {
+		return nil, fmt.Errorf("solver: model %s returned no schedule", spec.Model)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		return nil, fmt.Errorf("solver: model %s produced infeasible schedule: %w", spec.Model, err)
+	}
+	return res, nil
+}
+
+// Reference returns the heuristic reference objective for the spec's
+// instance (the survey's Fbar), for gap reporting next to a Result.
+func Reference(spec Spec) (float64, error) {
+	in, err := BuildInstance(spec.Problem)
+	if err != nil {
+		return 0, err
+	}
+	return ReferenceFor(in, spec.Objective)
+}
+
+// ReferenceFor is Reference for an already-built instance, so callers
+// that hold one (to print instance details, say) need not rebuild it.
+func ReferenceFor(in *shop.Instance, objective string) (float64, error) {
+	obj, err := objectiveByName(objective)
+	if err != nil {
+		return 0, err
+	}
+	return decode.Reference(in, obj), nil
+}
