@@ -54,7 +54,8 @@ func BenchmarkTableIII_MasterSlave(b *testing.B) {
 	out := make([]float64, len(genomes))
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			ev := masterslave.PoolEvaluator[[]int]{Workers: w}
+			ev := &masterslave.PoolEvaluator[[]int]{Workers: w}
+			defer ev.Close()
 			for i := 0; i < b.N; i++ {
 				ev.EvalAll(genomes, prob.Evaluate, out)
 			}

@@ -12,8 +12,15 @@
 // JSON-serialisable Spec resolved through a model registry, with a
 // concurrent batch Pool for many-scenario workloads.
 //
-// See README.md for the layout and the solver API, DESIGN.md for the
-// system inventory and per-experiment index, and EXPERIMENTS.md for
-// paper-vs-measured results. The top-level bench suite (bench_test.go)
-// times one kernel per table plus the solver pool.
+// Evaluation — the hot path of every parallel model — is split into
+// schedule-building oracle decoders (reference semantics, final results)
+// and allocation-free makespan kernels in internal/decode that decode into
+// a reusable Scratch workspace; property tests pin the kernels to the
+// oracles bit for bit, and BENCH_hotpath.json records the measured gap.
+//
+// See README.md for the layout, the solver API and the performance
+// architecture, DESIGN.md for the system inventory and per-experiment
+// index, and EXPERIMENTS.md for paper-vs-measured results. The top-level
+// bench suites (bench_test.go, hotpath_bench_test.go) time one kernel per
+// table, the solver pool, and the alloc-guarded evaluation hot path.
 package repro

@@ -45,11 +45,26 @@ type Problem[G any] interface {
 	Clone(g G) G
 }
 
-// FuncProblem adapts three closures to the Problem interface.
+// CloneIntoProblem is the optional recycling extension of Problem: CloneInto
+// returns a deep copy of src that may reuse dst's storage capacity. The
+// engine detects it and feeds dead genomes from retired generations back as
+// dst, so steady-state genome copies stop allocating. Implementations must
+// leave the result independent of src (mutating it must not affect src) and
+// must accept the zero value of G as dst.
+type CloneIntoProblem[G any] interface {
+	Problem[G]
+	CloneInto(dst, src G) G
+}
+
+// FuncProblem adapts three closures to the Problem interface, plus an
+// optional fourth for the CloneIntoProblem recycling seam.
 type FuncProblem[G any] struct {
 	RandomFn   func(r *rng.RNG) G
 	EvaluateFn func(g G) float64
 	CloneFn    func(g G) G
+	// CloneIntoFn, when set, copies src reusing dst's capacity; when nil,
+	// CloneInto falls back to a plain Clone.
+	CloneIntoFn func(dst, src G) G
 }
 
 // Random implements Problem.
@@ -60,6 +75,15 @@ func (p FuncProblem[G]) Evaluate(g G) float64 { return p.EvaluateFn(g) }
 
 // Clone implements Problem.
 func (p FuncProblem[G]) Clone(g G) G { return p.CloneFn(g) }
+
+// CloneInto implements CloneIntoProblem, falling back to Clone when no
+// CloneIntoFn was provided.
+func (p FuncProblem[G]) CloneInto(dst, src G) G {
+	if p.CloneIntoFn == nil {
+		return p.CloneFn(src)
+	}
+	return p.CloneIntoFn(dst, src)
+}
 
 // Fitness maps an objective value (minimised) to a fitness value
 // (maximised). Both transforms from the survey's Section III.A are provided.

@@ -85,6 +85,21 @@ type Engine[G any] struct {
 	stagnation int
 	started    time.Time
 	history    []GenStats
+
+	// Generation double-buffering: Step writes the next generation into
+	// spare and swaps, so the per-generation individual, genome and
+	// objective slices are allocated once and reused for the whole run.
+	spare     []Individual[G]
+	children  []G
+	childObjs []float64
+
+	// Genome recycling through the CloneIntoProblem seam: free holds the
+	// dead genomes of the previous generation, swapped out at the end of
+	// the last Step (nobody can reference them any more — elites and the
+	// incumbent best are always cloned, migration clones before
+	// injecting), and cloneInto reuses their capacity for new copies.
+	free      []G
+	cloneInto func(dst, src G) G
 }
 
 // New creates an engine, applies config defaults, and evaluates the initial
@@ -134,6 +149,9 @@ func New[G any](p Problem[G], r *rng.RNG, cfg Config[G]) *Engine[G] {
 		}
 	}
 	e := &Engine[G]{prob: p, cfg: cfg, rng: r, started: time.Now()}
+	if ci, ok := p.(CloneIntoProblem[G]); ok {
+		e.cloneInto = ci.CloneInto
+	}
 	e.pop = make([]Individual[G], cfg.Pop)
 	genomes := make([]G, cfg.Pop)
 	for i := range e.pop {
@@ -144,6 +162,10 @@ func New[G any](p Problem[G], r *rng.RNG, cfg Config[G]) *Engine[G] {
 	for i := range e.pop {
 		e.pop[i] = Individual[G]{Genome: genomes[i], Obj: objs[i], Fit: cfg.Fitness(objs[i])}
 	}
+	// Seed the per-generation scratch slices with the initialisation
+	// buffers; Step reuses them for the rest of the run.
+	e.children = genomes[:0]
+	e.childObjs = objs[:0]
 	e.refreshBest()
 	return e
 }
@@ -157,7 +179,15 @@ func (e *Engine[G]) refreshBest() {
 	improved := false
 	for _, ind := range e.pop {
 		if !e.bestValid || ind.Obj < e.best.Obj {
-			e.best = Individual[G]{Genome: e.prob.Clone(ind.Genome), Obj: ind.Obj, Fit: ind.Fit}
+			// The incumbent best genome is engine-owned (Best() hands out
+			// clones), so its capacity can be recycled for the new copy.
+			g := e.best.Genome
+			if e.cloneInto != nil {
+				g = e.cloneInto(g, ind.Genome)
+			} else {
+				g = e.prob.Clone(ind.Genome)
+			}
+			e.best = Individual[G]{Genome: g, Obj: ind.Obj, Fit: ind.Fit}
 			e.bestValid = true
 			improved = true
 		}
@@ -167,6 +197,17 @@ func (e *Engine[G]) refreshBest() {
 	} else {
 		e.stagnation++
 	}
+}
+
+// cloneGenome deep-copies src for the next generation, reusing the capacity
+// of a retired genome when the problem supports CloneInto.
+func (e *Engine[G]) cloneGenome(src G) G {
+	if e.cloneInto != nil && len(e.free) > 0 {
+		dst := e.free[len(e.free)-1]
+		e.free = e.free[:len(e.free)-1]
+		return e.cloneInto(dst, src)
+	}
+	return e.prob.Clone(src)
 }
 
 // Generation returns the current generation counter.
@@ -186,6 +227,10 @@ func (e *Engine[G]) Stagnation() int { return e.stagnation }
 
 // Population returns the live population slice. Callers (migration
 // operators) may replace individuals but must keep Obj and Fit consistent.
+// The slice and the genomes it references are valid only until the next
+// Step: the engine double-buffers generations and recycles retired genome
+// storage, so callers that need an individual beyond the current generation
+// must Clone its genome.
 func (e *Engine[G]) Population() []Individual[G] { return e.pop }
 
 // SetPopulation replaces the population, e.g. when islands merge.
@@ -238,15 +283,33 @@ func (e *Engine[G]) Done() bool {
 }
 
 // Step runs one generation: Selection, Crossover, Mutation, Evaluation,
-// elitist replacement (Table II lines 4-7).
+// elitist replacement (Table II lines 4-7). The next generation is written
+// into a double buffer that alternates with the current population, so the
+// per-generation slices are allocated once per engine, not once per Step.
 func (e *Engine[G]) Step() {
 	e.gen++
 	n := e.cfg.Pop
-	var children []G
+	// Harvest the genomes of the generation swapped out at the end of the
+	// previous Step: their slots in e.spare are about to be overwritten and
+	// no live reference to them can remain (elites and the incumbent best
+	// are always cloned, and migration code clones before injecting).
+	if e.cloneInto != nil {
+		e.free = e.free[:0]
+		for i := range e.spare {
+			e.free = append(e.free, e.spare[i].Genome)
+		}
+	}
+	next := e.spare
+	if cap(next) < n {
+		next = make([]Individual[G], n)
+	}
+	next = next[:n]
+
+	children := e.children[:0]
+	nElite := 0
 	if e.cfg.Immigration.Enabled {
-		children = e.immigrationOffspring()
+		nElite, children = e.immigrationOffspring(next, children)
 	} else {
-		children = make([]G, 0, n)
 		for len(children) < n {
 			i1 := e.cfg.Ops.Select(e.rng, e.pop)
 			i2 := e.cfg.Ops.Select(e.rng, e.pop)
@@ -254,8 +317,8 @@ func (e *Engine[G]) Step() {
 			if e.rng.Bool(e.cfg.CrossoverRate) {
 				c1, c2 = e.cfg.Ops.Cross(e.rng, e.pop[i1].Genome, e.pop[i2].Genome)
 			} else {
-				c1 = e.prob.Clone(e.pop[i1].Genome)
-				c2 = e.prob.Clone(e.pop[i2].Genome)
+				c1 = e.cloneGenome(e.pop[i1].Genome)
+				c2 = e.cloneGenome(e.pop[i2].Genome)
 			}
 			if e.rng.Bool(e.cfg.MutationRate) {
 				e.cfg.Ops.Mutate(e.rng, c1)
@@ -268,37 +331,47 @@ func (e *Engine[G]) Step() {
 		children = children[:n]
 	}
 
-	objs := make([]float64, len(children))
+	objs := e.childObjs
+	if cap(objs) < len(children) {
+		objs = make([]float64, len(children))
+	}
+	objs = objs[:len(children)]
 	e.evalBatch(children, objs)
-	next := make([]Individual[G], len(children))
 	for i := range children {
-		next[i] = Individual[G]{Genome: children[i], Obj: objs[i], Fit: e.cfg.Fitness(objs[i])}
+		next[nElite+i] = Individual[G]{Genome: children[i], Obj: objs[i], Fit: e.cfg.Fitness(objs[i])}
 	}
 
 	if e.cfg.Elite > 0 && !e.cfg.Immigration.Enabled {
 		e.applyElitism(next)
 	}
+	e.children = children[:0]
+	e.childObjs = objs[:0]
+	e.spare = e.pop
 	e.pop = next
 	e.refreshBest()
 	e.record()
 }
 
-// immigrationOffspring builds the next generation genomes per Huang et
-// al.: elites are copied directly (already evaluated, but re-evaluated
-// uniformly for simplicity of the evaluator seam), the crossover share
-// recombines selected parents, and the rest are random immigrants.
-func (e *Engine[G]) immigrationOffspring() []G {
+// immigrationOffspring builds the next generation per Huang et al.: elites
+// are copied directly with their cached Obj/Fit (no evaluation budget is
+// spent on known genomes), the crossover share recombines selected parents,
+// and the rest are random immigrants. Elites are written to next[:nElite];
+// the genomes still needing evaluation are appended to children.
+func (e *Engine[G]) immigrationOffspring(next []Individual[G], children []G) (nElite int, _ []G) {
 	n := e.cfg.Pop
 	nBest := int(float64(n) * e.cfg.Immigration.BestFrac)
 	nRand := int(float64(n) * e.cfg.Immigration.RandomFrac)
 	nCross := n - nBest - nRand
-	out := make([]G, 0, n)
-	// Elites: best nBest genomes of the current population.
+	// Elites: best nBest individuals of the current population, carried
+	// over with their cached objective and fitness.
 	order := sortedIndices(e.pop)
 	for i := 0; i < nBest && i < len(order); i++ {
-		out = append(out, e.prob.Clone(e.pop[order[i]].Genome))
+		src := e.pop[order[i]]
+		next[nElite] = Individual[G]{Genome: e.cloneGenome(src.Genome), Obj: src.Obj, Fit: src.Fit}
+		nElite++
 	}
-	for len(out) < nBest+nCross {
+	nChildren := nBest + nCross - nElite
+	for len(children) < nChildren {
 		i1 := e.cfg.Ops.Select(e.rng, e.pop)
 		i2 := e.cfg.Ops.Select(e.rng, e.pop)
 		c1, c2 := e.cfg.Ops.Cross(e.rng, e.pop[i1].Genome, e.pop[i2].Genome)
@@ -308,19 +381,19 @@ func (e *Engine[G]) immigrationOffspring() []G {
 		if e.rng.Bool(e.cfg.MutationRate) {
 			e.cfg.Ops.Mutate(e.rng, c2)
 		}
-		out = append(out, c1)
-		if len(out) < nBest+nCross {
-			out = append(out, c2)
+		children = append(children, c1)
+		if len(children) < nChildren {
+			children = append(children, c2)
 		}
 	}
-	for len(out) < n {
-		out = append(out, e.prob.Random(e.rng))
+	for nElite+len(children) < n {
+		children = append(children, e.prob.Random(e.rng))
 	}
-	return out
+	return nElite, children
 }
 
 // applyElitism copies the Elite best previous individuals over the worst
-// children.
+// children, recycling the displaced children's genome storage.
 func (e *Engine[G]) applyElitism(next []Individual[G]) {
 	prevOrder := sortedIndices(e.pop)
 	nextOrder := sortedIndices(next)
@@ -332,8 +405,11 @@ func (e *Engine[G]) applyElitism(next []Individual[G]) {
 		eliteIdx := prevOrder[i]
 		worstIdx := nextOrder[len(nextOrder)-1-i]
 		if e.pop[eliteIdx].Obj < next[worstIdx].Obj {
+			if e.cloneInto != nil {
+				e.free = append(e.free, next[worstIdx].Genome)
+			}
 			next[worstIdx] = Individual[G]{
-				Genome: e.prob.Clone(e.pop[eliteIdx].Genome),
+				Genome: e.cloneGenome(e.pop[eliteIdx].Genome),
 				Obj:    e.pop[eliteIdx].Obj,
 				Fit:    e.pop[eliteIdx].Fit,
 			}

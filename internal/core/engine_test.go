@@ -206,6 +206,101 @@ func TestNewPanics(t *testing.T) {
 	}
 }
 
+// sortProblemCloneInto is sortProblem with the CloneInto recycling seam, so
+// the engine's genome freelist is exercised.
+func sortProblemCloneInto(n int) Problem[[]int] {
+	p := sortProblem(n).(FuncProblem[[]int])
+	p.CloneIntoFn = func(dst, src []int) []int { return append(dst[:0], src...) }
+	return p
+}
+
+// TestCloneIntoTrajectoryIdentical pins the recycling seam's contract: an
+// engine recycling genome storage through CloneInto must follow exactly the
+// trajectory of an engine that allocates every copy.
+func TestCloneIntoTrajectoryIdentical(t *testing.T) {
+	run := func(p Problem[[]int]) Result[[]int] {
+		return New(p, rng.New(17), Config[[]int]{
+			Pop: 30, Elite: 2, Ops: permOps(), Term: Termination{MaxGenerations: 60},
+		}).Run()
+	}
+	plain := run(sortProblem(12))
+	recycled := run(sortProblemCloneInto(12))
+	if plain.Best.Obj != recycled.Best.Obj || plain.Evaluations != recycled.Evaluations {
+		t.Fatalf("CloneInto diverged: %v/%v vs %v/%v",
+			plain.Best.Obj, plain.Evaluations, recycled.Best.Obj, recycled.Evaluations)
+	}
+	for i := range plain.Best.Genome {
+		if plain.Best.Genome[i] != recycled.Best.Genome[i] {
+			t.Fatal("best genomes differ under CloneInto recycling")
+		}
+	}
+}
+
+// TestCloneIntoImmigrationTrajectoryIdentical covers the recycling seam on
+// the immigration generation scheme as well.
+func TestCloneIntoImmigrationTrajectoryIdentical(t *testing.T) {
+	imm := Immigration{Enabled: true, BestFrac: 0.2, CrossFrac: 0.6, RandomFrac: 0.2}
+	run := func(p Problem[[]int]) Result[[]int] {
+		return New(p, rng.New(23), Config[[]int]{
+			Pop: 20, Ops: permOps(), Immigration: imm,
+			Term: Termination{MaxGenerations: 40},
+		}).Run()
+	}
+	plain := run(sortProblem(10))
+	recycled := run(sortProblemCloneInto(10))
+	if plain.Best.Obj != recycled.Best.Obj || plain.Evaluations != recycled.Evaluations {
+		t.Fatalf("CloneInto diverged under immigration: %v/%v vs %v/%v",
+			plain.Best.Obj, plain.Evaluations, recycled.Best.Obj, recycled.Evaluations)
+	}
+}
+
+// TestImmigrationElitesNotReevaluated pins the evaluation budget of the
+// immigration scheme: elites carry their cached objective, so each
+// generation spends Pop - nBest evaluations, not Pop.
+func TestImmigrationElitesNotReevaluated(t *testing.T) {
+	pop, gens := 20, 10
+	e := New(sortProblem(8), rng.New(31), Config[[]int]{
+		Pop: pop, Ops: permOps(),
+		Immigration: Immigration{Enabled: true, BestFrac: 0.2, CrossFrac: 0.6, RandomFrac: 0.2},
+		Term:        Termination{MaxGenerations: gens},
+	})
+	res := e.Run()
+	nBest := int(float64(pop) * 0.2)
+	want := int64(pop + gens*(pop-nBest))
+	if res.Evaluations != want {
+		t.Fatalf("evaluations = %d, want %d (init %d + %d gens x %d children)",
+			res.Evaluations, want, pop, gens, pop-nBest)
+	}
+	// Elites must still carry consistent cached values.
+	for _, ind := range e.Population() {
+		if got := e.Problem().Evaluate(ind.Genome); got != ind.Obj {
+			t.Fatalf("cached objective %v, re-evaluated %v", ind.Obj, got)
+		}
+	}
+}
+
+// TestStepReusesGenerationBuffers pins the double-buffering: after warm-up,
+// the population slices alternate between exactly two backing arrays.
+func TestStepReusesGenerationBuffers(t *testing.T) {
+	e := New(sortProblem(8), rng.New(37), Config[[]int]{
+		Pop: 16, Ops: permOps(), Term: Termination{MaxGenerations: 1 << 30},
+	})
+	e.Step()
+	a := &e.Population()[0]
+	e.Step()
+	b := &e.Population()[0]
+	if a == b {
+		t.Fatal("consecutive generations share one buffer")
+	}
+	for i := 0; i < 6; i++ {
+		e.Step()
+		p := &e.Population()[0]
+		if want := []*Individual[[]int]{a, b}[i%2]; p != want {
+			t.Fatalf("step %d: population buffer not recycled", i)
+		}
+	}
+}
+
 func TestImmigrationScheme(t *testing.T) {
 	e := New(sortProblem(8), rng.New(21), Config[[]int]{
 		Pop: 20, Ops: permOps(),

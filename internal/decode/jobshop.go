@@ -1,6 +1,8 @@
 package decode
 
 import (
+	"sort"
+
 	"repro/internal/dgraph"
 	"repro/internal/shop"
 )
@@ -61,29 +63,37 @@ func JobShop(in *shop.Instance, seq []int) *shop.Schedule {
 func MachineOrders(s *shop.Schedule) [][]int {
 	in := s.Inst
 	off := OpOffsets(in)
-	orders := make([][]int, in.NumMachines)
-	// Insertion by start time keeps this O(ops * ops-per-machine) which is
-	// fine at benchmark sizes and avoids importing sort in the hot path.
-	type ev struct{ id, start int }
-	byMachine := make([][]ev, in.NumMachines)
-	for _, a := range s.Ops {
-		id := off[a.Job] + a.Op
-		lst := byMachine[a.Machine]
-		pos := len(lst)
-		for pos > 0 && lst[pos-1].start > a.Start {
-			pos--
-		}
-		lst = append(lst, ev{})
-		copy(lst[pos+1:], lst[pos:])
-		lst[pos] = ev{id: id, start: a.Start}
-		byMachine[a.Machine] = lst
+	// One flat sort by (machine, start, schedule position) replaces the old
+	// O(ops * ops-per-machine) per-machine insertion: equal starts keep
+	// their schedule order, so the result is identical to a stable
+	// insertion by start time.
+	type ev struct{ machine, start, pos, id int }
+	evs := make([]ev, len(s.Ops))
+	for i, a := range s.Ops {
+		evs[i] = ev{machine: a.Machine, start: a.Start, pos: i, id: off[a.Job] + a.Op}
 	}
-	for m, lst := range byMachine {
-		ids := make([]int, len(lst))
-		for i, e := range lst {
-			ids[i] = e.id
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := &evs[i], &evs[j]
+		if a.machine != b.machine {
+			return a.machine < b.machine
 		}
-		orders[m] = ids
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		return a.pos < b.pos
+	})
+	orders := make([][]int, in.NumMachines)
+	for lo := 0; lo < len(evs); {
+		hi := lo
+		for hi < len(evs) && evs[hi].machine == evs[lo].machine {
+			hi++
+		}
+		ids := make([]int, hi-lo)
+		for i := lo; i < hi; i++ {
+			ids[i-lo] = evs[i].id
+		}
+		orders[evs[lo].machine] = ids
+		lo = hi
 	}
 	return orders
 }

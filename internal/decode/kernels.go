@@ -1,0 +1,506 @@
+package decode
+
+import "repro/internal/shop"
+
+// This file holds the allocation-free evaluation hot path. The GPU follow-up
+// works to the survey (Luo et al., arXiv:1903.10722 and 1903.10741) obtain
+// their speedups by making the fitness kernel allocation-free and
+// batch-friendly; the kernels below are the CPU equivalent: they decode a
+// genome into caller-owned buffers and return the objective without
+// materialising a shop.Schedule. The schedule-building decoders in
+// jobshop.go, flowshop.go, openshop.go and flexible.go are kept untouched as
+// the oracle; kernels_test.go asserts bit-identical objectives across seeded
+// random genomes.
+
+// Scratch is a reusable workspace for the makespan kernels and the
+// schedule-reusing *Into decoders. A Scratch is not safe for concurrent use;
+// wrap it in a sync.Pool (as internal/shopga does) to share one pool of
+// workspaces between parallel evaluators. The zero value works and grows on
+// first use; NewScratch pre-sizes every buffer so that subsequent
+// evaluations on instances of the same or smaller shape never allocate.
+type Scratch struct {
+	nextOp   []int
+	jobReady []int
+	machFree []int
+	lastJob  []int
+	machLoad []int
+	done     []bool
+	off      []int
+	row      []int
+
+	// sched is the schedule reused by the Into decoders. It lives behind a
+	// pointer-stable field so callers can hold the *shop.Schedule returned
+	// by an Into decoder until the next use of this Scratch.
+	sched shop.Schedule
+}
+
+// NewScratch returns a Scratch pre-sized for in, so every kernel call on in
+// (or any smaller instance) is allocation-free.
+func NewScratch(in *shop.Instance) *Scratch {
+	n := len(in.Jobs)
+	total := in.TotalOps()
+	return &Scratch{
+		nextOp:   make([]int, n),
+		jobReady: make([]int, n),
+		machFree: make([]int, in.NumMachines),
+		lastJob:  make([]int, in.NumMachines),
+		machLoad: make([]int, in.NumMachines),
+		done:     make([]bool, total),
+		off:      make([]int, n+1),
+		row:      make([]int, in.NumMachines),
+		sched:    shop.Schedule{Ops: make([]shop.Assignment, 0, total)},
+	}
+}
+
+// growInts returns buf resized to n, reusing capacity when possible. The
+// contents are unspecified; callers must initialise.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+// jobState resets the per-job decoding state shared by the sequence kernels:
+// next-operation cursors at zero and job-ready times at the release dates.
+func (s *Scratch) jobState(in *shop.Instance) {
+	n := len(in.Jobs)
+	s.nextOp = growInts(s.nextOp, n)
+	s.jobReady = growInts(s.jobReady, n)
+	for j := 0; j < n; j++ {
+		s.nextOp[j] = 0
+		s.jobReady[j] = in.Jobs[j].Release
+	}
+}
+
+// machState resets machine-free times and, when withLast, the last-job
+// markers used by sequence-dependent setups.
+func (s *Scratch) machState(in *shop.Instance, withLast bool) {
+	m := in.NumMachines
+	s.machFree = growInts(s.machFree, m)
+	for i := 0; i < m; i++ {
+		s.machFree[i] = 0
+	}
+	if withLast {
+		s.lastJob = growInts(s.lastJob, m)
+		for i := 0; i < m; i++ {
+			s.lastJob[i] = -1
+		}
+	}
+}
+
+// offsets fills s.off with the flattened operation offsets of in (the
+// allocation-free OpOffsets).
+func (s *Scratch) offsets(in *shop.Instance) []int {
+	n := len(in.Jobs)
+	s.off = growInts(s.off, n+1)
+	s.off[0] = 0
+	for j, job := range in.Jobs {
+		s.off[j+1] = s.off[j] + len(job.Ops)
+	}
+	return s.off
+}
+
+// schedule resets and returns the reusable schedule for the Into decoders.
+func (s *Scratch) schedule(in *shop.Instance) *shop.Schedule {
+	s.sched.Inst = in
+	if cap(s.sched.Ops) < in.TotalOps() {
+		s.sched.Ops = make([]shop.Assignment, 0, in.TotalOps())
+	} else {
+		s.sched.Ops = s.sched.Ops[:0]
+	}
+	return &s.sched
+}
+
+// scratchOrNew tolerates a nil scratch for one-off calls.
+func scratchOrNew(in *shop.Instance, s *Scratch) *Scratch {
+	if s == nil {
+		return NewScratch(in)
+	}
+	return s
+}
+
+// jobShopDecode runs the semi-active decoding loop shared by the makespan
+// kernel and the Into decoder, appending assignments to out when non-nil,
+// and returns the makespan.
+func jobShopDecode(in *shop.Instance, seq []int, s *Scratch, out *shop.Schedule) int {
+	s.jobState(in)
+	s.machState(in, in.Setup != nil)
+	ms := 0
+	for _, j := range seq {
+		k := s.nextOp[j]
+		if k >= len(in.Jobs[j].Ops) {
+			continue // tolerate over-long sequences, like the oracle
+		}
+		op := &in.Jobs[j].Ops[k]
+		m := op.Machines[0]
+		setup := 0
+		if in.Setup != nil {
+			prev := s.lastJob[m]
+			if prev < 0 {
+				prev = j
+			}
+			setup = in.SetupTime(m, prev, j)
+			s.lastJob[m] = j
+		}
+		start := s.jobReady[j]
+		if t := s.machFree[m] + setup; t > start {
+			start = t
+		}
+		end := start + op.Times[0]
+		if out != nil {
+			out.Ops = append(out.Ops, shop.Assignment{Job: j, Op: k, Machine: m, Start: start, End: end})
+		}
+		s.jobReady[j] = end
+		s.machFree[m] = end
+		s.nextOp[j] = k + 1
+		if end > ms {
+			ms = end
+		}
+	}
+	return ms
+}
+
+// JobShopMakespan is the allocation-free counterpart of
+// JobShop(in, seq).Makespan(): it runs the same semi-active decoding loop,
+// including detached sequence-dependent setups, but tracks only the running
+// maximum completion time. s may be nil for a one-off call.
+func JobShopMakespan(in *shop.Instance, seq []int, s *Scratch) int {
+	return jobShopDecode(in, seq, scratchOrNew(in, s), nil)
+}
+
+// JobShopInto decodes like JobShop but reuses s's buffers and schedule,
+// allocating nothing once s is warm. The returned schedule is owned by s and
+// is valid until s's next use; callers that keep it must copy it first.
+func JobShopInto(in *shop.Instance, seq []int, s *Scratch) *shop.Schedule {
+	s = scratchOrNew(in, s)
+	out := s.schedule(in)
+	jobShopDecode(in, seq, s, out)
+	return out
+}
+
+// FlowShopMakespanWith is FlowShopMakespan drawing its completion row from
+// the shared Scratch workspace, so one pooled Scratch serves every kernel.
+func FlowShopMakespanWith(in *shop.Instance, perm []int, s *Scratch) int {
+	s = scratchOrNew(in, s)
+	s.row = growInts(s.row, in.NumMachines)
+	return FlowShopMakespan(in, perm, s.row)
+}
+
+// FlowShopInto decodes like FlowShop but reuses s's buffers and schedule.
+// The returned schedule is valid until s's next use.
+func FlowShopInto(in *shop.Instance, perm []int, s *Scratch) *shop.Schedule {
+	s = scratchOrNew(in, s)
+	s.machState(in, false)
+	out := s.schedule(in)
+	for _, j := range perm {
+		ready := in.Jobs[j].Release
+		for stage := range in.Jobs[j].Ops {
+			op := &in.Jobs[j].Ops[stage]
+			mi := op.Machines[0]
+			start := ready
+			if s.machFree[mi] > start {
+				start = s.machFree[mi]
+			}
+			end := start + op.Times[0]
+			out.Ops = append(out.Ops, shop.Assignment{
+				Job: j, Op: stage, Machine: mi, Start: start, End: end,
+			})
+			s.machFree[mi] = end
+			ready = end
+		}
+	}
+	return out
+}
+
+// gtPick runs one Giffler-Thompson iteration's selection shared by the
+// makespan kernel and the Into decoder: find the candidate with minimal
+// earliest completion time, then the highest-priority member of the
+// conflict set on its machine. It returns the chosen job and its machine.
+func gtPick(in *shop.Instance, priority []float64, s *Scratch, off []int) (chosen, bestM int) {
+	n := len(in.Jobs)
+	bestJob, bestECT := -1, 0
+	bestM = -1
+	for j := 0; j < n; j++ {
+		k := s.nextOp[j]
+		if k >= len(in.Jobs[j].Ops) {
+			continue
+		}
+		op := &in.Jobs[j].Ops[k]
+		m := op.Machines[0]
+		est := s.jobReady[j]
+		if s.machFree[m] > est {
+			est = s.machFree[m]
+		}
+		ect := est + op.Times[0]
+		if bestJob < 0 || ect < bestECT {
+			bestJob, bestECT, bestM = j, ect, m
+		}
+	}
+	chosen = -1
+	var chosenPri float64
+	for j := 0; j < n; j++ {
+		k := s.nextOp[j]
+		if k >= len(in.Jobs[j].Ops) {
+			continue
+		}
+		op := &in.Jobs[j].Ops[k]
+		if op.Machines[0] != bestM {
+			continue
+		}
+		est := s.jobReady[j]
+		if s.machFree[bestM] > est {
+			est = s.machFree[bestM]
+		}
+		if est >= bestECT {
+			continue
+		}
+		pri := priority[off[j]+k]
+		if chosen < 0 || pri > chosenPri {
+			chosen, chosenPri = j, pri
+		}
+	}
+	return chosen, bestM
+}
+
+// GifflerThompsonMakespan is the allocation-free counterpart of
+// GifflerThompson(in, priority).Makespan(): the same active-schedule builder
+// without the assignment list.
+func GifflerThompsonMakespan(in *shop.Instance, priority []float64, s *Scratch) int {
+	s = scratchOrNew(in, s)
+	s.jobState(in)
+	s.machState(in, false)
+	off := s.offsets(in)
+	ms := 0
+	for remaining := in.TotalOps(); remaining > 0; remaining-- {
+		chosen, m := gtPick(in, priority, s, off)
+		k := s.nextOp[chosen]
+		op := &in.Jobs[chosen].Ops[k]
+		start := s.jobReady[chosen]
+		if s.machFree[m] > start {
+			start = s.machFree[m]
+		}
+		end := start + op.Times[0]
+		s.jobReady[chosen] = end
+		s.machFree[m] = end
+		s.nextOp[chosen] = k + 1
+		if end > ms {
+			ms = end
+		}
+	}
+	return ms
+}
+
+// GifflerThompsonInto decodes like GifflerThompson but reuses s's buffers
+// and schedule. The returned schedule is valid until s's next use.
+func GifflerThompsonInto(in *shop.Instance, priority []float64, s *Scratch) *shop.Schedule {
+	s = scratchOrNew(in, s)
+	s.jobState(in)
+	s.machState(in, false)
+	off := s.offsets(in)
+	out := s.schedule(in)
+	for remaining := in.TotalOps(); remaining > 0; remaining-- {
+		chosen, m := gtPick(in, priority, s, off)
+		k := s.nextOp[chosen]
+		op := &in.Jobs[chosen].Ops[k]
+		start := s.jobReady[chosen]
+		if s.machFree[m] > start {
+			start = s.machFree[m]
+		}
+		end := start + op.Times[0]
+		out.Ops = append(out.Ops, shop.Assignment{Job: chosen, Op: k, Machine: m, Start: start, End: end})
+		s.jobReady[chosen] = end
+		s.machFree[m] = end
+		s.nextOp[chosen] = k + 1
+	}
+	return out
+}
+
+// openShopPick runs the open-shop token dispatch shared by the makespan
+// kernel and the Into decoder: it picks job j's remaining operation under
+// rule and returns its index and start, or pick < 0 when j is fully
+// scheduled. done is indexed by flattened operation ID through off.
+func openShopPick(in *shop.Instance, j int, rule OpenRule, s *Scratch, off []int) (pick, pickStart int) {
+	pick = -1
+	var pickP, pickLoad int
+	for k := range in.Jobs[j].Ops {
+		if s.done[off[j]+k] {
+			continue
+		}
+		op := &in.Jobs[j].Ops[k]
+		m := op.Machines[0]
+		start := s.jobReady[j]
+		if s.machFree[m] > start {
+			start = s.machFree[m]
+		}
+		p := op.Times[0]
+		better := false
+		switch rule {
+		case EarliestStart:
+			better = pick < 0 || start < pickStart || (start == pickStart && p > pickP)
+		case LPTTask:
+			better = pick < 0 || p > pickP
+		case LPTMachine:
+			better = pick < 0 || s.machLoad[m] > pickLoad
+		}
+		if better {
+			pick, pickStart, pickP, pickLoad = k, start, p, s.machLoad[m]
+		}
+	}
+	return pick, pickStart
+}
+
+// openShopState resets the open-shop specific state: done flags and the
+// remaining per-machine load used by the LPT-Machine rule.
+func (s *Scratch) openShopState(in *shop.Instance) []int {
+	off := s.offsets(in)
+	total := in.TotalOps()
+	s.done = growBools(s.done, total)
+	for i := 0; i < total; i++ {
+		s.done[i] = false
+	}
+	s.machLoad = growInts(s.machLoad, in.NumMachines)
+	for i := range s.machLoad {
+		s.machLoad[i] = 0
+	}
+	for _, job := range in.Jobs {
+		for _, op := range job.Ops {
+			s.machLoad[op.Machines[0]] += op.Times[0]
+		}
+	}
+	return off
+}
+
+// openShopDecode runs the greedy open-shop loop shared by the makespan
+// kernel and the Into decoder, appending assignments to out when non-nil,
+// and returns the makespan.
+func openShopDecode(in *shop.Instance, seq []int, rule OpenRule, s *Scratch, out *shop.Schedule) int {
+	s.jobState(in)
+	s.machState(in, false)
+	off := s.openShopState(in)
+	ms := 0
+	for _, j := range seq {
+		pick, pickStart := openShopPick(in, j, rule, s, off)
+		if pick < 0 {
+			continue // job already fully scheduled; tolerate excess tokens
+		}
+		op := &in.Jobs[j].Ops[pick]
+		m := op.Machines[0]
+		end := pickStart + op.Times[0]
+		if out != nil {
+			out.Ops = append(out.Ops, shop.Assignment{Job: j, Op: pick, Machine: m, Start: pickStart, End: end})
+		}
+		s.done[off[j]+pick] = true
+		s.jobReady[j] = end
+		s.machFree[m] = end
+		s.machLoad[m] -= op.Times[0]
+		if end > ms {
+			ms = end
+		}
+	}
+	return ms
+}
+
+// OpenShopMakespan is the allocation-free counterpart of
+// OpenShop(in, seq, rule).Makespan().
+func OpenShopMakespan(in *shop.Instance, seq []int, rule OpenRule, s *Scratch) int {
+	return openShopDecode(in, seq, rule, scratchOrNew(in, s), nil)
+}
+
+// OpenShopInto decodes like OpenShop but reuses s's buffers and schedule.
+// The returned schedule is valid until s's next use.
+func OpenShopInto(in *shop.Instance, seq []int, rule OpenRule, s *Scratch) *shop.Schedule {
+	s = scratchOrNew(in, s)
+	out := s.schedule(in)
+	openShopDecode(in, seq, rule, s, out)
+	return out
+}
+
+// flexStep resolves one sequence token of the flexible decoding: the chosen
+// machine, processing time (speed-scaled when requested) and speed index.
+func flexStep(in *shop.Instance, assign, speeds []int, op *shop.Operation, id int) (m, p, speed int) {
+	mi := 0
+	if id < len(assign) {
+		mi = assign[id] % len(op.Machines)
+		if mi < 0 {
+			mi += len(op.Machines)
+		}
+	}
+	m = op.Machines[mi]
+	p = op.Times[mi]
+	if speeds != nil && id < len(speeds) && len(in.SpeedLevels) > 0 {
+		speed = speeds[id] % len(in.SpeedLevels)
+		if speed < 0 {
+			speed += len(in.SpeedLevels)
+		}
+		p = shop.ScaledDuration(p, in.SpeedLevels[speed])
+	}
+	return m, p, speed
+}
+
+// flexibleDecode runs the flexible decoding loop shared by the makespan
+// kernel and the Into decoder, appending assignments to out when non-nil,
+// and returns the makespan.
+func flexibleDecode(in *shop.Instance, assign, seq, speeds []int, s *Scratch, out *shop.Schedule) int {
+	s.jobState(in)
+	s.machState(in, in.Setup != nil)
+	off := s.offsets(in)
+	ms := 0
+	for _, j := range seq {
+		k := s.nextOp[j]
+		if k >= len(in.Jobs[j].Ops) {
+			continue
+		}
+		op := &in.Jobs[j].Ops[k]
+		m, p, speed := flexStep(in, assign, speeds, op, off[j]+k)
+		setup := 0
+		if in.Setup != nil {
+			prev := s.lastJob[m]
+			if prev < 0 {
+				prev = j
+			}
+			setup = in.SetupTime(m, prev, j)
+			s.lastJob[m] = j
+		}
+		start := s.jobReady[j]
+		if t := s.machFree[m] + setup; t > start {
+			start = t
+		}
+		end := start + p
+		if out != nil {
+			out.Ops = append(out.Ops, shop.Assignment{
+				Job: j, Op: k, Machine: m, Start: start, End: end, Speed: speed,
+			})
+		}
+		s.jobReady[j] = end
+		s.machFree[m] = end
+		s.nextOp[j] = k + 1
+		if end > ms {
+			ms = end
+		}
+	}
+	return ms
+}
+
+// FlexibleMakespan is the allocation-free counterpart of
+// Flexible(in, assign, seq, speeds).Makespan(), honouring machine
+// assignments, speed levels and detached sequence-dependent setups.
+func FlexibleMakespan(in *shop.Instance, assign, seq, speeds []int, s *Scratch) int {
+	return flexibleDecode(in, assign, seq, speeds, scratchOrNew(in, s), nil)
+}
+
+// FlexibleInto decodes like Flexible but reuses s's buffers and schedule.
+// The returned schedule is valid until s's next use.
+func FlexibleInto(in *shop.Instance, assign, seq, speeds []int, s *Scratch) *shop.Schedule {
+	s = scratchOrNew(in, s)
+	out := s.schedule(in)
+	flexibleDecode(in, assign, seq, speeds, s, out)
+	return out
+}

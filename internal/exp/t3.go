@@ -64,10 +64,12 @@ func T3aSpeedup() []*tables.Table {
 	in := shop.GenerateJobShop("t3-js", 10, 8, 201, 202)
 	prob := shopga.JobShopProblem(in, shop.Makespan)
 	run := func(workers int) (time.Duration, float64) {
+		ev := &masterslave.PoolEvaluator[[]int]{Workers: workers}
+		defer ev.Close()
 		start := time.Now()
 		res := core.New(prob, rng.New(5), core.Config[[]int]{
 			Pop: 60, Ops: shopga.SeqOps(in),
-			Evaluator: masterslave.PoolEvaluator[[]int]{Workers: workers},
+			Evaluator: ev,
 			Term:      core.Termination{MaxGenerations: 40},
 		}).Run()
 		return time.Since(start), res.Best.Obj

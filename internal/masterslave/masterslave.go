@@ -19,6 +19,7 @@ package masterslave
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/rng"
@@ -27,42 +28,99 @@ import (
 
 // PoolEvaluator evaluates a population with Workers concurrent goroutines.
 // The zero value uses GOMAXPROCS workers.
+//
+// The workers are persistent: they are spawned once, on the first EvalAll,
+// and then stay parked on their job channels across generations instead of
+// being respawned every call — the master hands each worker one batch
+// descriptor per generation and the workers claim genome indices from a
+// shared atomic cursor. Call Close when the evaluator is no longer needed
+// to release the worker goroutines; RunPool and the solver layer do this
+// automatically. A PoolEvaluator must not be copied after first use.
 type PoolEvaluator[G any] struct {
 	Workers int
+
+	mu      sync.Mutex
+	workers []chan *poolJob[G]
+}
+
+// poolJob is one EvalAll batch handed to every persistent worker. Workers
+// claim indices from cursor until the batch is drained, then check in on wg.
+type poolJob[G any] struct {
+	genomes []G
+	eval    func(G) float64
+	out     []float64
+	cursor  atomic.Int64
+	wg      sync.WaitGroup
+}
+
+// width resolves the worker count once, at spawn time.
+func (p *PoolEvaluator[G]) width() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// lazyStart spawns the persistent workers on first use and returns the job
+// channels (nil after Close, or when the pool is single-worker).
+func (p *PoolEvaluator[G]) lazyStart() []chan *poolJob[G] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.workers == nil {
+		w := p.width()
+		if w <= 1 {
+			return nil
+		}
+		p.workers = make([]chan *poolJob[G], w)
+		for k := range p.workers {
+			ch := make(chan *poolJob[G], 1)
+			p.workers[k] = ch
+			go func() {
+				for job := range ch {
+					n := int64(len(job.genomes))
+					for {
+						i := job.cursor.Add(1) - 1
+						if i >= n {
+							break
+						}
+						job.out[i] = job.eval(job.genomes[i])
+					}
+					job.wg.Done()
+				}
+			}()
+		}
+	}
+	return p.workers
 }
 
 // EvalAll implements core.Evaluator. Results are written to disjoint
 // indices, so no synchronisation of out is needed beyond the WaitGroup.
-func (p PoolEvaluator[G]) EvalAll(genomes []G, eval func(G) float64, out []float64) {
-	w := p.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > len(genomes) {
-		w = len(genomes)
-	}
-	if w <= 1 {
+func (p *PoolEvaluator[G]) EvalAll(genomes []G, eval func(G) float64, out []float64) {
+	workers := p.lazyStart()
+	if workers == nil || len(genomes) <= 1 {
 		for i, g := range genomes {
 			out[i] = eval(g)
 		}
 		return
 	}
-	next := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = eval(genomes[i])
-			}
-		}()
+	job := &poolJob[G]{genomes: genomes, eval: eval, out: out}
+	job.wg.Add(len(workers))
+	for _, ch := range workers {
+		ch <- job
 	}
-	for i := range genomes {
-		next <- i
+	job.wg.Wait()
+}
+
+// Close releases the persistent worker goroutines. The evaluator stays
+// usable afterwards: the next EvalAll respawns the pool. Close must not be
+// called concurrently with EvalAll.
+func (p *PoolEvaluator[G]) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ch := range p.workers {
+		close(ch)
 	}
-	close(next)
-	wg.Wait()
+	p.workers = nil
 }
 
 // BatchEvaluator dispatches contiguous chunks of Batch genomes to Workers
@@ -154,6 +212,8 @@ func (s *SimEvaluator[G]) Speedup() float64 {
 // replaced by a PoolEvaluator of the requested width. Because evaluation is
 // pure, the result is identical to the serial run with the same seed.
 func RunPool[G any](p core.Problem[G], r *rng.RNG, cfg core.Config[G], workers int) core.Result[G] {
-	cfg.Evaluator = PoolEvaluator[G]{Workers: workers}
+	ev := &PoolEvaluator[G]{Workers: workers}
+	defer ev.Close()
+	cfg.Evaluator = ev
 	return core.New(p, r, cfg).Run()
 }

@@ -1,8 +1,10 @@
 package masterslave
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rng"
@@ -67,7 +69,7 @@ func permOps() core.Operators[[]int] {
 func TestPoolEvaluatorCorrect(t *testing.T) {
 	genomes := [][]int{{1}, {2}, {3}, {4}, {5}, {6}, {7}}
 	out := make([]float64, len(genomes))
-	PoolEvaluator[[]int]{Workers: 3}.EvalAll(genomes, func(g []int) float64 {
+	(&PoolEvaluator[[]int]{Workers: 3}).EvalAll(genomes, func(g []int) float64 {
 		return float64(g[0] * 10)
 	}, out)
 	for i := range genomes {
@@ -79,7 +81,7 @@ func TestPoolEvaluatorCorrect(t *testing.T) {
 
 func TestPoolEvaluatorSingleWorkerPath(t *testing.T) {
 	out := make([]float64, 2)
-	PoolEvaluator[int]{Workers: 1}.EvalAll([]int{3, 4}, func(g int) float64 { return float64(g) }, out)
+	(&PoolEvaluator[int]{Workers: 1}).EvalAll([]int{3, 4}, func(g int) float64 { return float64(g) }, out)
 	if out[0] != 3 || out[1] != 4 {
 		t.Fatalf("out = %v", out)
 	}
@@ -89,7 +91,7 @@ func TestPoolEvaluatorUsesConcurrency(t *testing.T) {
 	var calls int64
 	out := make([]float64, 50)
 	genomes := make([]int, 50)
-	PoolEvaluator[int]{Workers: 8}.EvalAll(genomes, func(int) float64 {
+	(&PoolEvaluator[int]{Workers: 8}).EvalAll(genomes, func(int) float64 {
 		atomic.AddInt64(&calls, 1)
 		return 0
 	}, out)
@@ -132,7 +134,9 @@ func TestMasterSlaveTrajectoryIdentical(t *testing.T) {
 		}).Run()
 	}
 	serial := mk(core.SerialEvaluator[[]int]{})
-	pooled := mk(PoolEvaluator[[]int]{Workers: 4})
+	ev := &PoolEvaluator[[]int]{Workers: 4}
+	defer ev.Close()
+	pooled := mk(ev)
 	batched := mk(BatchEvaluator[[]int]{Workers: 4, Batch: 5})
 	if serial.Best.Obj != pooled.Best.Obj || serial.Evaluations != pooled.Evaluations {
 		t.Fatalf("pool diverged from serial: %v/%v vs %v/%v",
@@ -146,6 +150,55 @@ func TestMasterSlaveTrajectoryIdentical(t *testing.T) {
 			t.Fatal("pool best genome differs from serial")
 		}
 	}
+}
+
+// settleGoroutines waits for the goroutine count to stop changing (earlier
+// tests' workers may still be winding down) and returns it.
+func settleGoroutines() int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		time.Sleep(time.Millisecond)
+		if m := runtime.NumGoroutine(); m == n {
+			return n
+		} else {
+			n = m
+		}
+	}
+	return n
+}
+
+// TestPoolEvaluatorWorkersPersist verifies the workers are spawned once and
+// reused across generations, and that Close releases them.
+func TestPoolEvaluatorWorkersPersist(t *testing.T) {
+	before := settleGoroutines()
+	ev := &PoolEvaluator[int]{Workers: 6}
+	genomes := make([]int, 40)
+	out := make([]float64, len(genomes))
+	ev.EvalAll(genomes, func(int) float64 { return 0 }, out) // spawns the pool
+	afterFirst := settleGoroutines()
+	if afterFirst < before+6 {
+		t.Fatalf("expected 6 persistent workers, goroutines %d -> %d", before, afterFirst)
+	}
+	for round := 0; round < 50; round++ {
+		ev.EvalAll(genomes, func(int) float64 { return 0 }, out)
+	}
+	if afterMany := settleGoroutines(); afterMany > afterFirst {
+		t.Fatalf("workers respawned across EvalAll calls: goroutines %d -> %d", afterFirst, afterMany)
+	}
+	ev.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > afterFirst-6 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > afterFirst-6 {
+		t.Fatalf("Close leaked workers: goroutines %d, want <= %d", got, afterFirst-6)
+	}
+	// The evaluator stays usable after Close (workers respawn lazily).
+	ev.EvalAll([]int{1, 2, 3}, func(g int) float64 { return float64(g) }, out[:3])
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("EvalAll after Close = %v", out[:3])
+	}
+	ev.Close()
 }
 
 func TestRunPool(t *testing.T) {

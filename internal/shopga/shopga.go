@@ -6,6 +6,7 @@
 package shopga
 
 import (
+	"reflect"
 	"sync"
 
 	"repro/internal/core"
@@ -17,43 +18,89 @@ import (
 
 func cloneInts(g []int) []int { return append([]int(nil), g...) }
 
+// cloneIntsInto recycles dst's capacity for a copy of src (the engine's
+// CloneInto seam).
+func cloneIntsInto(dst, src []int) []int { return append(dst[:0], src...) }
+
+func cloneKeys(g []float64) []float64 { return append([]float64(nil), g...) }
+
+func cloneKeysInto(dst, src []float64) []float64 { return append(dst[:0], src...) }
+
+// makespanPtr identifies shop.Makespan by function pointer, so every
+// constructor can route the common C_max objective onto the zero-allocation
+// kernels while arbitrary objectives keep the schedule-reusing decoders.
+var makespanPtr = reflect.ValueOf(shop.Makespan).Pointer()
+
+func isMakespan(obj shop.Objective) bool {
+	return reflect.ValueOf(obj).Pointer() == makespanPtr
+}
+
+// scratches is a pool of decode workspaces pre-sized for one instance. All
+// Problem evaluation closures below draw from such a pool, which makes them
+// safe under every parallel evaluator (master-slave pools, islands,
+// cellular partitions) while keeping the steady-state hot path
+// allocation-free.
+func scratches(in *shop.Instance) *sync.Pool {
+	return &sync.Pool{New: func() interface{} { return decode.NewScratch(in) }}
+}
+
 // FlowShopProblem is the permutation-encoded flow shop under an arbitrary
-// objective.
+// objective. Makespan routes to the completion-row kernel; other objectives
+// decode into a pooled, reused schedule.
 func FlowShopProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]int] {
+	pool := scratches(in)
+	eval := func(g []int) float64 {
+		s := pool.Get().(*decode.Scratch)
+		v := obj(decode.FlowShopInto(in, g, s))
+		pool.Put(s)
+		return v
+	}
+	if isMakespan(obj) {
+		eval = func(g []int) float64 {
+			s := pool.Get().(*decode.Scratch)
+			ms := decode.FlowShopMakespanWith(in, g, s)
+			pool.Put(s)
+			return float64(ms)
+		}
+	}
 	return core.FuncProblem[[]int]{
-		RandomFn:   func(r *rng.RNG) []int { return decode.RandomPermutation(in, r) },
-		EvaluateFn: func(g []int) float64 { return obj(decode.FlowShop(in, g)) },
-		CloneFn:    cloneInts,
+		RandomFn:    func(r *rng.RNG) []int { return decode.RandomPermutation(in, r) },
+		EvaluateFn:  eval,
+		CloneFn:     cloneInts,
+		CloneIntoFn: cloneIntsInto,
 	}
 }
 
-// FlowShopMakespanProblem is the makespan special case using the fast
-// completion-row recurrence with pooled buffers (safe under the parallel
-// evaluators).
+// FlowShopMakespanProblem is the makespan special case of FlowShopProblem,
+// kept as the named entry point for the fast completion-row recurrence.
 func FlowShopMakespanProblem(in *shop.Instance) core.Problem[[]int] {
-	pool := sync.Pool{New: func() interface{} {
-		buf := make([]int, in.NumMachines)
-		return &buf
-	}}
-	return core.FuncProblem[[]int]{
-		RandomFn: func(r *rng.RNG) []int { return decode.RandomPermutation(in, r) },
-		EvaluateFn: func(g []int) float64 {
-			bufp := pool.Get().(*[]int)
-			ms := decode.FlowShopMakespan(in, g, *bufp)
-			pool.Put(bufp)
-			return float64(ms)
-		},
-		CloneFn: cloneInts,
-	}
+	return FlowShopProblem(in, shop.Makespan)
 }
 
 // JobShopProblem is the operation-sequence-encoded job shop (the direct
-// representation of Section III.A) under an arbitrary objective.
+// representation of Section III.A) under an arbitrary objective. Makespan
+// routes to the allocation-free semi-active kernel.
 func JobShopProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]int] {
+	pool := scratches(in)
+	eval := func(g []int) float64 {
+		s := pool.Get().(*decode.Scratch)
+		v := obj(decode.JobShopInto(in, g, s))
+		pool.Put(s)
+		return v
+	}
+	if isMakespan(obj) {
+		eval = func(g []int) float64 {
+			s := pool.Get().(*decode.Scratch)
+			ms := decode.JobShopMakespan(in, g, s)
+			pool.Put(s)
+			return float64(ms)
+		}
+	}
 	return core.FuncProblem[[]int]{
-		RandomFn:   func(r *rng.RNG) []int { return decode.RandomOpSequence(in, r) },
-		EvaluateFn: func(g []int) float64 { return obj(decode.JobShop(in, g)) },
-		CloneFn:    cloneInts,
+		RandomFn:    func(r *rng.RNG) []int { return decode.RandomOpSequence(in, r) },
+		EvaluateFn:  eval,
+		CloneFn:     cloneInts,
+		CloneIntoFn: cloneIntsInto,
 	}
 }
 
@@ -67,23 +114,57 @@ func BlockingJobShopProblem(in *shop.Instance) core.Problem[[]int] {
 			ms, _ := decode.Blocking(in, g)
 			return float64(ms)
 		},
-		CloneFn: cloneInts,
+		CloneFn:     cloneInts,
+		CloneIntoFn: cloneIntsInto,
 	}
 }
 
-// OpenShopProblem is the open shop with the given decoding rule.
+// OpenShopProblem is the open shop with the given decoding rule. Makespan
+// routes to the allocation-free greedy kernel.
 func OpenShopProblem(in *shop.Instance, rule decode.OpenRule, obj shop.Objective) core.Problem[[]int] {
+	pool := scratches(in)
+	eval := func(g []int) float64 {
+		s := pool.Get().(*decode.Scratch)
+		v := obj(decode.OpenShopInto(in, g, rule, s))
+		pool.Put(s)
+		return v
+	}
+	if isMakespan(obj) {
+		eval = func(g []int) float64 {
+			s := pool.Get().(*decode.Scratch)
+			ms := decode.OpenShopMakespan(in, g, rule, s)
+			pool.Put(s)
+			return float64(ms)
+		}
+	}
 	return core.FuncProblem[[]int]{
-		RandomFn:   func(r *rng.RNG) []int { return decode.RandomOpSequence(in, r) },
-		EvaluateFn: func(g []int) float64 { return obj(decode.OpenShop(in, g, rule)) },
-		CloneFn:    cloneInts,
+		RandomFn:    func(r *rng.RNG) []int { return decode.RandomOpSequence(in, r) },
+		EvaluateFn:  eval,
+		CloneFn:     cloneInts,
+		CloneIntoFn: cloneIntsInto,
 	}
 }
 
 // GTProblem encodes job shop schedules as priority vectors decoded by the
-// Giffler-Thompson active schedule builder (Mui et al. [17]).
+// Giffler-Thompson active schedule builder (Mui et al. [17]). Makespan
+// routes to the allocation-free active-schedule kernel.
 func GTProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]float64] {
 	total := in.TotalOps()
+	pool := scratches(in)
+	eval := func(g []float64) float64 {
+		s := pool.Get().(*decode.Scratch)
+		v := obj(decode.GifflerThompsonInto(in, g, s))
+		pool.Put(s)
+		return v
+	}
+	if isMakespan(obj) {
+		eval = func(g []float64) float64 {
+			s := pool.Get().(*decode.Scratch)
+			ms := decode.GifflerThompsonMakespan(in, g, s)
+			pool.Put(s)
+			return float64(ms)
+		}
+	}
 	return core.FuncProblem[[]float64]{
 		RandomFn: func(r *rng.RNG) []float64 {
 			g := make([]float64, total)
@@ -92,8 +173,9 @@ func GTProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]float64] {
 			}
 			return g
 		},
-		EvaluateFn: func(g []float64) float64 { return obj(decode.GifflerThompson(in, g)) },
-		CloneFn:    func(g []float64) []float64 { return append([]float64(nil), g...) },
+		EvaluateFn:  eval,
+		CloneFn:     cloneKeys,
+		CloneIntoFn: cloneKeysInto,
 	}
 }
 
@@ -109,9 +191,33 @@ func CloneFlex(g FlexGenome) FlexGenome {
 	return FlexGenome{Assign: cloneInts(g.Assign), Seq: cloneInts(g.Seq)}
 }
 
+// CloneFlexInto deep-copies src reusing dst's chromosome capacity.
+func CloneFlexInto(dst, src FlexGenome) FlexGenome {
+	return FlexGenome{
+		Assign: cloneIntsInto(dst.Assign, src.Assign),
+		Seq:    cloneIntsInto(dst.Seq, src.Seq),
+	}
+}
+
 // FlexibleProblem is the flexible job/flow shop with assignment+sequence
 // genomes, honouring sequence-dependent setups when the instance has them.
+// Makespan routes to the allocation-free flexible kernel.
 func FlexibleProblem(in *shop.Instance, obj shop.Objective) core.Problem[FlexGenome] {
+	pool := scratches(in)
+	eval := func(g FlexGenome) float64 {
+		s := pool.Get().(*decode.Scratch)
+		v := obj(decode.FlexibleInto(in, g.Assign, g.Seq, nil, s))
+		pool.Put(s)
+		return v
+	}
+	if isMakespan(obj) {
+		eval = func(g FlexGenome) float64 {
+			s := pool.Get().(*decode.Scratch)
+			ms := decode.FlexibleMakespan(in, g.Assign, g.Seq, nil, s)
+			pool.Put(s)
+			return float64(ms)
+		}
+	}
 	return core.FuncProblem[FlexGenome]{
 		RandomFn: func(r *rng.RNG) FlexGenome {
 			return FlexGenome{
@@ -119,10 +225,36 @@ func FlexibleProblem(in *shop.Instance, obj shop.Objective) core.Problem[FlexGen
 				Seq:    decode.RandomOpSequence(in, r),
 			}
 		},
-		EvaluateFn: func(g FlexGenome) float64 {
-			return obj(decode.Flexible(in, g.Assign, g.Seq, nil))
-		},
-		CloneFn: CloneFlex,
+		EvaluateFn:  eval,
+		CloneFn:     CloneFlex,
+		CloneIntoFn: CloneFlexInto,
+	}
+}
+
+// FixedAssignmentProblem is the sequence-only search over a flexible shop
+// with a frozen machine assignment (the solver's greedy-assignment
+// encoding). Makespan routes to the allocation-free flexible kernel.
+func FixedAssignmentProblem(in *shop.Instance, assign []int, obj shop.Objective) core.Problem[[]int] {
+	pool := scratches(in)
+	eval := func(g []int) float64 {
+		s := pool.Get().(*decode.Scratch)
+		v := obj(decode.FlexibleInto(in, assign, g, nil, s))
+		pool.Put(s)
+		return v
+	}
+	if isMakespan(obj) {
+		eval = func(g []int) float64 {
+			s := pool.Get().(*decode.Scratch)
+			ms := decode.FlexibleMakespan(in, assign, g, nil, s)
+			pool.Put(s)
+			return float64(ms)
+		}
+	}
+	return core.FuncProblem[[]int]{
+		RandomFn:    func(r *rng.RNG) []int { return decode.RandomOpSequence(in, r) },
+		EvaluateFn:  eval,
+		CloneFn:     cloneInts,
+		CloneIntoFn: cloneIntsInto,
 	}
 }
 

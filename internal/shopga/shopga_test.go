@@ -47,6 +47,84 @@ func TestJobShopProblemMatchesDecoder(t *testing.T) {
 	}
 }
 
+// TestProblemsMatchOracleDecoders pins the scratch-pooled evaluation paths
+// (both the makespan kernels and the schedule-reusing Into decoders) to the
+// original schedule-building decoders, for every environment.
+func TestProblemsMatchOracleDecoders(t *testing.T) {
+	r := rng.New(99)
+	objs := map[string]shop.Objective{
+		"makespan": shop.Makespan,
+		"twc":      shop.TotalWeightedCompletion,
+	}
+
+	js := shop.GenerateJobShop("eq-js", 8, 5, 121, 122)
+	shop.WithSetupTimes(js, 1, 5, 123)
+	fs := shop.GenerateFlowShop("eq-fs", 10, 4, 124)
+	os := shop.GenerateOpenShop("eq-os", 6, 5, 125)
+	fj := shop.GenerateFlexibleJobShop("eq-fj", 6, 5, 4, 3, 126)
+
+	for name, obj := range objs {
+		jsp := JobShopProblem(js, obj)
+		fsp := FlowShopProblem(fs, obj)
+		osp := OpenShopProblem(os, decode.LPTMachine, obj)
+		gtp := GTProblem(js, obj)
+		fjp := FlexibleProblem(fj, obj)
+		fxp := FixedAssignmentProblem(fj, decode.GreedyAssignment(fj), obj)
+		for trial := 0; trial < 25; trial++ {
+			seq := decode.RandomOpSequence(js, r)
+			if got, want := jsp.Evaluate(seq), obj(decode.JobShop(js, seq)); got != want {
+				t.Fatalf("%s job shop: %v != %v", name, got, want)
+			}
+			perm := decode.RandomPermutation(fs, r)
+			if got, want := fsp.Evaluate(perm), obj(decode.FlowShop(fs, perm)); got != want {
+				t.Fatalf("%s flow shop: %v != %v", name, got, want)
+			}
+			oseq := decode.RandomOpSequence(os, r)
+			if got, want := osp.Evaluate(oseq), obj(decode.OpenShop(os, oseq, decode.LPTMachine)); got != want {
+				t.Fatalf("%s open shop: %v != %v", name, got, want)
+			}
+			pri := gtp.Random(r)
+			if got, want := gtp.Evaluate(pri), obj(decode.GifflerThompson(js, pri)); got != want {
+				t.Fatalf("%s GT: %v != %v", name, got, want)
+			}
+			fg := fjp.Random(r)
+			if got, want := fjp.Evaluate(fg), obj(decode.Flexible(fj, fg.Assign, fg.Seq, nil)); got != want {
+				t.Fatalf("%s flexible: %v != %v", name, got, want)
+			}
+			greedy := decode.GreedyAssignment(fj)
+			if got, want := fxp.Evaluate(fg.Seq), obj(decode.Flexible(fj, greedy, fg.Seq, nil)); got != want {
+				t.Fatalf("%s fixed-assignment: %v != %v", name, got, want)
+			}
+		}
+	}
+}
+
+// TestCloneIntoIndependence checks the recycling copies are deep: mutating
+// a CloneInto result must not leak into the source genome.
+func TestCloneIntoIndependence(t *testing.T) {
+	in := shop.FT06()
+	p := JobShopProblem(in, shop.Makespan).(core.CloneIntoProblem[[]int])
+	r := rng.New(5)
+	src := decode.RandomOpSequence(in, r)
+	orig := append([]int(nil), src...)
+	dst := decode.RandomOpSequence(in, r)
+	c := p.CloneInto(dst, src)
+	c[0]++
+	for i := range src {
+		if src[i] != orig[i] {
+			t.Fatal("CloneInto result aliases the source")
+		}
+	}
+
+	fp := FlexibleProblem(shop.GenerateFlexibleJobShop("ci-fj", 4, 3, 3, 2, 9), shop.Makespan).(core.CloneIntoProblem[FlexGenome])
+	a := FlexGenome{Assign: []int{1, 2, 3}, Seq: []int{0, 1, 2}}
+	got := fp.CloneInto(FlexGenome{}, a)
+	got.Assign[0], got.Seq[0] = 9, 9
+	if a.Assign[0] == 9 || a.Seq[0] == 9 {
+		t.Fatal("FlexGenome CloneInto aliases the source")
+	}
+}
+
 func TestBlockingProblemPenalisesDeadlock(t *testing.T) {
 	in := &shop.Instance{
 		Name: "swap", Kind: shop.JobShop, NumMachines: 2,

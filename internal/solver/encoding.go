@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/decode"
-	"repro/internal/rng"
 	"repro/internal/shop"
 	"repro/internal/shopga"
 )
@@ -107,11 +106,7 @@ func seqEncoding(run *Run) (encoding[[]int], error) {
 		// the greedy fastest-available assignment (decode.Any's rule).
 		assign := decode.GreedyAssignment(in)
 		return encoding[[]int]{
-			problem: core.FuncProblem[[]int]{
-				RandomFn:   func(r *rng.RNG) []int { return decode.RandomOpSequence(in, r) },
-				EvaluateFn: func(g []int) float64 { return obj(decode.Flexible(in, assign, g, nil)) },
-				CloneFn:    func(g []int) []int { return append([]int(nil), g...) },
-			},
+			problem:  shopga.FixedAssignmentProblem(in, assign, obj),
 			ops:      shopga.SeqOps(in),
 			schedule: func(g []int) *shop.Schedule { return decode.Flexible(in, assign, g, nil) },
 		}, nil

@@ -208,7 +208,9 @@ func runMasterSlave[G any](_ context.Context, run *Run, enc encoding[G]) (*Resul
 		workers = 4
 	}
 	cfg := engineConfig(run, enc)
-	cfg.Evaluator = masterslave.PoolEvaluator[G]{Workers: workers}
+	ev := &masterslave.PoolEvaluator[G]{Workers: workers}
+	defer ev.Close()
+	cfg.Evaluator = ev
 	res := core.New(enc.problem, run.RNG, cfg).Run()
 	return coreResult(enc, res), nil
 }

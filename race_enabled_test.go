@@ -1,0 +1,7 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation skews timing ratios; wall-clock ratchets skip under it.
+const raceEnabled = true
