@@ -2,11 +2,13 @@
 // survey's GA models and prints the best schedule with an ASCII Gantt chart.
 // Models are resolved through the solver registry, so every registered
 // model (serial, ms, island, cellular, hybrid, agents, qga) is available
-// without command changes.
+// without command changes; instances are resolved through the shop
+// benchmark registry (ft06/ft10/ft20, la01-la20, generated families) or
+// loaded from JSON files.
 //
 // Usage examples:
 //
-//	shopsched -instance ft06 -model island -islands 4 -generations 200
+//	shopsched -instance ft10 -model island -islands 4 -generations 200
 //	shopsched -problem flow -jobs 20 -machines 5 -seed 42 -model ms -workers 4
 //	shopsched -instance path/to/instance.json -model cellular
 //	shopsched -problem open -jobs 8 -machines 8 -model serial
@@ -17,8 +19,10 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -27,25 +31,46 @@ import (
 )
 
 func main() {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "shopsched:", err)
+		os.Exit(2)
+	}
+}
+
+// run is main behind a testable seam: flags in, report out, error instead
+// of exit. Ctrl-C arrives through ctx; the solver then returns the best
+// found so far with the run marked interrupted.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("shopsched", flag.ContinueOnError)
 	var (
-		specPath    = flag.String("spec", "", "JSON solver.Spec file (overrides the other flags)")
-		instPath    = flag.String("instance", "", "instance: 'ft06' or a JSON file path (overrides -problem)")
-		problem     = flag.String("problem", "job", "generated problem kind: flow, job, open, fjs, ffs")
-		jobs        = flag.Int("jobs", 10, "jobs for generated instances")
-		machines    = flag.Int("machines", 5, "machines for generated instances")
-		seed        = flag.Int("seed", 12345, "instance generation seed")
-		model       = flag.String("model", "serial", "GA model: "+strings.Join(solver.Names(), ", "))
-		encoding    = flag.String("encoding", "", "chromosome encoding: perm, seq, keys, flex (default: by kind)")
-		objective   = flag.String("objective", "", "objective: makespan (default), twc, twt, twu, max-tardiness, energy")
-		workers     = flag.Int("workers", 4, "slaves for -model ms / partitions for cellular")
-		islands     = flag.Int("islands", 0, "islands/grids/agents for the multi-deme models")
-		pop         = flag.Int("pop", 80, "population (total across islands)")
-		generations = flag.Int("generations", 150, "generation budget")
-		wallMS      = flag.Int64("wall-ms", 0, "wall clock budget in milliseconds (0: none)")
-		gaSeed      = flag.Uint64("ga-seed", 1, "GA master seed")
-		gantt       = flag.Bool("gantt", true, "print the Gantt chart")
+		specPath    = fs.String("spec", "", "JSON solver.Spec file (overrides the other flags)")
+		instPath    = fs.String("instance", "", "instance: a registry name (ft06, ft10, la01, flow-sm, ...) or a JSON file path (overrides -problem)")
+		problem     = fs.String("problem", "job", "generated problem kind: flow, job, open, fjs, ffs")
+		jobs        = fs.Int("jobs", 10, "jobs for generated instances")
+		machines    = fs.Int("machines", 5, "machines for generated instances")
+		seed        = fs.Int("seed", 12345, "instance generation seed")
+		model       = fs.String("model", "serial", "GA model: "+strings.Join(solver.Names(), ", "))
+		encoding    = fs.String("encoding", "", "chromosome encoding: perm, seq, keys, flex (default: by kind)")
+		objective   = fs.String("objective", "", "objective: makespan (default), twc, twt, twu, max-tardiness, energy")
+		workers     = fs.Int("workers", 4, "slaves for -model ms / partitions for cellular")
+		islands     = fs.Int("islands", 0, "islands/grids/agents for the multi-deme models")
+		pop         = fs.Int("pop", 80, "population (total across islands)")
+		generations = fs.Int("generations", 150, "generation budget")
+		wallMS      = fs.Int64("wall-ms", 0, "wall clock budget in milliseconds (0: none)")
+		gaSeed      = fs.Uint64("ga-seed", 1, "GA master seed")
+		gantt       = fs.Bool("gantt", true, "print the Gantt chart")
 	)
-	flag.Parse()
+	switch err := fs.Parse(args); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// Usage was printed; -h is a successful run.
+		return nil
+	default:
+		// The FlagSet already reported the detail.
+		return errors.New("invalid flags (see usage above)")
+	}
 
 	spec := solver.Spec{
 		Problem: solver.ProblemSpec{
@@ -65,46 +90,38 @@ func main() {
 	if *specPath != "" {
 		raw, err := os.ReadFile(*specPath)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		spec = solver.Spec{}
 		if err := json.Unmarshal(raw, &spec); err != nil {
-			fail(fmt.Errorf("parsing %s: %w", *specPath, err))
+			return fmt.Errorf("parsing %s: %w", *specPath, err)
 		}
 	}
 
 	in, err := solver.BuildInstance(spec.Problem)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("instance %s: %s, %d jobs x %d machines (%d operations)\n",
+	fmt.Fprintf(stdout, "instance %s: %s, %d jobs x %d machines (%d operations)\n",
 		in.Name, in.Kind, in.NumJobs(), in.NumMachines, in.TotalOps())
-	if ref, err := solver.ReferenceFor(in, spec.Objective); err == nil {
-		fmt.Printf("heuristic reference objective: %.0f\n", ref)
+	if ref, kind, err := solver.ReferenceKindFor(in, spec.Objective); err == nil {
+		fmt.Fprintf(stdout, "%s reference objective: %.0f\n", kind, ref)
 	}
-
-	// Ctrl-C cancels the run; the solver returns the best found so far.
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer cancel()
 
 	res, err := solver.Solve(ctx, spec)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	state := ""
 	if res.Canceled {
 		state = " (interrupted)"
 	}
-	fmt.Printf("model %s [%s]: best %.0f after %d evaluations in %s%s\n",
+	fmt.Fprintf(stdout, "model %s [%s]: best %.0f after %d evaluations in %s%s\n",
 		res.Model, res.Encoding, res.BestObjective, res.Evaluations,
 		res.RoundedElapsed(), state)
 	if *gantt {
-		fmt.Print(res.Schedule.Gantt(96))
+		fmt.Fprint(stdout, res.Schedule.Gantt(96))
 	}
-	fmt.Println("schedule validated: all Table I feasibility conditions hold")
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "shopsched:", err)
-	os.Exit(2)
+	fmt.Fprintln(stdout, "schedule validated: all Table I feasibility conditions hold")
+	return nil
 }

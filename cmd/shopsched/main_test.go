@@ -1,7 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -72,5 +76,70 @@ func TestFT06Route(t *testing.T) {
 	in, err := solver.BuildInstance(solver.ProblemSpec{Instance: "ft06"})
 	if err != nil || in.Name != "ft06" || in.Kind != shop.JobShop {
 		t.Fatalf("ft06 lookup: %v %v", in, err)
+	}
+}
+
+// TestSpecFileInput drives the -spec JSON path end to end: a Spec written
+// to disk is parsed, solved and reported, and the registry instance named
+// inside it resolves.
+func TestSpecFileInput(t *testing.T) {
+	spec := solver.Spec{
+		Problem: solver.ProblemSpec{Instance: "la01"},
+		Model:   "island",
+		Params:  solver.Params{Pop: 40, Islands: 2},
+		Budget:  solver.Budget{Generations: 30},
+		Seed:    3,
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-spec", path, "-gantt=false"}, &out); err != nil {
+		t.Fatalf("run -spec: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"instance la01: job-shop, 10 jobs x 5 machines",
+		"optimal reference objective: 666",
+		"model island",
+		"schedule validated",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestSpecFileErrors: missing and malformed spec files fail cleanly, as
+// does garbage inside an otherwise valid JSON document.
+func TestSpecFileErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-spec", "no-such-spec.json"}, &out); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-spec", bad}, &out); err == nil {
+		t.Error("malformed spec accepted")
+	}
+	unknown := filepath.Join(t.TempDir(), "unknown.json")
+	if err := os.WriteFile(unknown, []byte(`{"problem":{"instance":"ft06"},"model":"warp-drive"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-spec", unknown}, &out); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run(context.Background(), []string{"-h"}, &out); err != nil {
+		t.Errorf("-h is a successful run, got %v", err)
+	}
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
 	}
 }

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+func tinyProfile() Profile {
+	return Profile{
+		Name:   "tiny",
+		Models: []string{"serial", "ms"},
+		Seeds:  2,
+		Workloads: []Workload{
+			{Instance: "ft06", Pop: 30, Generations: 15},
+			{Instance: "fjs-sm", Pop: 30, Generations: 15},
+		},
+	}
+}
+
+// TestRunProfileShape: the sweep covers every (workload, model) cell in
+// order, with references, gaps and throughput populated.
+func TestRunProfileShape(t *testing.T) {
+	rep, err := RunProfile(context.Background(), tinyProfile(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Suite != "benchsuite" || rep.Profile != "tiny" {
+		t.Fatalf("header %q/%q", rep.Suite, rep.Profile)
+	}
+	if len(rep.Entries) != 4 {
+		t.Fatalf("%d entries, want 4", len(rep.Entries))
+	}
+	wantOrder := [][2]string{
+		{"ft06", "serial"}, {"ft06", "ms"}, {"fjs-sm", "serial"}, {"fjs-sm", "ms"},
+	}
+	for i, e := range rep.Entries {
+		if e.Instance != wantOrder[i][0] || e.Model != wantOrder[i][1] {
+			t.Errorf("entry %d is %s/%s, want %s/%s", i, e.Instance, e.Model,
+				wantOrder[i][0], wantOrder[i][1])
+		}
+		if e.Seeds != 2 || e.Evaluations <= 0 || e.Best <= 0 || e.Mean < e.Best {
+			t.Errorf("%s/%s: implausible aggregates %+v", e.Instance, e.Model, e)
+		}
+		if e.Reference <= 0 || e.EvalsPerSec <= 0 || e.MeanWallMS <= 0 {
+			t.Errorf("%s/%s: missing reference/throughput %+v", e.Instance, e.Model, e)
+		}
+	}
+	ft06, _ := rep.Find("ft06", "serial")
+	if ft06.RefKind != "optimal" || ft06.Reference != 55 {
+		t.Errorf("ft06 reference %v/%s, want 55/optimal", ft06.Reference, ft06.RefKind)
+	}
+	if ft06.SpeedupVsSerial != 1 {
+		t.Errorf("serial speedup %v, want 1", ft06.SpeedupVsSerial)
+	}
+	fjs, _ := rep.Find("fjs-sm", "ms")
+	if fjs.RefKind != "heuristic" {
+		t.Errorf("fjs-sm ref kind %s, want heuristic", fjs.RefKind)
+	}
+	if fjs.SpeedupVsSerial == 0 {
+		t.Error("ms speedup not computed")
+	}
+}
+
+// TestRunDeterministicQuality: two runs of the same profile agree exactly
+// on quality aggregates (the suite's cross-machine diff contract).
+func TestRunDeterministicQuality(t *testing.T) {
+	a, err := RunProfile(context.Background(), tinyProfile(), Options{PoolWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunProfile(context.Background(), tinyProfile(), Options{PoolWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Entries {
+		ea, eb := a.Entries[i], b.Entries[i]
+		if ea.Best != eb.Best || ea.Mean != eb.Mean || ea.Evaluations != eb.Evaluations {
+			t.Errorf("%s/%s: quality differs across runs: %v/%v vs %v/%v",
+				ea.Instance, ea.Model, ea.Best, ea.Mean, eb.Best, eb.Mean)
+		}
+	}
+}
+
+// TestRunRejectsBadInput: unknown models and profiles fail fast.
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := Run(context.Background(), Options{Profile: "bogus"}); err == nil {
+		t.Error("bogus profile accepted")
+	}
+	prof := tinyProfile()
+	prof.Models = []string{"not-a-model"}
+	if _, err := RunProfile(context.Background(), prof, Options{}); err == nil {
+		t.Error("bogus model accepted")
+	}
+}
+
+func twoEntryReport(best, mean, eps float64) *Report {
+	return &Report{
+		Suite: "benchsuite", Profile: "smoke",
+		Entries: []Entry{
+			{Instance: "ft06", Model: "island", Best: best, Mean: mean, EvalsPerSec: eps},
+			{Instance: "ft10", Model: "island", Best: 960, Mean: 980, EvalsPerSec: eps},
+		},
+	}
+}
+
+// TestCompareFlagsInjectedRegression: a fabricated current report whose
+// quality drifted beyond tolerance must be flagged; equal or improved
+// reports must pass; throughput drops gate only when enabled.
+func TestCompareFlagsInjectedRegression(t *testing.T) {
+	base := twoEntryReport(55, 57, 100000)
+
+	if _, n := Compare(base, twoEntryReport(55, 57, 100000), DefaultTolerance()); n != 0 {
+		t.Errorf("identical reports: %d regressions", n)
+	}
+	if _, n := Compare(base, twoEntryReport(55, 55, 20000), DefaultTolerance()); n != 0 {
+		t.Errorf("improved quality, slower host: %d regressions (throughput must not gate)", n)
+	}
+
+	worse := twoEntryReport(66, 70, 100000) // +20% best, +22.8% mean
+	deltas, n := Compare(base, worse, DefaultTolerance())
+	if n != 2 {
+		t.Fatalf("injected quality regression: got %d regressions, want 2 (best+mean): %v", n, deltas)
+	}
+	for _, d := range deltas {
+		if d.Regression && d.Metric != "best" && d.Metric != "mean" {
+			t.Errorf("unexpected regression metric %s", d.Metric)
+		}
+	}
+
+	tol := DefaultTolerance()
+	tol.ThroughputFrac = 0.5
+	_, n = Compare(base, twoEntryReport(55, 57, 20000), tol) // -80% on both cells
+	if n != 2 {
+		t.Errorf("throughput gate enabled: %d regressions, want 2", n)
+	}
+
+	missing := &Report{Suite: "benchsuite", Entries: base.Entries[:1]}
+	if _, n := Compare(base, missing, DefaultTolerance()); n != 1 {
+		t.Errorf("missing cell: %d regressions, want 1", n)
+	}
+	tol = DefaultTolerance()
+	tol.AllowMissing = true
+	if _, n := Compare(base, missing, tol); n != 0 {
+		t.Errorf("missing cell with AllowMissing: %d regressions, want 0", n)
+	}
+
+	// Zero tolerance means any worsening fails — it must not disable the
+	// gate; negative disables it.
+	tol = Tolerance{QualityFrac: 0, MeanFrac: -1, ThroughputFrac: -1}
+	if _, n := Compare(base, twoEntryReport(56, 57, 100000), tol); n != 1 {
+		t.Errorf("zero quality tolerance: %d regressions, want 1", n)
+	}
+	tol = Tolerance{QualityFrac: -1, MeanFrac: -1, ThroughputFrac: -1}
+	if _, n := Compare(base, twoEntryReport(80, 90, 1), tol); n != 0 {
+		t.Errorf("all gates disabled: %d regressions, want 0", n)
+	}
+}
+
+// TestReportRoundTrip: save/load preserves the entries bit-for-bit.
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	rep := twoEntryReport(55, 57, 12345.5)
+	rep.Host = currentHost()
+	if err := SaveReport(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 || got.Entries[0] != rep.Entries[0] {
+		t.Fatalf("round trip mangled entries: %+v", got.Entries)
+	}
+	if _, err := LoadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+	if err := SaveReport(rep, filepath.Join(dir, "x.json")); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := SaveReport(&Report{Suite: "other"}, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(bad); err == nil {
+		t.Error("non-benchsuite report loaded")
+	}
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/solver"
+)
+
+// Options configures one suite run.
+type Options struct {
+	// Profile names the catalogue entry to run (default "smoke").
+	Profile string
+	// Seeds overrides the profile's seed count when > 0.
+	Seeds int
+	// Models overrides the profile's model list when non-empty.
+	Models []string
+	// PoolWorkers bounds the solver.Pool (default GOMAXPROCS). Use 1 for
+	// least-noisy wall-clock figures.
+	PoolWorkers int
+}
+
+// Run executes the named catalogue profile; see RunProfile.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	name := opts.Profile
+	if name == "" {
+		name = "smoke"
+	}
+	prof, err := ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return RunProfile(ctx, prof, opts)
+}
+
+// RunProfile executes the profile's sweep and aggregates the report. Runs
+// use fixed seeds 1..S for every (instance, model) cell, and the engines
+// are deterministic by seed, so quality figures are machine-independent;
+// cancelling the context aborts the sweep with an error.
+func RunProfile(ctx context.Context, prof Profile, opts Options) (*Report, error) {
+	if opts.Seeds > 0 {
+		prof.Seeds = opts.Seeds
+	}
+	if len(opts.Models) > 0 {
+		prof.Models = opts.Models
+	}
+	for _, m := range prof.Models {
+		if _, ok := solver.Lookup(m); !ok {
+			return nil, fmt.Errorf("bench: unknown model %q (registered: %v)", m, solver.Names())
+		}
+	}
+
+	// One flat spec batch in deterministic order: workload-major, then
+	// model, then seed. The pool preserves input order in its results.
+	specs := make([]solver.Spec, 0, len(prof.Workloads)*len(prof.Models)*prof.Seeds)
+	for _, w := range prof.Workloads {
+		for _, m := range prof.Models {
+			for s := 0; s < prof.Seeds; s++ {
+				specs = append(specs, solver.Spec{
+					Problem: solver.ProblemSpec{Instance: w.Instance},
+					Model:   m,
+					Params:  solver.Params{Pop: w.Pop, Workers: 4, Islands: 4},
+					Budget:  solver.Budget{Generations: w.Generations},
+					Seed:    uint64(s + 1),
+				})
+			}
+		}
+	}
+	pool := &solver.Pool{Workers: opts.PoolWorkers}
+	items := pool.Solve(ctx, specs)
+
+	report := newReport(prof.Name)
+	idx := 0
+	for _, w := range prof.Workloads {
+		in, err := solver.BuildInstance(solver.ProblemSpec{Instance: w.Instance})
+		if err != nil {
+			return nil, err
+		}
+		ref, kind, err := solver.ReferenceKindFor(in, "")
+		if err != nil {
+			return nil, err
+		}
+		var serialWall float64 // mean wall ms of the serial model on w
+		var cells []Entry
+		for _, m := range prof.Models {
+			entry := Entry{Instance: w.Instance, Model: m, Seeds: prof.Seeds}
+			var sumObj, sumWallMS float64
+			for s := 0; s < prof.Seeds; s++ {
+				item := items[idx]
+				idx++
+				if item.Err != nil {
+					return nil, fmt.Errorf("bench: %s/%s seed %d: %w", w.Instance, m, s+1, item.Err)
+				}
+				res := item.Result
+				if res.Canceled {
+					// A truncated run must never become a baseline number.
+					return nil, fmt.Errorf("bench: %s/%s seed %d: canceled mid-run", w.Instance, m, s+1)
+				}
+				entry.Kind = res.Kind
+				obj := res.BestObjective
+				if s == 0 || obj < entry.Best {
+					entry.Best = obj
+				}
+				sumObj += obj
+				sumWallMS += float64(res.Elapsed.Nanoseconds()) / 1e6
+				entry.Evaluations += res.Evaluations
+			}
+			entry.Mean = sumObj / float64(prof.Seeds)
+			entry.MeanWallMS = sumWallMS / float64(prof.Seeds)
+			if sumWallMS > 0 {
+				entry.EvalsPerSec = float64(entry.Evaluations) / (sumWallMS / 1000)
+			}
+			entry.Reference = ref
+			entry.RefKind = string(kind)
+			if ref > 0 {
+				entry.Gap = (entry.Best - ref) / ref
+				entry.MeanGap = (entry.Mean - ref) / ref
+			}
+			if m == "serial" {
+				serialWall = entry.MeanWallMS
+			}
+			cells = append(cells, entry)
+		}
+		for i := range cells {
+			if serialWall > 0 && cells[i].MeanWallMS > 0 {
+				cells[i].SpeedupVsSerial = serialWall / cells[i].MeanWallMS
+			}
+		}
+		report.Entries = append(report.Entries, cells...)
+	}
+	return report, nil
+}

@@ -1,0 +1,160 @@
+package shop
+
+// Classic embedded job shop benchmarks. Each table row is one job as
+// alternating (machine, time) pairs in technological order, transcribed
+// from the OR-Library jobshop file (Fisher & Thompson 1963, Lawrence 1984).
+// The recorded optima are proven; two of them double as transcription
+// checksums, because they coincide with the plain machine-load lower bound
+// (la01's machine 4 carries exactly 666 time units of work, la05's machine
+// 0 exactly 593), which TestClassicChecksums asserts.
+
+// Proven optimal makespans of the embedded classics (FT06Optimum lives in
+// ft06.go next to its data).
+const (
+	FT10Optimum = 930
+	FT20Optimum = 1165
+	LA01Optimum = 666
+	LA02Optimum = 655
+	LA03Optimum = 597
+	LA04Optimum = 590
+	LA05Optimum = 593
+)
+
+// jobRows builds a job shop instance from alternating (machine, time) rows.
+func jobRows(name string, machines int, rows [][]int) *Instance {
+	in := &Instance{Name: name, Kind: JobShop, NumMachines: machines, Jobs: make([]Job, len(rows))}
+	for j, row := range rows {
+		ops := make([]Operation, len(row)/2)
+		for s := range ops {
+			ops[s] = Operation{Machines: []int{row[2*s]}, Times: []int{row[2*s+1]}}
+		}
+		in.Jobs[j] = Job{Ops: ops, Weight: 1}
+	}
+	return in
+}
+
+// FT10 returns the Fisher & Thompson 10x10 instance ("mt10"/"ft10"), the
+// benchmark that stood open for 26 years; its optimum is 930.
+func FT10() *Instance {
+	return jobRows("ft10", 10, [][]int{
+		{0, 29, 1, 78, 2, 9, 3, 36, 4, 49, 5, 11, 6, 62, 7, 56, 8, 44, 9, 21},
+		{0, 43, 2, 90, 4, 75, 9, 11, 3, 69, 1, 28, 6, 46, 5, 46, 7, 72, 8, 30},
+		{1, 91, 0, 85, 3, 39, 2, 74, 8, 90, 5, 10, 7, 12, 6, 89, 9, 45, 4, 33},
+		{1, 81, 2, 95, 0, 71, 4, 99, 6, 9, 8, 52, 7, 85, 3, 98, 9, 22, 5, 43},
+		{2, 14, 0, 6, 1, 22, 5, 61, 3, 26, 4, 69, 8, 21, 7, 49, 9, 72, 6, 53},
+		{2, 84, 1, 2, 5, 52, 3, 95, 8, 48, 9, 72, 0, 47, 6, 65, 4, 6, 7, 25},
+		{1, 46, 0, 37, 3, 61, 2, 13, 6, 32, 5, 21, 9, 32, 8, 89, 7, 30, 4, 55},
+		{2, 31, 0, 86, 1, 46, 5, 74, 4, 32, 6, 88, 8, 19, 9, 48, 7, 36, 3, 79},
+		{0, 76, 1, 69, 3, 76, 5, 51, 2, 85, 9, 11, 6, 40, 7, 89, 4, 26, 8, 74},
+		{1, 85, 0, 13, 2, 61, 6, 7, 8, 64, 9, 76, 5, 47, 3, 52, 4, 90, 7, 45},
+	})
+}
+
+// FT20 returns the Fisher & Thompson 20x5 instance ("mt20"/"ft20");
+// optimum 1165.
+func FT20() *Instance {
+	return jobRows("ft20", 5, [][]int{
+		{0, 29, 1, 9, 2, 49, 3, 62, 4, 44},
+		{0, 43, 1, 75, 3, 69, 2, 46, 4, 72},
+		{1, 91, 0, 39, 2, 90, 4, 12, 3, 45},
+		{1, 81, 0, 71, 4, 9, 2, 85, 3, 22},
+		{2, 14, 1, 22, 0, 26, 3, 21, 4, 72},
+		{2, 84, 1, 52, 4, 48, 0, 47, 3, 6},
+		{1, 46, 0, 61, 2, 32, 3, 32, 4, 30},
+		{2, 31, 1, 46, 0, 32, 3, 19, 4, 36},
+		{0, 76, 3, 76, 2, 85, 1, 40, 4, 26},
+		{1, 85, 2, 61, 0, 64, 3, 47, 4, 90},
+		{1, 78, 3, 36, 0, 11, 4, 56, 2, 21},
+		{2, 90, 0, 11, 1, 28, 3, 46, 4, 30},
+		{0, 85, 2, 74, 1, 10, 3, 89, 4, 33},
+		{2, 95, 0, 99, 1, 52, 3, 98, 4, 43},
+		{0, 6, 1, 61, 4, 69, 2, 49, 3, 53},
+		{1, 2, 0, 95, 3, 72, 4, 65, 2, 25},
+		{0, 37, 2, 13, 1, 21, 4, 89, 3, 55},
+		{0, 86, 1, 74, 4, 88, 2, 48, 3, 79},
+		{1, 69, 2, 51, 0, 11, 3, 89, 4, 74},
+		{0, 13, 1, 7, 2, 76, 3, 52, 4, 45},
+	})
+}
+
+// LA01 returns Lawrence's 10x5 instance la01; optimum 666 (equal to the
+// load of machine 4, which makes the instance a transcription checksum).
+func LA01() *Instance {
+	return jobRows("la01", 5, [][]int{
+		{1, 21, 0, 53, 4, 95, 3, 55, 2, 34},
+		{0, 21, 3, 52, 4, 16, 2, 26, 1, 71},
+		{3, 39, 4, 98, 1, 42, 2, 31, 0, 12},
+		{1, 77, 0, 55, 4, 79, 2, 66, 3, 77},
+		{0, 83, 3, 34, 2, 64, 1, 19, 4, 37},
+		{1, 54, 2, 43, 4, 79, 0, 92, 3, 62},
+		{3, 69, 4, 77, 1, 87, 2, 87, 0, 93},
+		{2, 38, 0, 60, 1, 41, 3, 24, 4, 83},
+		{3, 17, 1, 49, 4, 25, 0, 44, 2, 98},
+		{4, 77, 3, 79, 2, 43, 1, 75, 0, 96},
+	})
+}
+
+// LA02 returns Lawrence's la02; optimum 655.
+func LA02() *Instance {
+	return jobRows("la02", 5, [][]int{
+		{0, 20, 3, 87, 1, 31, 4, 76, 2, 17},
+		{4, 25, 2, 32, 0, 24, 1, 18, 3, 81},
+		{1, 72, 2, 23, 4, 28, 0, 58, 3, 99},
+		{2, 86, 1, 76, 4, 97, 0, 45, 3, 90},
+		{4, 27, 0, 42, 3, 48, 2, 17, 1, 46},
+		{1, 67, 0, 98, 4, 48, 3, 27, 2, 62},
+		{4, 28, 1, 12, 3, 19, 0, 80, 2, 50},
+		{1, 63, 0, 94, 2, 98, 3, 50, 4, 80},
+		{4, 14, 0, 75, 2, 50, 1, 41, 3, 55},
+		{4, 72, 2, 18, 1, 37, 3, 79, 0, 61},
+	})
+}
+
+// LA03 returns Lawrence's la03; optimum 597.
+func LA03() *Instance {
+	return jobRows("la03", 5, [][]int{
+		{1, 23, 2, 45, 0, 82, 4, 84, 3, 38},
+		{2, 21, 1, 29, 0, 18, 4, 41, 3, 50},
+		{2, 38, 3, 54, 4, 16, 0, 52, 1, 52},
+		{4, 37, 0, 54, 2, 74, 1, 62, 3, 57},
+		{4, 57, 0, 81, 1, 61, 3, 68, 2, 30},
+		{4, 81, 0, 79, 1, 89, 2, 89, 3, 11},
+		{3, 33, 2, 20, 0, 91, 4, 20, 1, 66},
+		{4, 24, 1, 84, 0, 32, 2, 55, 3, 8},
+		{4, 56, 0, 7, 3, 54, 2, 64, 1, 39},
+		{4, 40, 1, 83, 0, 19, 2, 8, 3, 7},
+	})
+}
+
+// LA04 returns Lawrence's la04; optimum 590.
+func LA04() *Instance {
+	return jobRows("la04", 5, [][]int{
+		{0, 12, 2, 94, 3, 92, 4, 91, 1, 7},
+		{1, 19, 3, 11, 4, 66, 2, 21, 0, 87},
+		{3, 14, 2, 75, 1, 13, 4, 16, 0, 20},
+		{2, 95, 4, 66, 0, 14, 3, 7, 1, 77},
+		{1, 45, 3, 6, 4, 89, 0, 15, 2, 34},
+		{3, 77, 2, 20, 0, 76, 4, 88, 1, 53},
+		{2, 74, 1, 88, 0, 52, 3, 27, 4, 9},
+		{1, 88, 3, 69, 0, 62, 4, 98, 2, 52},
+		{2, 61, 4, 9, 0, 62, 1, 52, 3, 90},
+		{2, 54, 4, 5, 3, 59, 1, 15, 0, 88},
+	})
+}
+
+// LA05 returns Lawrence's la05; optimum 593 (equal to the load of machine
+// 0 — the second transcription checksum).
+func LA05() *Instance {
+	return jobRows("la05", 5, [][]int{
+		{1, 72, 0, 87, 4, 95, 2, 66, 3, 60},
+		{4, 5, 3, 35, 0, 48, 2, 39, 1, 54},
+		{1, 46, 3, 20, 2, 21, 0, 97, 4, 55},
+		{0, 59, 3, 19, 4, 46, 1, 34, 2, 37},
+		{4, 23, 2, 73, 3, 25, 1, 24, 0, 28},
+		{3, 28, 0, 45, 4, 5, 1, 78, 2, 83},
+		{0, 53, 3, 71, 1, 37, 4, 29, 2, 12},
+		{4, 12, 2, 87, 3, 33, 1, 55, 0, 38},
+		{2, 49, 3, 83, 1, 40, 0, 48, 4, 7},
+		{2, 65, 3, 17, 0, 90, 4, 27, 1, 23},
+	})
+}

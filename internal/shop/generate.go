@@ -60,6 +60,33 @@ func GenerateJobShop(name string, n, m int, timeSeed, machineSeed int32) *Instan
 	return in
 }
 
+// GenerateLawrence returns an n-job, m-machine job shop in Lawrence's style:
+// one operation per machine per job, processing times Unif[5,99] (Lawrence
+// 1984 drew from [5,99] where Taillard later used [1,99]), and each job's
+// routing a fresh random permutation. Times come from the LCG at seed,
+// routings from seed+1, so a single seed reproduces the instance.
+func GenerateLawrence(name string, n, m int, seed int32) *Instance {
+	tg := rng.NewTaillard(seed)
+	mg := rng.NewTaillard(seed + 1)
+	in := &Instance{Name: name, Kind: JobShop, NumMachines: m, Jobs: make([]Job, n)}
+	for j := 0; j < n; j++ {
+		order := make([]int, m)
+		for i := range order {
+			order[i] = i
+		}
+		for i := 0; i < m; i++ {
+			k := mg.Unif(i, m-1)
+			order[i], order[k] = order[k], order[i]
+		}
+		ops := make([]Operation, m)
+		for s := 0; s < m; s++ {
+			ops[s] = Operation{Machines: []int{order[s]}, Times: []int{tg.Unif(5, 99)}}
+		}
+		in.Jobs[j] = Job{Ops: ops, Weight: 1}
+	}
+	return in
+}
+
 // GenerateOpenShop returns an n-job, m-machine open shop: one operation per
 // machine per job with times Unif[1,99]; operation order is free.
 func GenerateOpenShop(name string, n, m int, seed int32) *Instance {

@@ -1,0 +1,226 @@
+package shop
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Benchmark is one named, reproducible workload of the instance registry.
+// Entries fall into three groups:
+//
+//   - Embedded classics (ft06/ft10/ft20, la01–la05): the published tables,
+//     transcribed in classics.go, with proven optima attached. Two of the
+//     optima coincide with the machine-load lower bound and act as
+//     transcription checksums.
+//   - Lawrence-dimension reconstructions (la06–la20): deterministic
+//     instances at the canonical Lawrence sizes (15x5, 20x5, 10x10) drawn
+//     from the repo's Taillard LCG at fixed seeds. The published tables for
+//     these are not embedded, so BestKnown is 0 and gaps are measured
+//     against the heuristic reference; Note records the literature value of
+//     the canonical instance for scale.
+//   - Generated families (flow/open/job/fjs/ffs × sm/md/lg): seeded
+//     Taillard-style workloads covering every machine environment in this
+//     package, sized for smoke, nightly and stress profiles.
+//
+// Every entry is deterministic: New always returns an identical instance.
+type Benchmark struct {
+	Name     string // registry key, also the built instance's Name
+	Kind     Kind
+	Jobs     int
+	Machines int
+	// BestKnown is the proven or best-known makespan from the literature
+	// for the exact embedded data; 0 means no trusted reference exists and
+	// gap reporting falls back to the heuristic reference.
+	BestKnown int
+	// Optimal reports that BestKnown is proven optimal.
+	Optimal bool
+	// Family groups entries for suite profiles: "ft", "la", "la-recon",
+	// "flow", "open", "job", "fjs", "ffs".
+	Family string
+	// Note carries provenance caveats (e.g. the canonical best-known of a
+	// reconstructed Lawrence instance).
+	Note string
+	// New builds a fresh instance; callers own the result.
+	New func() *Instance
+}
+
+var (
+	benchMu  sync.RWMutex
+	benchReg = map[string]Benchmark{}
+)
+
+// RegisterBenchmark adds an entry to the instance registry; duplicate or
+// empty names and nil constructors panic, as registry names are public API.
+func RegisterBenchmark(b Benchmark) {
+	if b.Name == "" {
+		panic("shop: benchmark with empty name")
+	}
+	if b.New == nil {
+		panic(fmt.Sprintf("shop: benchmark %q has no constructor", b.Name))
+	}
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if _, dup := benchReg[b.Name]; dup {
+		panic(fmt.Sprintf("shop: duplicate benchmark %q", b.Name))
+	}
+	benchReg[b.Name] = b
+}
+
+// LookupBenchmark resolves a registry name to its descriptor.
+func LookupBenchmark(name string) (Benchmark, bool) {
+	benchMu.RLock()
+	defer benchMu.RUnlock()
+	b, ok := benchReg[name]
+	return b, ok
+}
+
+// BuildBenchmark builds the named registry instance, or nil, false.
+func BuildBenchmark(name string) (*Instance, bool) {
+	b, ok := LookupBenchmark(name)
+	if !ok {
+		return nil, false
+	}
+	return b.New(), true
+}
+
+// BenchmarkNames returns all registry names, sorted.
+func BenchmarkNames() []string {
+	benchMu.RLock()
+	defer benchMu.RUnlock()
+	names := make([]string, 0, len(benchReg))
+	for n := range benchReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Benchmarks returns all registry descriptors sorted by name.
+func Benchmarks() []Benchmark {
+	benchMu.RLock()
+	defer benchMu.RUnlock()
+	out := make([]Benchmark, 0, len(benchReg))
+	for _, b := range benchReg {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// BenchmarksInFamily returns the descriptors of one family, sorted by name.
+func BenchmarksInFamily(family string) []Benchmark {
+	var out []Benchmark
+	for _, b := range Benchmarks() {
+		if b.Family == family {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func init() {
+	// Embedded classics with proven optima.
+	classics := []struct {
+		name    string
+		jobs, m int
+		opt     int
+		family  string
+		note    string
+		build   func() *Instance
+	}{
+		{"ft06", 6, 6, FT06Optimum, "ft", "Fisher & Thompson 6x6", FT06},
+		{"ft10", 10, 10, FT10Optimum, "ft", "Fisher & Thompson 10x10", FT10},
+		{"ft20", 20, 5, FT20Optimum, "ft", "Fisher & Thompson 20x5", FT20},
+		{"la01", 10, 5, LA01Optimum, "la", "Lawrence 10x5; optimum = machine-4 load (checksum)", LA01},
+		{"la02", 10, 5, LA02Optimum, "la", "Lawrence 10x5", LA02},
+		{"la03", 10, 5, LA03Optimum, "la", "Lawrence 10x5", LA03},
+		{"la04", 10, 5, LA04Optimum, "la", "Lawrence 10x5", LA04},
+		{"la05", 10, 5, LA05Optimum, "la", "Lawrence 10x5; optimum = machine-0 load (checksum)", LA05},
+	}
+	for _, c := range classics {
+		RegisterBenchmark(Benchmark{
+			Name: c.name, Kind: JobShop, Jobs: c.jobs, Machines: c.m,
+			BestKnown: c.opt, Optimal: true, Family: c.family, Note: c.note,
+			New: c.build,
+		})
+	}
+
+	// Lawrence-dimension reconstructions la06–la20. The canonical tables
+	// are not embedded; these are deterministic stand-ins at the canonical
+	// sizes so suite trajectories cover the la series' scale progression.
+	// litBest is the literature best-known of the canonical instance,
+	// recorded in Note for context only (BestKnown stays 0: gaps against a
+	// different instance's optimum would be meaningless).
+	recon := []struct {
+		name    string
+		jobs, m int
+		litBest int
+	}{
+		{"la06", 15, 5, 926}, {"la07", 15, 5, 890}, {"la08", 15, 5, 863},
+		{"la09", 15, 5, 951}, {"la10", 15, 5, 958},
+		{"la11", 20, 5, 1222}, {"la12", 20, 5, 1039}, {"la13", 20, 5, 1150},
+		{"la14", 20, 5, 1292}, {"la15", 20, 5, 1207},
+		{"la16", 10, 10, 945}, {"la17", 10, 10, 784}, {"la18", 10, 10, 848},
+		{"la19", 10, 10, 842}, {"la20", 10, 10, 902},
+	}
+	for i, r := range recon {
+		seed := int32(8400001 + 2*i) // fixed, name-stable seeds
+		RegisterBenchmark(Benchmark{
+			Name: r.name, Kind: JobShop, Jobs: r.jobs, Machines: r.m,
+			Family: "la-recon",
+			Note: fmt.Sprintf("deterministic reconstruction at Lawrence's %dx%d dimensions (seed %d); canonical %s best-known is %d",
+				r.jobs, r.m, seed, r.name, r.litBest),
+			New: func() *Instance { return GenerateLawrence(r.name, r.jobs, r.m, seed) },
+		})
+	}
+
+	// Generated families: seeded Taillard-style workloads per machine
+	// environment. flow-sm uses Taillard's published ta001 time seed, so it
+	// is the canonical 20x5 matrix if the LCG stream matches (the rng
+	// package's tests pin the stream).
+	type gen struct {
+		name    string
+		kind    Kind
+		jobs, m int
+		build   func() *Instance
+	}
+	// ta001: Taillard's first 20x5 flow shop, regenerated from its published
+	// time seed 873654221 through the pinned LCG stream. The GA models
+	// bottom out at exactly the published optimum 1278 on this matrix
+	// (never below), corroborating the regeneration.
+	RegisterBenchmark(Benchmark{
+		Name: "ta001", Kind: FlowShop, Jobs: 20, Machines: 5,
+		BestKnown: 1278, Optimal: true, Family: "flow",
+		Note: "Taillard 20x5 #1, regenerated from published seed 873654221",
+		New:  func() *Instance { return GenerateFlowShop("ta001", 20, 5, 873654221) },
+	})
+
+	gens := []gen{
+		{"flow-sm", FlowShop, 20, 5, func() *Instance { return GenerateFlowShop("flow-sm", 20, 5, 424242) }},
+		{"flow-md", FlowShop, 50, 10, func() *Instance { return GenerateFlowShop("flow-md", 50, 10, 379008056) }},
+		{"flow-lg", FlowShop, 100, 20, func() *Instance { return GenerateFlowShop("flow-lg", 100, 20, 1866992158) }},
+		{"open-sm", OpenShop, 5, 5, func() *Instance { return GenerateOpenShop("open-sm", 5, 5, 55001) }},
+		{"open-md", OpenShop, 10, 10, func() *Instance { return GenerateOpenShop("open-md", 10, 10, 55002) }},
+		{"open-lg", OpenShop, 20, 20, func() *Instance { return GenerateOpenShop("open-lg", 20, 20, 55003) }},
+		{"job-lg", JobShop, 30, 10, func() *Instance { return GenerateJobShop("job-lg", 30, 10, 66001, 66002) }},
+		{"fjs-sm", FlexibleJobShop, 10, 5, func() *Instance { return GenerateFlexibleJobShop("fjs-sm", 10, 5, 5, 3, 77001) }},
+		{"fjs-md", FlexibleJobShop, 15, 8, func() *Instance { return GenerateFlexibleJobShop("fjs-md", 15, 8, 6, 4, 77002) }},
+		{"fjs-lg", FlexibleJobShop, 30, 10, func() *Instance { return GenerateFlexibleJobShop("fjs-lg", 30, 10, 8, 4, 77003) }},
+		{"ffs-sm", FlexibleFlowShop, 8, 4, func() *Instance { return GenerateFlexibleFlowShop("ffs-sm", 8, []int{2, 2}, true, 88001) }},
+		{"ffs-md", FlexibleFlowShop, 15, 9, func() *Instance { return GenerateFlexibleFlowShop("ffs-md", 15, []int{3, 3, 3}, true, 88002) }},
+		{"ffs-lg", FlexibleFlowShop, 30, 16, func() *Instance { return GenerateFlexibleFlowShop("ffs-lg", 30, []int{4, 4, 4, 4}, true, 88003) }},
+	}
+	families := map[Kind]string{
+		FlowShop: "flow", OpenShop: "open", JobShop: "job",
+		FlexibleJobShop: "fjs", FlexibleFlowShop: "ffs",
+	}
+	for _, g := range gens {
+		RegisterBenchmark(Benchmark{
+			Name: g.name, Kind: g.kind, Jobs: g.jobs, Machines: g.m,
+			Family: families[g.kind],
+			Note:   "seeded Taillard-style generator workload",
+			New:    g.build,
+		})
+	}
+}

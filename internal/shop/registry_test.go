@@ -1,0 +1,129 @@
+package shop
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRegistryEntriesBuildAndValidate: every registry entry builds a valid
+// instance whose name, kind and dimensions match its descriptor.
+func TestRegistryEntriesBuildAndValidate(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) < 30 {
+		t.Fatalf("registry has %d entries, want >= 30 (ft + la + families)", len(names))
+	}
+	for _, b := range Benchmarks() {
+		in := b.New()
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if in.Name != b.Name {
+			t.Errorf("%s: instance named %q", b.Name, in.Name)
+		}
+		if in.Kind != b.Kind {
+			t.Errorf("%s: kind %v, descriptor says %v", b.Name, in.Kind, b.Kind)
+		}
+		if in.NumJobs() != b.Jobs || in.NumMachines != b.Machines {
+			t.Errorf("%s: %dx%d, descriptor says %dx%d",
+				b.Name, in.NumJobs(), in.NumMachines, b.Jobs, b.Machines)
+		}
+	}
+}
+
+// TestRegistryDeterminism: building the same entry twice yields bytewise
+// identical instances (the suite's reproducibility contract).
+func TestRegistryDeterminism(t *testing.T) {
+	for _, b := range Benchmarks() {
+		a, err1 := b.New().JSON()
+		c, err2 := b.New().JSON()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: marshal: %v %v", b.Name, err1, err2)
+		}
+		if !bytes.Equal(a, c) {
+			t.Errorf("%s: two builds differ", b.Name)
+		}
+	}
+}
+
+// TestRegistryReferencesAreLowerBounded: a proven optimum can never sit
+// below the instance's own machine-load / job-length lower bound, so this
+// guards the transcription of every embedded classic.
+func TestRegistryReferencesAreLowerBounded(t *testing.T) {
+	for _, b := range Benchmarks() {
+		if b.BestKnown == 0 {
+			continue
+		}
+		in := b.New()
+		if lb := in.LowerBoundMakespan(); lb > b.BestKnown {
+			t.Errorf("%s: lower bound %d exceeds recorded best known %d (bad transcription?)",
+				b.Name, lb, b.BestKnown)
+		}
+	}
+}
+
+// TestClassicChecksums: la01 and la05 have optima equal to a single
+// machine's total load, which pins their transcription exactly; the
+// classics are additionally full shops (each job visits each machine once).
+func TestClassicChecksums(t *testing.T) {
+	load := func(in *Instance, m int) int {
+		sum := 0
+		for _, j := range in.Jobs {
+			for _, op := range j.Ops {
+				if op.Machines[0] == m {
+					sum += op.Times[0]
+				}
+			}
+		}
+		return sum
+	}
+	if got := load(LA01(), 4); got != LA01Optimum {
+		t.Errorf("la01 machine-4 load = %d, want %d", got, LA01Optimum)
+	}
+	if got := load(LA05(), 0); got != LA05Optimum {
+		t.Errorf("la05 machine-0 load = %d, want %d", got, LA05Optimum)
+	}
+	if got := LA01().LowerBoundMakespan(); got != LA01Optimum {
+		t.Errorf("la01 lower bound = %d, want %d", got, LA01Optimum)
+	}
+	for _, fam := range []string{"ft", "la", "la-recon"} {
+		for _, b := range BenchmarksInFamily(fam) {
+			in := b.New()
+			for ji, j := range in.Jobs {
+				if len(j.Ops) != in.NumMachines {
+					t.Errorf("%s job %d: %d ops, want %d", b.Name, ji, len(j.Ops), in.NumMachines)
+					continue
+				}
+				seen := make([]bool, in.NumMachines)
+				for _, op := range j.Ops {
+					if seen[op.Machines[0]] {
+						t.Errorf("%s job %d visits machine %d twice", b.Name, ji, op.Machines[0])
+					}
+					seen[op.Machines[0]] = true
+				}
+			}
+		}
+	}
+}
+
+// TestRegisterBenchmarkRejectsDuplicates: names are public API.
+func TestRegisterBenchmarkRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	RegisterBenchmark(Benchmark{Name: "ft06", New: FT06})
+}
+
+// TestLookupBenchmark covers hit and miss paths.
+func TestLookupBenchmark(t *testing.T) {
+	if b, ok := LookupBenchmark("ft10"); !ok || !b.Optimal || b.BestKnown != FT10Optimum {
+		t.Fatalf("ft10 lookup: %+v %v", b, ok)
+	}
+	if _, ok := BuildBenchmark("no-such-instance"); ok {
+		t.Fatal("bogus name resolved")
+	}
+	if fams := BenchmarksInFamily("flow"); len(fams) != 4 {
+		t.Fatalf("flow family has %d entries, want 4 (ta001 + sm/md/lg)", len(fams))
+	}
+}

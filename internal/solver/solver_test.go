@@ -375,3 +375,67 @@ func TestReference(t *testing.T) {
 		t.Errorf("reference %v", ref)
 	}
 }
+
+// TestBuildInstanceRegistry: every registry name resolves through
+// BuildInstance, and the classic references surface with the right kind.
+func TestBuildInstanceRegistry(t *testing.T) {
+	for _, name := range shop.BenchmarkNames() {
+		in, err := BuildInstance(ProblemSpec{Instance: name})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if in.Name != name {
+			t.Errorf("%s: built %q", name, in.Name)
+		}
+	}
+	if _, err := BuildInstance(ProblemSpec{Instance: "no-such-benchmark.json"}); err == nil {
+		t.Error("unknown instance name resolved")
+	}
+}
+
+// TestReferenceKinds: registry classics anchor the makespan reference at
+// their proven optimum; non-makespan objectives and unregistered instances
+// fall back to the heuristic Fbar.
+func TestReferenceKinds(t *testing.T) {
+	ft10, err := BuildInstance(ProblemSpec{Instance: "ft10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, kind, err := ReferenceKindFor(ft10, "makespan")
+	if err != nil || ref != shop.FT10Optimum || kind != RefOptimal {
+		t.Errorf("ft10 makespan reference = %v %v %v, want 930 optimal", ref, kind, err)
+	}
+	ref, kind, err = ReferenceKindFor(ft10, "twc")
+	if err != nil || kind != RefHeuristic || ref <= 0 {
+		t.Errorf("ft10 twc reference = %v %v %v, want heuristic", ref, kind, err)
+	}
+	gen, err := BuildInstance(ProblemSpec{Kind: "job", Jobs: 5, Machines: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, kind, _ := ReferenceKindFor(gen, ""); kind != RefHeuristic {
+		t.Errorf("generated instance reference kind = %v", kind)
+	}
+	// la06 is a reconstruction: no best-known, heuristic kind.
+	la06, err := BuildInstance(ProblemSpec{Instance: "la06"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, kind, _ := ReferenceKindFor(la06, ""); kind != RefHeuristic {
+		t.Errorf("la06 reference kind = %v, want heuristic (reconstruction)", kind)
+	}
+	// A foreign instance whose name merely collides with a registry entry
+	// must not inherit its optimum: the shape check demotes it to heuristic.
+	impostor := shop.GenerateJobShop("ft10", 5, 3, 11, 12)
+	if ref, kind, _ := ReferenceKindFor(impostor, ""); kind != RefHeuristic || ref == shop.FT10Optimum {
+		t.Errorf("name-colliding instance anchored at %v/%v, want heuristic", ref, kind)
+	}
+	// Same name, same shape, tweaked times: the total-work checksum must
+	// still demote it.
+	tweaked := shop.FT10()
+	tweaked.Jobs[3].Ops[4].Times[0]++
+	if ref, kind, _ := ReferenceKindFor(tweaked, ""); kind != RefHeuristic {
+		t.Errorf("tweaked ft10 anchored at %v/%v, want heuristic", ref, kind)
+	}
+}
