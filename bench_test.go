@@ -158,7 +158,7 @@ func BenchmarkSolverPool(b *testing.B) {
 	for i := range specs {
 		specs[i] = solver.Spec{
 			Problem: solver.ProblemSpec{
-				Kind: kinds[i%len(kinds)], Jobs: 8, Machines: 4, Seed: int32(920 + i),
+				Kind: kinds[i%len(kinds)], Jobs: 8, Machines: 4, Seed: int64(920 + i),
 			},
 			Model:  models[i%len(models)],
 			Params: solver.Params{Pop: 32},

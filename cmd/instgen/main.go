@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/shop"
+	"repro/internal/solver"
 )
 
 func main() {
@@ -31,12 +32,15 @@ func main() {
 
 	var in *shop.Instance
 	name := fmt.Sprintf("%s-%dx%d-s%d", *kind, *jobs, *machines, *seed)
-	s := int32(*seed)
+	// ClampInstanceSeed folds any int64 into the Taillard range, so a
+	// hand-typed out-of-range seed degrades deterministically, not with a
+	// panic.
+	s := solver.ClampInstanceSeed(int64(*seed))
 	switch *kind {
 	case "flow":
 		in = shop.GenerateFlowShop(name, *jobs, *machines, s)
 	case "job":
-		in = shop.GenerateJobShop(name, *jobs, *machines, s, s+1)
+		in = shop.GenerateJobShop(name, *jobs, *machines, s, solver.ClampInstanceSeed(int64(s)+1))
 	case "open":
 		in = shop.GenerateOpenShop(name, *jobs, *machines, s)
 	case "fjs":

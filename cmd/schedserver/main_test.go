@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve/client"
+	"repro/internal/solver"
+)
+
+// syncBuffer is a goroutine-safe writer for capturing the daemon's
+// stdout while it runs.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, drives one
+// job through the typed client, and shuts it down through the signal
+// context — the exact path a SIGINT takes.
+func TestDaemonLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain-ms", "2000"}, &out)
+	}()
+
+	// Wait for the listening line and extract the bound address.
+	var base string
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := out.String(); strings.Contains(s, "listening on ") {
+			line := s[strings.Index(s, "listening on ")+len("listening on "):]
+			base = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("daemon never reported its address:\n%s", out.String())
+	}
+
+	c := &client.Client{BaseURL: base}
+	cctx, ccancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer ccancel()
+	job, err := c.Submit(cctx, solver.Spec{
+		Problem: solver.ProblemSpec{Instance: "ft06"},
+		Model:   "serial",
+		Params:  solver.Params{Pop: 30},
+		Budget:  solver.Budget{Generations: 30},
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatalf("submit against daemon: %v", err)
+	}
+	final, err := c.Await(cctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != solver.JobDone || final.Result == nil {
+		t.Fatalf("job %+v", final)
+	}
+	if final.Result.Reference != 55 {
+		t.Errorf("ft06 reference %v", final.Result.Reference)
+	}
+
+	// Shutdown path: cancel the run context (what SIGINT does) and expect
+	// a clean, prompt exit.
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not stop:\n%s", out.String())
+	}
+	if s := out.String(); !strings.Contains(s, "schedserver stopped") {
+		t.Errorf("missing stop line:\n%s", s)
+	}
+}
+
+// TestDaemonFlagErrors: bad flags fail cleanly; -h succeeds.
+func TestDaemonFlagErrors(t *testing.T) {
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-h"}, &out); err != nil {
+		t.Errorf("-h: %v", err)
+	}
+	if err := run(context.Background(), []string{"-addr", "256.256.256.256:99999"}, &out); err == nil {
+		t.Error("unbindable address accepted")
+	}
+}

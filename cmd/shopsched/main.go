@@ -6,6 +6,10 @@
 // benchmark registry (ft06/ft10/ft20, la01-la20, generated families) or
 // loaded from JSON files.
 //
+// The run goes through the solver's job Service — the same Submit/Events/
+// Await path the schedserver daemon serves — so -progress streams live
+// improvement events while the model runs.
+//
 // Usage examples:
 //
 //	shopsched -instance ft10 -model island -islands 4 -generations 200
@@ -13,6 +17,7 @@
 //	shopsched -instance path/to/instance.json -model cellular
 //	shopsched -problem open -jobs 8 -machines 8 -model serial
 //	shopsched -problem job -model qga -wall-ms 2000
+//	shopsched -instance ft10 -model island -progress
 //	shopsched -spec spec.json
 package main
 
@@ -50,7 +55,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		problem     = fs.String("problem", "job", "generated problem kind: flow, job, open, fjs, ffs")
 		jobs        = fs.Int("jobs", 10, "jobs for generated instances")
 		machines    = fs.Int("machines", 5, "machines for generated instances")
-		seed        = fs.Int("seed", 12345, "instance generation seed")
+		seed        = fs.Int64("seed", 12345, "instance generation seed (any int64; folded into the Taillard range)")
 		model       = fs.String("model", "serial", "GA model: "+strings.Join(solver.Names(), ", "))
 		encoding    = fs.String("encoding", "", "chromosome encoding: perm, seq, keys, flex (default: by kind)")
 		objective   = fs.String("objective", "", "objective: makespan (default), twc, twt, twu, max-tardiness, energy")
@@ -61,6 +66,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		wallMS      = fs.Int64("wall-ms", 0, "wall clock budget in milliseconds (0: none)")
 		gaSeed      = fs.Uint64("ga-seed", 1, "GA master seed")
 		gantt       = fs.Bool("gantt", true, "print the Gantt chart")
+		progress    = fs.Bool("progress", false, "stream improvement events while solving")
 	)
 	switch err := fs.Parse(args); {
 	case err == nil:
@@ -78,7 +84,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			Kind:     *problem,
 			Jobs:     *jobs,
 			Machines: *machines,
-			Seed:     int32(*seed),
+			Seed:     *seed,
 		},
 		Encoding:  *encoding,
 		Objective: *objective,
@@ -104,11 +110,36 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "instance %s: %s, %d jobs x %d machines (%d operations)\n",
 		in.Name, in.Kind, in.NumJobs(), in.NumMachines, in.TotalOps())
-	if ref, kind, err := solver.ReferenceKindFor(in, spec.Objective); err == nil {
-		fmt.Fprintf(stdout, "%s reference objective: %.0f\n", kind, ref)
-	}
 
-	res, err := solver.Solve(ctx, spec)
+	// Submit through the job service (the API the schedserver daemon
+	// serves); Validate-aggregated field errors surface one per line.
+	svc := solver.NewService(1)
+	job, err := svc.Submit(ctx, spec)
+	if err != nil {
+		var verr *solver.ValidationError
+		if errors.As(err, &verr) {
+			for _, f := range verr.Fields {
+				fmt.Fprintf(stdout, "invalid: %s: %s\n", f.Path, f.Msg)
+			}
+			return errors.New("invalid spec (see above)")
+		}
+		return err
+	}
+	if *progress {
+		// Subscribing costs the engines their no-observer fast path, so
+		// only stream when asked.
+		for ev := range job.Events() {
+			if ev.Type == solver.EventImproved {
+				fmt.Fprintf(stdout, "gen %5d: best %.0f\n", ev.Generation, ev.BestObjective)
+			}
+		}
+	}
+	res, err := job.Await(ctx)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// Ctrl-C: the run stops at its next generation boundary; collect
+		// the partial best instead of discarding it.
+		res, err = job.Await(context.Background())
+	}
 	if err != nil {
 		return err
 	}
@@ -119,6 +150,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "model %s [%s]: best %.0f after %d evaluations in %s%s\n",
 		res.Model, res.Encoding, res.BestObjective, res.Evaluations,
 		res.RoundedElapsed(), state)
+	if res.Reference > 0 {
+		// The reference rides on the Result, resolved once at solve end.
+		fmt.Fprintf(stdout, "%s reference objective: %.0f (gap %+.1f%%)\n",
+			res.RefKind, res.Reference, 100*res.Gap)
+	}
 	if *gantt {
 		fmt.Fprint(stdout, res.Schedule.Gantt(96))
 	}

@@ -8,9 +8,22 @@
 // survey's five tables plus the quantitative claims of the ~25 surveyed
 // works as figure-equivalent experiments.
 //
-// The internal/solver package is the unified entry point: a declarative,
-// JSON-serialisable Spec resolved through a model registry, with a
-// concurrent batch Pool for many-scenario workloads.
+// The internal/solver package is the unified entry point, and its job
+// Service the primary API: a declarative, JSON-serialisable Spec
+// (statically checked by Spec.Validate, which reports every field-path
+// error at once) is submitted through Service.Submit and becomes a Job —
+// observable via Job.Events (typed Started/Generation/Improved/Migration/
+// Done progress streamed from the engines' generation and epoch seams),
+// awaitable via Job.Await, and cancellable mid-run with a valid partial
+// result. The blocking Solve remains for call-and-wait uses, and the
+// concurrent batch Pool (a thin layer over the Service, with
+// deterministic per-run seed derivation) covers many-scenario workloads.
+// Every Result embeds its reference objective, kind and gap.
+//
+// internal/serve exposes the Service over HTTP — cmd/schedserver is the
+// scheduling daemon (REST + Server-Sent-Events progress streams, bounded
+// concurrency, per-job deadlines, graceful drain) and serve/client the
+// typed Go client.
 //
 // Evaluation — the hot path of every parallel model — is split into
 // schedule-building oracle decoders (reference semantics, final results)

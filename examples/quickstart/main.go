@@ -1,11 +1,12 @@
 // Quickstart: solve the classic ft06 job shop (proven optimum 55) through
-// the unified solver layer — the shortest path through the library's API:
+// the solver's job Service — the primary entry point of the library:
 //
-//	spec -> solver.Solve -> result + schedule.
+//	spec -> Service.Submit -> Job{Events, Await} -> result + schedule.
 //
 // The Spec is plain data (it round-trips through JSON), so the same
-// request could arrive over a wire, sit in a batch file, or be built in
-// code as here.
+// request could arrive over a wire (cmd/schedserver serves exactly this
+// API over HTTP), sit in a batch file, or be built in code as here; the
+// Job streams typed progress events while the model runs.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -31,18 +32,35 @@ func main() {
 		Seed:     2024,
 	}
 
-	res, err := solver.Solve(context.Background(), spec)
+	svc := solver.NewService(2)
+	job, err := svc.Submit(context.Background(), spec)
+	if err != nil {
+		panic(err)
+	}
+	// The job streams typed events while it runs: watch the incumbent
+	// makespan fall and the island migrations tick by.
+	for ev := range job.Events() {
+		switch ev.Type {
+		case solver.EventImproved:
+			fmt.Printf("  gen %3d: new best %.0f\n", ev.Generation, ev.BestObjective)
+		case solver.EventMigration:
+			fmt.Printf("  gen %3d: migration epoch %d across %d islands\n",
+				ev.Generation, ev.Epoch, ev.Islands)
+		}
+	}
+	res, err := job.Await(context.Background())
 	if err != nil {
 		panic(err)
 	}
 
-	fmt.Printf("ft06 via %s [%s]: makespan %.0f (optimum %d) after %d evaluations in %s\n",
-		res.Model, res.Encoding, res.BestObjective, shop.FT06Optimum,
-		res.Evaluations, res.RoundedElapsed())
+	fmt.Printf("ft06 via %s [%s]: makespan %.0f (%s reference %.0f, gap %+.1f%%) after %d evaluations in %s\n",
+		res.Model, res.Encoding, res.BestObjective, res.RefKind, res.Reference,
+		100*res.Gap, res.Evaluations, res.RoundedElapsed())
 	fmt.Print(res.Schedule.Gantt(80))
 	fmt.Println("schedule is feasible (Table I conditions hold; solver validated it)")
 
-	// The same problem through a different model is a one-field change.
+	// The same problem through a different model is a one-field change —
+	// and the blocking Solve still exists for call-and-wait uses.
 	spec.Model = "cellular"
 	res, err = solver.Solve(context.Background(), spec)
 	if err != nil {

@@ -47,6 +47,13 @@ type Config[G any] struct {
 	// completing the synchronisation protocol (so no agent deadlocks on the
 	// epoch barrier). Must be safe for concurrent use.
 	Stop func() bool
+
+	// OnEpoch, when set, is called by the synchronisation agent at every
+	// epoch barrier with the completed epoch index and the best objective
+	// reported across all processor agents — the model's
+	// streaming-progress seam. It runs on the synchronisation agent's
+	// goroutine only, and always before Run returns.
+	OnEpoch func(epoch int, best float64)
 }
 
 // Result reports an agent-system run.
@@ -127,6 +134,9 @@ func Run[G any](p core.Problem[G], r *rng.RNG, cfg Config[G]) Result[G] {
 				}
 			}
 			completed = e + 1
+			if cfg.OnEpoch != nil {
+				cfg.OnEpoch(e, bestObj)
+			}
 			halt := cfg.Stop != nil && cfg.Stop()
 			if cfg.TargetSet && bestObj <= cfg.Target {
 				halt = true

@@ -72,14 +72,6 @@ func RunProfile(ctx context.Context, prof Profile, opts Options) (*Report, error
 	report := newReport(prof.Name)
 	idx := 0
 	for _, w := range prof.Workloads {
-		in, err := solver.BuildInstance(solver.ProblemSpec{Instance: w.Instance})
-		if err != nil {
-			return nil, err
-		}
-		ref, kind, err := solver.ReferenceKindFor(in, "")
-		if err != nil {
-			return nil, err
-		}
 		var serialWall float64 // mean wall ms of the serial model on w
 		var cells []Entry
 		for _, m := range prof.Models {
@@ -97,6 +89,11 @@ func RunProfile(ctx context.Context, prof Profile, opts Options) (*Report, error
 					return nil, fmt.Errorf("bench: %s/%s seed %d: canceled mid-run", w.Instance, m, s+1)
 				}
 				entry.Kind = res.Kind
+				// The reference rides on every Result (resolved once by the
+				// solver); all seeds of a cell share the instance, so any
+				// run's copy anchors the cell.
+				entry.Reference = res.Reference
+				entry.RefKind = string(res.RefKind)
 				obj := res.BestObjective
 				if s == 0 || obj < entry.Best {
 					entry.Best = obj
@@ -110,11 +107,9 @@ func RunProfile(ctx context.Context, prof Profile, opts Options) (*Report, error
 			if sumWallMS > 0 {
 				entry.EvalsPerSec = float64(entry.Evaluations) / (sumWallMS / 1000)
 			}
-			entry.Reference = ref
-			entry.RefKind = string(kind)
-			if ref > 0 {
-				entry.Gap = (entry.Best - ref) / ref
-				entry.MeanGap = (entry.Mean - ref) / ref
+			if entry.Reference > 0 {
+				entry.Gap = (entry.Best - entry.Reference) / entry.Reference
+				entry.MeanGap = (entry.Mean - entry.Reference) / entry.Reference
 			}
 			if m == "serial" {
 				serialWall = entry.MeanWallMS

@@ -100,6 +100,11 @@ type Engine[G any] struct {
 	// injecting), and cloneInto reuses their capacity for new copies.
 	free      []G
 	cloneInto func(dst, src G) G
+
+	// statBuf is the reused objective scratch of record(), so observed
+	// runs (OnGeneration, RecordHistory) stay allocation-free per
+	// generation like unobserved ones.
+	statBuf []float64
 }
 
 // New creates an engine, applies config defaults, and evaluates the initial
@@ -439,7 +444,12 @@ func (e *Engine[G]) record() {
 	if e.cfg.OnGeneration == nil && !e.cfg.RecordHistory {
 		return
 	}
-	objs := make([]float64, len(e.pop))
+	objs := e.statBuf
+	if cap(objs) < len(e.pop) {
+		objs = make([]float64, len(e.pop))
+	}
+	objs = objs[:len(e.pop)]
+	e.statBuf = objs
 	bestGen := e.pop[0].Obj
 	for i, ind := range e.pop {
 		objs[i] = ind.Obj

@@ -36,6 +36,12 @@ type RingOfTorusConfig[G any] struct {
 	// and at every epoch boundary; returning true ends the run. Must be
 	// safe for concurrent use.
 	Stop func() bool
+
+	// OnEpoch, when set, is called after each ring migration with the
+	// completed epoch index and the best objective across all grids — the
+	// model's streaming-progress seam. It runs on the model's own
+	// goroutine, between epochs.
+	OnEpoch func(epoch int, best float64)
 }
 
 // RingOfTorus is the configured hybrid model.
@@ -146,6 +152,9 @@ func (h *RingOfTorus[G]) Run() Result[G] {
 		}
 		wg.Wait()
 		h.migrate()
+		if h.cfg.OnEpoch != nil {
+			h.cfg.OnEpoch(epoch, h.Best().Obj)
+		}
 	}
 	res := Result[G]{Best: h.Best(), Epochs: epoch}
 	for _, g := range h.grids {

@@ -126,6 +126,12 @@ type Config[G any] struct {
 	// used by benchmarks to separate algorithmic and scheduling effects).
 	Sequential bool
 
+	// OnEpoch, when set, is called after every migration epoch with the
+	// epoch's stats — the model's streaming-progress seam. It runs on the
+	// model's own goroutine, between epochs, so it never races the island
+	// goroutines.
+	OnEpoch func(EpochStats)
+
 	Target    float64 // optional global early stop on best objective
 	TargetSet bool
 
@@ -409,13 +415,17 @@ func (m *Model[G]) record(epoch int) {
 	for _, e := range m.engines {
 		sum += e.Best().Obj
 	}
-	m.history = append(m.history, EpochStats{
+	es := EpochStats{
 		Epoch:       epoch,
 		Generation:  m.gen,
 		BestObj:     best.Obj,
 		MeanBestObj: sum / float64(len(m.engines)),
 		Islands:     len(m.engines),
-	})
+	}
+	m.history = append(m.history, es)
+	if m.cfg.OnEpoch != nil {
+		m.cfg.OnEpoch(es)
+	}
 }
 
 // Run executes the configured number of epochs (or stops early at the

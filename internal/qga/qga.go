@@ -104,6 +104,12 @@ type Config struct {
 	// Stop, when set, is polled between generations; returning true ends
 	// the run with the best found so far (external cancellation seam).
 	Stop func() bool
+
+	// OnEpoch, when set, is called by StarPQGA after every migration epoch
+	// (penetration + broadcast) with the completed epoch index and the
+	// global best expected makespan — the model's streaming-progress seam.
+	// It runs on the star loop's goroutine, between epochs.
+	OnEpoch func(epoch int, best float64)
 }
 
 func (c *Config) defaults() {
@@ -385,6 +391,11 @@ func StarPQGA(prob *StochasticJSSP, r *rng.RNG, islands, interval, epochs int, c
 			for _, leaf := range qs[1:] {
 				leaf.InjectBest(bits, obj)
 			}
+		}
+		if cfg.OnEpoch != nil {
+			// After penetration the hub holds the global best.
+			obj, _ := hub.Best()
+			cfg.OnEpoch(e, obj)
 		}
 	}
 	res := StarResult{BestObj: math.Inf(1), Epochs: completed}

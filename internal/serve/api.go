@@ -1,0 +1,61 @@
+// Package serve is the HTTP serving layer over the solver's job Service:
+// a REST+SSE API (cmd/schedserver is the daemon, serve/client the typed
+// client) that submits Specs as jobs, streams their typed progress events,
+// and exposes the model and instance registries.
+//
+//	POST   /v1/jobs             submit a solver.Spec, returns the job
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status (+ result when terminal)
+//	GET    /v1/jobs/{id}/events Server-Sent Events progress stream
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/models           registered GA models
+//	GET    /v1/instances        benchmark registry
+//	GET    /healthz             liveness + job counts
+package serve
+
+import "repro/internal/solver"
+
+// JobInfo is the wire form of one job: its status snapshot, the spec as
+// submitted, and — once terminal — the result (schedules stay in-process;
+// Result marshals without its Schedule field).
+type JobInfo struct {
+	solver.JobStatus
+	Spec   solver.Spec    `json:"spec"`
+	Result *solver.Result `json:"result,omitempty"`
+}
+
+// JobList is the GET /v1/jobs payload.
+type JobList struct {
+	Jobs []JobInfo `json:"jobs"`
+}
+
+// ModelInfo describes one registered GA model.
+type ModelInfo struct {
+	Name string `json:"name"`
+}
+
+// InstanceInfo describes one registry benchmark.
+type InstanceInfo struct {
+	Name      string `json:"name"`
+	Kind      string `json:"kind"`
+	Jobs      int    `json:"jobs"`
+	Machines  int    `json:"machines"`
+	BestKnown int    `json:"best_known,omitempty"`
+	Optimal   bool   `json:"optimal,omitempty"`
+	Note      string `json:"note,omitempty"`
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	Status  string `json:"status"`
+	Jobs    int    `json:"jobs"`
+	Active  int    `json:"active"`
+	Version string `json:"version,omitempty"`
+}
+
+// ErrorBody is every non-2xx response: a message plus, for validation
+// failures, the complete field-path error list from Spec.Validate.
+type ErrorBody struct {
+	Error  string              `json:"error"`
+	Fields []solver.FieldError `json:"fields,omitempty"`
+}

@@ -1,0 +1,247 @@
+// Package client is the typed Go client for the schedserver HTTP API
+// (internal/serve): submit Specs as jobs, fetch status, stream the
+// Server-Sent-Events progress feed, cancel, and await results.
+//
+//	c := &client.Client{BaseURL: "http://localhost:8410"}
+//	job, _ := c.Submit(ctx, spec)
+//	events, _ := c.Events(ctx, job.ID)
+//	for ev := range events { ... }
+//	final, _ := c.Job(ctx, job.ID)
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/solver"
+)
+
+// Client talks to one schedserver. Zero value plus BaseURL is ready.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8410".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient (streams disable its
+	// timeout per-request via context instead).
+	HTTPClient *http.Client
+}
+
+// APIError is a non-2xx response: the server's message plus, for 400s
+// from Spec validation, the complete field-path error list.
+type APIError struct {
+	Status  int
+	Message string
+	Fields  []solver.FieldError
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	if len(e.Fields) == 0 {
+		return fmt.Sprintf("schedserver: %d: %s", e.Status, e.Message)
+	}
+	msgs := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		msgs[i] = f.Error()
+	}
+	return fmt.Sprintf("schedserver: %d: %s (%s)", e.Status, e.Message, strings.Join(msgs, "; "))
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one JSON request and decodes the response into out (which may
+// be nil). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body *bytes.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeAPIError(resp *http.Response) error {
+	apiErr := &APIError{Status: resp.StatusCode, Message: resp.Status}
+	var body serve.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil && body.Error != "" {
+		apiErr.Message = body.Error
+		apiErr.Fields = body.Fields
+	}
+	return apiErr
+}
+
+// Submit posts a Spec and returns the created job.
+func (c *Client) Submit(ctx context.Context, spec solver.Spec) (*serve.JobInfo, error) {
+	var info serve.JobInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Job fetches one job's status (and result once terminal).
+func (c *Client) Job(ctx context.Context, id string) (*serve.JobInfo, error) {
+	var info serve.JobInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Jobs lists all retained jobs.
+func (c *Client) Jobs(ctx context.Context) ([]serve.JobInfo, error) {
+	var list serve.JobList
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &list); err != nil {
+		return nil, err
+	}
+	return list.Jobs, nil
+}
+
+// Cancel requests cancellation and returns the job's current snapshot.
+func (c *Client) Cancel(ctx context.Context, id string) (*serve.JobInfo, error) {
+	var info serve.JobInfo
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Models lists the registered GA models.
+func (c *Client) Models(ctx context.Context) ([]serve.ModelInfo, error) {
+	var out []serve.ModelInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/models", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Instances lists the benchmark registry.
+func (c *Client) Instances(ctx context.Context) ([]serve.InstanceInfo, error) {
+	var out []serve.InstanceInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/instances", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Events opens the job's SSE stream and returns a channel of decoded
+// events. The channel closes when the terminal done event arrives, the
+// stream ends server-side, or ctx is cancelled; cancel ctx to abandon the
+// stream early.
+func (c *Client) Events(ctx context.Context, id string) (<-chan solver.Event, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeAPIError(resp)
+	}
+	out := make(chan solver.Event, 16)
+	go func() {
+		defer close(out)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		var data []byte
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "data:"):
+				data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+			case line == "":
+				if len(data) == 0 {
+					continue
+				}
+				var ev solver.Event
+				if err := json.Unmarshal(data, &ev); err == nil {
+					select {
+					case out <- ev:
+					case <-ctx.Done():
+						return
+					}
+					if ev.Type == solver.EventDone {
+						return
+					}
+				}
+				data = data[:0]
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Await streams the job's events until it is terminal (or ctx expires)
+// and returns the final job info. When the event stream is unavailable —
+// or is severed before the done event — it falls back to polling, so the
+// returned info is always terminal.
+func (c *Client) Await(ctx context.Context, id string) (*serve.JobInfo, error) {
+	if events, err := c.Events(ctx, id); err == nil {
+		for range events {
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if info.State.Terminal() {
+			return info, nil
+		}
+		// The stream ended without the done event (proxy timeout, severed
+		// connection): fall through to polling.
+	}
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if info.State.Terminal() {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

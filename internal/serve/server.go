@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/shop"
+	"repro/internal/solver"
+)
+
+// Config parameterises a Server. The zero value serves with defaults.
+type Config struct {
+	// MaxConcurrent bounds jobs running at once (default GOMAXPROCS).
+	MaxConcurrent int
+	// MaxActive bounds pending+running jobs; submissions beyond it get
+	// 429 (default 256, <0 disables).
+	MaxActive int
+	// MaxWallMillis is the per-job deadline: specs without a wall budget
+	// get it, specs asking for more are capped (default 120000, <0
+	// disables). It bounds how long one request can hold a worker slot.
+	MaxWallMillis int64
+	// MaxRetained bounds the finished jobs kept for status queries; the
+	// oldest terminal jobs are pruned beyond it (default 1024).
+	MaxRetained int
+	// MaxBodyBytes bounds the submit request body (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP layer over a solver.Service. Create with New, mount
+// Handler, and call Drain on shutdown.
+type Server struct {
+	cfg  Config
+	svc  *solver.Service
+	stop chan struct{} // closed by Drain: unblocks event streams
+}
+
+// New builds a Server and its backing Service.
+func New(cfg Config) *Server {
+	if cfg.MaxActive == 0 {
+		cfg.MaxActive = 256
+	}
+	if cfg.MaxActive < 0 {
+		cfg.MaxActive = 0
+	}
+	if cfg.MaxWallMillis == 0 {
+		cfg.MaxWallMillis = 120_000
+	}
+	if cfg.MaxRetained <= 0 {
+		cfg.MaxRetained = 1024
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	return &Server{
+		cfg:  cfg,
+		svc:  &solver.Service{MaxConcurrent: cfg.MaxConcurrent, MaxActive: cfg.MaxActive},
+		stop: make(chan struct{}),
+	}
+}
+
+// Service exposes the backing job service (tests, embedding).
+func (s *Server) Service() *solver.Service { return s.svc }
+
+// Drain gracefully stops the server's job service: no new submissions,
+// in-flight jobs run to completion until ctx expires, then they are
+// cancelled and collected promptly. Event streams observe the terminal
+// events and end. Safe to call once.
+func (s *Server) Drain(ctx context.Context) error {
+	err := s.svc.Drain(ctx)
+	close(s.stop)
+	return err
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/instances", s.handleInstances)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps an error onto a status and the standard error body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	body := ErrorBody{Error: err.Error()}
+	var verr *solver.ValidationError
+	if errors.As(err, &verr) {
+		body.Fields = verr.Fields
+	}
+	writeJSON(w, status, body)
+}
+
+// jobInfo assembles the wire form of a job.
+func jobInfo(j *solver.Job) JobInfo {
+	info := JobInfo{JobStatus: j.Status(), Spec: j.Spec()}
+	if res, _ := j.Result(); res != nil {
+		info.Result = res
+	}
+	return info
+}
+
+// handleSubmit: POST /v1/jobs — decode, cap the wall budget, submit,
+// prune old history, 201 with the job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec solver.Spec
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing spec: %w", err))
+		return
+	}
+	// The daemon resolves instances through the benchmark registry ONLY.
+	// The library's file-path fallback must not be reachable from the
+	// network: it would let any client read (and fingerprint) arbitrary
+	// server files, and a typo'd registry name would surface as a
+	// confusing asynchronous job failure instead of a 400. The check is
+	// merged with Spec.Validate so the 400 still carries every field
+	// error at once.
+	var fields []solver.FieldError
+	if inst := spec.Problem.Instance; inst != "" {
+		if _, ok := shop.LookupBenchmark(inst); !ok {
+			fields = append(fields, solver.FieldError{
+				Path: "problem.instance",
+				Msg:  fmt.Sprintf("unknown instance %q: the server resolves registry names only (see GET /v1/instances)", inst),
+			})
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		var verr *solver.ValidationError
+		if errors.As(err, &verr) {
+			fields = append(fields, verr.Fields...)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if len(fields) > 0 {
+		writeError(w, http.StatusBadRequest, &solver.ValidationError{Fields: fields})
+		return
+	}
+	// Per-job deadline: every job gets a wall budget no larger than the
+	// server's cap, so no request can hold a worker slot indefinitely.
+	// A spec with no budget at all keeps the library's generation default
+	// instead of silently inheriting a full cap-length run (the solver
+	// treats a wall-only budget as effectively unbounded generations).
+	if wallCap := s.cfg.MaxWallMillis; wallCap > 0 {
+		b := &spec.Budget
+		if b.Generations <= 0 && b.Evaluations <= 0 && b.Stagnation <= 0 &&
+			!b.TargetSet && b.WallMillis <= 0 {
+			b.Generations = solver.DefaultGenerations
+		}
+		if b.WallMillis <= 0 || b.WallMillis > wallCap {
+			b.WallMillis = wallCap
+		}
+	}
+	// Jobs outlive the submit request: they run under the service's
+	// lifetime, not the HTTP request context.
+	job, err := s.svc.Submit(context.Background(), spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, solver.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, solver.ErrBusy):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.prune()
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, http.StatusCreated, jobInfo(job))
+}
+
+// prune drops the oldest terminal jobs beyond the retention bound.
+func (s *Server) prune() {
+	jobs := s.svc.Jobs()
+	excess := len(jobs) - s.cfg.MaxRetained
+	for _, j := range jobs {
+		if excess <= 0 {
+			return
+		}
+		if s.svc.Remove(j.ID()) {
+			excess--
+		}
+	}
+}
+
+// handleList: GET /v1/jobs.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.svc.Jobs()
+	out := JobList{Jobs: make([]JobInfo, 0, len(jobs))}
+	for _, j := range jobs {
+		out.Jobs = append(out.Jobs, jobInfo(j))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// lookup resolves the {id} path value or 404s.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*solver.Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.svc.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+	}
+	return job, ok
+}
+
+// handleGet: GET /v1/jobs/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, jobInfo(job))
+	}
+}
+
+// handleCancel: DELETE /v1/jobs/{id} — request cancellation and return
+// the current snapshot (the job reaches its terminal state at the next
+// generation boundary; poll or stream to observe it).
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, jobInfo(job))
+}
+
+// handleEvents: GET /v1/jobs/{id}/events — the job's typed event stream
+// as Server-Sent Events. Each frame is `event: <type>` + `id: <seq>` +
+// `data: <Event JSON>`; the stream ends after the done event, when the
+// client disconnects, or at server drain.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	events := job.Events()
+	write := func(ev solver.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data)
+		fl.Flush()
+		return true
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			// Drain closes stop only after every job is terminal, so the
+			// subscriber channel already holds the remaining events up to
+			// the done; flush them so the stream ends with it.
+			for {
+				select {
+				case ev, ok := <-events:
+					if !ok || !write(ev) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		case ev, ok := <-events:
+			if !ok || !write(ev) {
+				return
+			}
+		}
+	}
+}
+
+// handleModels: GET /v1/models.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	names := solver.Names()
+	out := make([]ModelInfo, 0, len(names))
+	for _, n := range names {
+		out = append(out, ModelInfo{Name: n})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleInstances: GET /v1/instances.
+func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
+	bs := shop.Benchmarks()
+	out := make([]InstanceInfo, 0, len(bs))
+	for _, b := range bs {
+		out = append(out, InstanceInfo{
+			Name:      b.Name,
+			Kind:      b.Kind.String(),
+			Jobs:      b.Jobs,
+			Machines:  b.Machines,
+			BestKnown: b.BestKnown,
+			Optimal:   b.Optimal,
+			Note:      b.Note,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealth: GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	jobs := s.svc.Jobs()
+	active := 0
+	for _, j := range jobs {
+		if !j.Status().State.Terminal() {
+			active++
+		}
+	}
+	writeJSON(w, http.StatusOK, Health{Status: "ok", Jobs: len(jobs), Active: active})
+}

@@ -1,0 +1,410 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/solver"
+)
+
+// newTestServer spins a server + typed client against an httptest server.
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *client.Client) {
+	t.Helper()
+	srv := serve.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, &client.Client{BaseURL: ts.URL}
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestServerEndToEnd exercises the full serving path on ft10: registry
+// endpoints, submit, SSE event stream with at least one improvement,
+// terminal result with the embedded gap, and status parity.
+func TestServerEndToEnd(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{MaxConcurrent: 2})
+	ctx := testCtx(t)
+
+	models, err := c.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, m := range models {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"serial", "ms", "island", "cellular", "hybrid", "agents", "qga"} {
+		if !names[want] {
+			t.Errorf("models missing %q: %v", want, models)
+		}
+	}
+	instances, err := c.Instances(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundFT10 := false
+	for _, in := range instances {
+		if in.Name == "ft10" {
+			foundFT10 = true
+			if in.BestKnown != 930 || !in.Optimal || in.Jobs != 10 || in.Machines != 10 {
+				t.Errorf("ft10 info %+v", in)
+			}
+		}
+	}
+	if !foundFT10 {
+		t.Fatal("instances missing ft10")
+	}
+
+	// Submit an ft10 island job and consume its SSE stream end to end.
+	spec := solver.Spec{
+		Problem: solver.ProblemSpec{Instance: "ft10"},
+		Model:   "island",
+		Params:  solver.Params{Pop: 80, Islands: 4},
+		Budget:  solver.Budget{Generations: 60},
+		Seed:    7,
+	}
+	job, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.State.Terminal() {
+		t.Fatalf("submitted job %+v", job)
+	}
+	if got := job.Spec.Model; got != "island" {
+		t.Errorf("echoed spec model %q", got)
+	}
+	events, err := c.Events(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var improved, migrations int
+	var done *solver.Event
+	for ev := range events {
+		switch ev.Type {
+		case solver.EventImproved:
+			improved++
+		case solver.EventMigration:
+			migrations++
+		case solver.EventDone:
+			e := ev
+			done = &e
+		}
+	}
+	if improved == 0 {
+		t.Error("no improved events on ft10")
+	}
+	if migrations == 0 {
+		t.Error("no migration events from the island model")
+	}
+	if done == nil || done.Result == nil {
+		t.Fatalf("stream ended without a done event (done %v)", done)
+	}
+	res := done.Result
+	if res.BestObjective <= 0 || res.Canceled {
+		t.Errorf("result %+v", res)
+	}
+	if res.Reference != 930 || res.RefKind != solver.RefOptimal {
+		t.Errorf("embedded reference %v/%v, want 930/optimal", res.Reference, res.RefKind)
+	}
+	wantGap := (res.BestObjective - 930) / 930
+	if res.Gap != wantGap {
+		t.Errorf("gap %v, want %v", res.Gap, wantGap)
+	}
+
+	// Status endpoint agrees with the stream's terminal event.
+	final, err := c.Job(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != solver.JobDone || final.Result == nil {
+		t.Fatalf("final job %+v", final)
+	}
+	if final.Result.BestObjective != res.BestObjective {
+		t.Errorf("status best %v != stream best %v", final.Result.BestObjective, res.BestObjective)
+	}
+	if list, err := c.Jobs(ctx); err != nil || len(list) != 1 {
+		t.Errorf("job list %v %v", list, err)
+	}
+}
+
+// TestServerCancel: DELETE stops an effectively unbounded job promptly;
+// the stream ends with a canceled partial result.
+func TestServerCancel(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{MaxConcurrent: 1, MaxWallMillis: -1})
+	ctx := testCtx(t)
+	spec := solver.Spec{
+		Problem: solver.ProblemSpec{Instance: "ft10"},
+		Model:   "serial",
+		Params:  solver.Params{Pop: 40},
+		Budget:  solver.Budget{Generations: 1 << 20},
+		Seed:    3,
+	}
+	job, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.Events(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel once the run is provably in flight (first progress event).
+	sawProgress := false
+	var done *solver.Event
+	for ev := range events {
+		switch ev.Type {
+		case solver.EventGeneration, solver.EventImproved:
+			if !sawProgress {
+				sawProgress = true
+				if _, err := c.Cancel(ctx, job.ID); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case solver.EventDone:
+			e := ev
+			done = &e
+		}
+	}
+	if !sawProgress {
+		t.Fatal("no progress events before stream end")
+	}
+	if done == nil || done.Result == nil {
+		t.Fatalf("no terminal result after cancel (done %v)", done)
+	}
+	if !done.Result.Canceled {
+		t.Error("cancelled job's result not flagged Canceled")
+	}
+	final, err := c.Await(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != solver.JobCanceled {
+		t.Errorf("final state %s, want canceled", final.State)
+	}
+}
+
+// TestServerValidation: a broken spec gets a 400 carrying every
+// field-path error; unknown jobs get 404s.
+func TestServerValidation(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{})
+	ctx := testCtx(t)
+	_, err := c.Submit(ctx, solver.Spec{
+		Model:  "nope",
+		Params: solver.Params{CrossoverRate: 2, Topology: "moebius"},
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %T: %v", err, err)
+	}
+	if apiErr.Status != 400 {
+		t.Errorf("status %d, want 400", apiErr.Status)
+	}
+	paths := map[string]bool{}
+	for _, f := range apiErr.Fields {
+		paths[f.Path] = true
+	}
+	for _, want := range []string{"model", "params.crossover_rate", "params.topology"} {
+		if !paths[want] {
+			t.Errorf("missing field error %s in %v", want, apiErr.Fields)
+		}
+	}
+	if _, err := c.Job(ctx, "j999999"); err == nil {
+		t.Error("unknown job resolved")
+	} else if !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown job error: %v", err)
+	}
+	if _, err := c.Cancel(ctx, "j999999"); err == nil {
+		t.Error("unknown job cancellable")
+	}
+	// The daemon must never reach the library's file-path fallback: a
+	// non-registry instance — a server file path or a typo'd benchmark
+	// name — is a synchronous 400 on problem.instance, not a file read
+	// plus an asynchronous job failure.
+	for _, inst := range []string{"/etc/passwd", "ft07", "spec.json"} {
+		_, err := c.Submit(ctx, solver.Spec{
+			Problem: solver.ProblemSpec{Instance: inst},
+			Model:   "serial",
+		})
+		if !errors.As(err, &apiErr) || apiErr.Status != 400 {
+			t.Fatalf("instance %q: %v, want 400", inst, err)
+		}
+		if len(apiErr.Fields) != 1 || apiErr.Fields[0].Path != "problem.instance" {
+			t.Errorf("instance %q: fields %v", inst, apiErr.Fields)
+		}
+	}
+	// The instance check merges with Validate: one 400 still carries
+	// every broken field.
+	_, err = c.Submit(ctx, solver.Spec{
+		Problem: solver.ProblemSpec{Instance: "/etc/passwd"},
+		Model:   "bogus",
+		Params:  solver.Params{CrossoverRate: 2},
+	})
+	if !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("combined invalid submit: %v", err)
+	}
+	paths = map[string]bool{}
+	for _, f := range apiErr.Fields {
+		paths[f.Path] = true
+	}
+	for _, want := range []string{"problem.instance", "model", "params.crossover_rate"} {
+		if !paths[want] {
+			t.Errorf("combined 400 missing %s: %v", want, apiErr.Fields)
+		}
+	}
+}
+
+// TestServerWallCap: the per-job deadline cap bounds a spec with no wall
+// budget of its own — the job terminates on the server's clock, reported
+// as a normal (non-cancelled) completion.
+func TestServerWallCap(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{MaxWallMillis: 100})
+	ctx := testCtx(t)
+	spec := solver.Spec{
+		Problem: solver.ProblemSpec{Kind: "job", Jobs: 6, Machines: 4, Seed: 42},
+		Model:   "serial",
+		Params:  solver.Params{Pop: 24},
+		Budget:  solver.Budget{Generations: 1 << 20},
+		Seed:    1,
+	}
+	job, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := job.Spec.Budget.WallMillis; got != 100 {
+		t.Errorf("capped wall budget %d, want 100", got)
+	}
+	start := time.Now()
+	final, err := c.Await(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("wall cap did not bound the job: %s", elapsed)
+	}
+	if final.State != solver.JobDone || final.Result == nil || final.Result.Canceled {
+		t.Errorf("final %+v", final)
+	}
+
+	// A budget-less spec keeps the library's generation default alongside
+	// the injected wall cap — the cap must not silently turn the default
+	// 150-generation run into a full cap-length burn.
+	bare, err := c.Submit(ctx, solver.Spec{
+		Problem: solver.ProblemSpec{Kind: "job", Jobs: 6, Machines: 4, Seed: 42},
+		Model:   "serial",
+		Params:  solver.Params{Pop: 24},
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bare.Spec.Budget.Generations; got != solver.DefaultGenerations {
+		t.Errorf("budget-less submit got generations %d, want the %d default", got, solver.DefaultGenerations)
+	}
+	if got := bare.Spec.Budget.WallMillis; got != 100 {
+		t.Errorf("budget-less submit wall %d, want the 100 cap", got)
+	}
+	bfinal, err := c.Await(ctx, bare.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bfinal.Result == nil || bfinal.Result.Generations > solver.DefaultGenerations {
+		t.Errorf("budget-less run: %+v", bfinal.Result)
+	}
+}
+
+// TestServerDrain: draining finishes in-flight jobs (cancelling past the
+// budget), ends event streams, and refuses new submissions with 503.
+func TestServerDrain(t *testing.T) {
+	srv, c := newTestServer(t, serve.Config{MaxConcurrent: 1, MaxWallMillis: -1})
+	ctx := testCtx(t)
+	spec := solver.Spec{
+		Problem: solver.ProblemSpec{Kind: "job", Jobs: 6, Machines: 4, Seed: 42},
+		Model:   "serial",
+		Params:  solver.Params{Pop: 24},
+		Budget:  solver.Budget{Generations: 1 << 20},
+		Seed:    1,
+	}
+	job, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.Events(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err == nil {
+		t.Error("drain of an unbounded job reported clean completion")
+	}
+	// The stream must end (with the job's done event) rather than hang.
+	streamEnded := make(chan struct{})
+	go func() {
+		for range events {
+		}
+		close(streamEnded)
+	}()
+	select {
+	case <-streamEnded:
+	case <-time.After(30 * time.Second):
+		t.Fatal("event stream did not end on drain")
+	}
+	final, err := c.Job(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.State.Terminal() {
+		t.Errorf("job state %s after drain", final.State)
+	}
+	var apiErr *client.APIError
+	if _, err := c.Submit(ctx, spec); !errors.As(err, &apiErr) || apiErr.Status != 503 {
+		t.Errorf("submit after drain: %v, want 503", err)
+	}
+}
+
+// TestServerBusy: MaxActive overflow is a 429, and capacity frees once
+// jobs finish.
+func TestServerBusy(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{MaxConcurrent: 1, MaxActive: 1, MaxWallMillis: -1})
+	ctx := testCtx(t)
+	long := solver.Spec{
+		Problem: solver.ProblemSpec{Kind: "job", Jobs: 6, Machines: 4, Seed: 42},
+		Model:   "serial",
+		Params:  solver.Params{Pop: 24},
+		Budget:  solver.Budget{Generations: 1 << 20},
+		Seed:    1,
+	}
+	job, err := c.Submit(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiErr *client.APIError
+	if _, err := c.Submit(ctx, long); !errors.As(err, &apiErr) || apiErr.Status != 429 {
+		t.Fatalf("over-capacity submit: %v, want 429", err)
+	}
+	if _, err := c.Cancel(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Await(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	small := long
+	small.Budget = solver.Budget{Generations: 5}
+	job2, err := c.Submit(ctx, small)
+	if err != nil {
+		t.Fatalf("submit after capacity freed: %v", err)
+	}
+	if _, err := c.Await(ctx, job2.ID); err != nil {
+		t.Fatal(err)
+	}
+}

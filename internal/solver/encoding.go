@@ -40,21 +40,10 @@ func resolveEncoding(name string, in *shop.Instance) (string, error) {
 		}
 	}
 	switch name {
-	case EncPerm:
-		if in.Kind != shop.FlowShop {
-			return "", fmt.Errorf("solver: encoding %q requires a flow shop, got %s", name, in.Kind)
-		}
-	case EncSeq:
-		if in.Kind == shop.FlowShop {
-			return "", fmt.Errorf("solver: flow shops use the %q encoding, not %q", EncPerm, name)
-		}
-	case EncKeys:
-		if !in.Kind.Ordered() || in.Kind.Flexible() {
-			return "", fmt.Errorf("solver: encoding %q requires an ordered non-flexible shop, got %s", name, in.Kind)
-		}
-	case EncFlex:
-		if !in.Kind.Flexible() {
-			return "", fmt.Errorf("solver: encoding %q requires a flexible shop, got %s", name, in.Kind)
+	case EncPerm, EncSeq, EncKeys, EncFlex:
+		// The kind-compatibility rule is shared with Spec.Validate.
+		if err := checkEncodingKind(name, in.Kind); err != nil {
+			return "", fmt.Errorf("solver: %w", err)
 		}
 	default:
 		return "", fmt.Errorf("solver: unknown encoding %q", name)

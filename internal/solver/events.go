@@ -1,0 +1,91 @@
+package solver
+
+import "repro/internal/core"
+
+// EventType names the typed progress events a running job streams.
+type EventType string
+
+const (
+	// EventStarted is emitted once, when the job leaves the queue and its
+	// model begins running.
+	EventStarted EventType = "started"
+	// EventGeneration reports a completed generation (or migration epoch
+	// for the epoch-structured models) without a new incumbent.
+	EventGeneration EventType = "generation"
+	// EventImproved reports a new best-so-far objective. The first progress
+	// report of a run is always an improvement (the first incumbent).
+	EventImproved EventType = "improved"
+	// EventMigration marks a migration epoch boundary of the island,
+	// hybrid, agents and qga models (emitted after the exchange, in
+	// addition to the epoch's Generation/Improved report).
+	EventMigration EventType = "migration"
+	// EventDone is the terminal event: the job finished, was cancelled
+	// (Result.Canceled) or failed (Error set). It is always the last event
+	// on a subscription channel before it closes.
+	EventDone EventType = "done"
+)
+
+// Event is one typed progress sample streamed by Job.Events. Progress
+// granularity depends on the model: per generation for serial, ms and
+// cellular; per migration epoch for island, hybrid, agents and qga.
+type Event struct {
+	Type EventType `json:"type"`
+	// Job and Seq are stamped by the Service: the job ID and a per-job,
+	// strictly increasing sequence number (SSE clients use it as the event
+	// id for resumption bookkeeping).
+	Job string `json:"job,omitempty"`
+	Seq int64  `json:"seq,omitempty"`
+
+	Generation    int     `json:"generation,omitempty"`
+	Epoch         int     `json:"epoch,omitempty"`
+	Islands       int     `json:"islands,omitempty"` // surviving islands (migration events)
+	Evaluations   int64   `json:"evaluations,omitempty"`
+	BestObjective float64 `json:"best_objective,omitempty"`
+
+	// Model and Instance are set on started events.
+	Model    string `json:"model,omitempty"`
+	Instance string `json:"instance,omitempty"`
+
+	// Result and Error are set on done events (Result may be a partial,
+	// Canceled result; Error is set instead when the run failed).
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// observe is the model-side progress seam: models report (generation,
+// evaluations, best-so-far) and the run classifies the sample as an
+// improvement or a plain generation tick. Models call it from a single
+// goroutine at a time (the engine loop, or the epoch loop between
+// synchronised epochs), so no locking is needed here; fan-out locking
+// lives in the Job.
+func (r *Run) observe(gen int, evals int64, best float64) {
+	if r.emit == nil {
+		return
+	}
+	typ := EventGeneration
+	if !r.hasBest || best < r.lastBest {
+		typ = EventImproved
+		r.lastBest = best
+		r.hasBest = true
+	}
+	r.emit(Event{Type: typ, Generation: gen, Evaluations: evals, BestObjective: best})
+}
+
+// observeEpoch reports one migration epoch of the epoch-structured models:
+// a progress sample (generation/improved) followed by the migration mark.
+func (r *Run) observeEpoch(epoch, gen, islands int, best float64) {
+	if r.emit == nil {
+		return
+	}
+	r.observe(gen, 0, best)
+	r.emit(Event{Type: EventMigration, Epoch: epoch, Generation: gen, Islands: islands, BestObjective: best})
+}
+
+// genHook adapts observe to the engine's OnGeneration seam; nil when the
+// run has no subscriber, so non-streaming solves pay nothing.
+func (r *Run) genHook() func(core.GenStats) {
+	if r.emit == nil {
+		return nil
+	}
+	return func(gs core.GenStats) { r.observe(gs.Generation, gs.Evaluations, gs.BestSoFar) }
+}

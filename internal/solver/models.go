@@ -196,7 +196,9 @@ func coreResult[G any](enc encoding[G], res core.Result[G]) *Result {
 
 // runSerial is the panmictic Table II GA.
 func runSerial[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, error) {
-	res := core.New(enc.problem, run.RNG, engineConfig(run, enc)).Run()
+	cfg := engineConfig(run, enc)
+	cfg.OnGeneration = run.genHook()
+	res := core.New(enc.problem, run.RNG, cfg).Run()
 	return coreResult(enc, res), nil
 }
 
@@ -208,6 +210,7 @@ func runMasterSlave[G any](_ context.Context, run *Run, enc encoding[G]) (*Resul
 		workers = 4
 	}
 	cfg := engineConfig(run, enc)
+	cfg.OnGeneration = run.genHook()
 	ev := &masterslave.PoolEvaluator[G]{Workers: workers}
 	defer ev.Close()
 	cfg.Evaluator = ev
@@ -224,7 +227,7 @@ func runIsland[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, er
 		return nil, err
 	}
 	b := run.Spec.Budget
-	res := island.New(run.RNG, island.Config[G]{
+	icfg := island.Config[G]{
 		Islands:  n,
 		SubPop:   subPop(run, n),
 		Interval: iv,
@@ -235,7 +238,13 @@ func runIsland[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, er
 		Problem:  func(int) core.Problem[G] { return enc.problem },
 		Target:   b.Target, TargetSet: b.TargetSet,
 		Stop: run.stop,
-	}).Run()
+	}
+	if run.emit != nil {
+		icfg.OnEpoch = func(es island.EpochStats) {
+			run.observeEpoch(es.Epoch, es.Generation, es.Islands, es.BestObj)
+		}
+	}
+	res := island.New(run.RNG, icfg).Run()
 	out := &Result{
 		BestObjective: res.Best.Obj,
 		Evaluations:   res.Evaluations,
@@ -259,7 +268,7 @@ func runCellular[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, 
 	w, h := gridDims(run, 0)
 	b := run.Spec.Budget
 	p := run.Spec.Params
-	res := cellular.New(enc.problem, run.RNG, cellular.Config[G]{
+	ccfg := cellular.Config[G]{
 		Width: w, Height: h,
 		Neighborhood:    nb,
 		ReplaceIfBetter: true,
@@ -272,7 +281,14 @@ func runCellular[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, 
 		Target:          b.Target, TargetSet: b.TargetSet,
 		Stop:          run.stop,
 		RecordHistory: run.Spec.Trace,
-	}).Run()
+	}
+	if run.emit != nil {
+		cells := int64(w * h)
+		ccfg.OnGeneration = func(gs cellular.GenStats) {
+			run.observe(gs.Generation, cells*int64(gs.Generation+1), gs.BestSoFar)
+		}
+	}
+	res := cellular.New(enc.problem, run.RNG, ccfg).Run()
 	out := &Result{
 		BestObjective: res.Best.Obj,
 		Evaluations:   res.Evaluations,
@@ -301,8 +317,9 @@ func runHybrid[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, er
 	w, h := gridDims(run, 5)
 	b := run.Spec.Budget
 	p := run.Spec.Params
-	res := hybrid.NewRingOfTorus(enc.problem, run.RNG, hybrid.RingOfTorusConfig[G]{
-		Grids:    islandCount(run, 4),
+	grids := islandCount(run, 4)
+	hcfg := hybrid.RingOfTorusConfig[G]{
+		Grids:    grids,
 		Interval: iv,
 		Epochs:   epochs(run, iv),
 		Grid: cellular.Config[G]{
@@ -316,7 +333,13 @@ func runHybrid[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, er
 		},
 		Target: b.Target, TargetSet: b.TargetSet,
 		Stop: run.stop,
-	}).Run()
+	}
+	if run.emit != nil {
+		hcfg.OnEpoch = func(epoch int, best float64) {
+			run.observeEpoch(epoch, (epoch+1)*iv, grids, best)
+		}
+	}
+	res := hybrid.NewRingOfTorus(enc.problem, run.RNG, hcfg).Run()
 	return &Result{
 		BestObjective: res.Best.Obj,
 		Evaluations:   res.Evaluations,
@@ -331,7 +354,7 @@ func runAgents[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, er
 	iv := interval(run, 5)
 	ep := epochs(run, iv)
 	b := run.Spec.Budget
-	res := agents.Run(enc.problem, run.RNG, agents.Config[G]{
+	acfg := agents.Config[G]{
 		Processors: n,
 		SubPop:     subPop(run, n),
 		Interval:   iv,
@@ -339,7 +362,13 @@ func runAgents[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, er
 		Engine:     engineConfig(run, enc),
 		Target:     b.Target, TargetSet: b.TargetSet,
 		Stop: run.stop,
-	})
+	}
+	if run.emit != nil {
+		acfg.OnEpoch = func(epoch int, best float64) {
+			run.observeEpoch(epoch, (epoch+1)*iv, n, best)
+		}
+	}
+	res := agents.Run(enc.problem, run.RNG, acfg)
 	return &Result{
 		BestObjective: res.Best.Obj,
 		Evaluations:   res.Evaluations,
@@ -383,12 +412,18 @@ func (qgaModel) Solve(_ context.Context, run *Run) (*Result, error) {
 	iv := interval(run, 5)
 	ep := epochs(run, iv)
 	b := run.Spec.Budget
-	res := qga.StarPQGA(st, run.RNG, n, iv, ep, qga.Config{
+	qcfg := qga.Config{
 		Pop:    subPop(run, n),
 		Bits:   p.Bits,
 		Target: b.Target, TargetSet: b.TargetSet,
 		Stop: run.stop,
-	})
+	}
+	if run.emit != nil {
+		qcfg.OnEpoch = func(epoch int, best float64) {
+			run.observeEpoch(epoch, (epoch+1)*iv, n, best)
+		}
+	}
+	res := qga.StarPQGA(st, run.RNG, n, iv, ep, qcfg)
 	if res.BestSeq == nil {
 		return nil, fmt.Errorf("qga cancelled before the first generation")
 	}

@@ -3,13 +3,13 @@ package solver
 import (
 	"context"
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
-// Pool solves batches of Specs concurrently on a bounded worker pool —
-// the serving shape: many scenarios in flight, one process. The zero
-// value is ready to use.
+// Pool solves batches of Specs concurrently — the batch-serving shape:
+// many scenarios in flight, one process. It is a thin layer over Service:
+// every Spec becomes a job on a bounded private Service (one parked
+// goroutine per queued spec; only Workers of them solve at once) and the
+// items are awaited in input order. The zero value is ready to use.
 type Pool struct {
 	// Workers bounds the number of Specs solved concurrently
 	// (default GOMAXPROCS). Note the models parallelise internally too;
@@ -61,34 +61,31 @@ func (p *Pool) Solve(ctx context.Context, specs []Spec) []BatchItem {
 		workers = len(specs)
 	}
 	items := make([]BatchItem, len(specs))
+	// The pool's jobs are private (no caller can subscribe to them), so
+	// the per-generation event plumbing is switched off: batch solves keep
+	// the engines' no-observer fast path.
+	svc := &Service{MaxConcurrent: workers, noEvents: true}
+	jobs := make([]*Job, len(specs))
 	for i, s := range specs {
 		if s.Seed == 0 {
 			s.Seed = deriveSeed(p.BaseSeed, i)
 		}
 		items[i] = BatchItem{Index: i, Spec: s}
+		job, err := svc.Submit(ctx, s)
+		if err != nil {
+			items[i].Err = err
+			continue
+		}
+		jobs[i] = job
 	}
-	if len(specs) == 0 {
-		return items
+	// Await with a background context: batch cancellation already reaches
+	// every job through the submit ctx, and each job is guaranteed to
+	// terminate promptly after it.
+	for i, job := range jobs {
+		if job == nil {
+			continue
+		}
+		items[i].Result, items[i].Err = job.Await(context.Background())
 	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(items) {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					items[i].Err = err
-					continue
-				}
-				items[i].Result, items[i].Err = Solve(ctx, items[i].Spec)
-			}
-		}()
-	}
-	wg.Wait()
 	return items
 }

@@ -14,7 +14,7 @@ func batchSpecs(n int) []Spec {
 	specs := make([]Spec, n)
 	for i := range specs {
 		specs[i] = Spec{
-			Problem: ProblemSpec{Kind: kinds[i%len(kinds)], Jobs: 5, Machines: 3, Seed: int32(i + 1)},
+			Problem: ProblemSpec{Kind: kinds[i%len(kinds)], Jobs: 5, Machines: 3, Seed: int64(i + 1)},
 			Model:   models[i%len(models)],
 			Params:  Params{Pop: 16},
 			Budget:  Budget{Generations: 10},

@@ -1,0 +1,502 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle state of a submitted job.
+type JobState string
+
+const (
+	// JobPending: accepted, waiting for a concurrency slot.
+	JobPending JobState = "pending"
+	// JobRunning: the model is executing.
+	JobRunning JobState = "running"
+	// JobDone: finished under its own budgets; Result is set.
+	JobDone JobState = "done"
+	// JobCanceled: stopped by Cancel or a cancelled submit context. When
+	// the run was already in flight a partial Result (Canceled=true) is
+	// still set; a job cancelled before it started has none and Err
+	// carries the context error.
+	JobCanceled JobState = "canceled"
+	// JobFailed: the solve returned an error; Err is set.
+	JobFailed JobState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobCanceled || s == JobFailed
+}
+
+// JobStatus is a point-in-time snapshot of a job, safe to marshal.
+type JobStatus struct {
+	ID            string    `json:"id"`
+	State         JobState  `json:"state"`
+	Generation    int       `json:"generation,omitempty"`
+	Evaluations   int64     `json:"evaluations,omitempty"`
+	BestObjective float64   `json:"best_objective,omitempty"`
+	Submitted     time.Time `json:"submitted,omitzero"`
+	Started       time.Time `json:"started,omitzero"`
+	Finished      time.Time `json:"finished,omitzero"`
+	Error         string    `json:"error,omitempty"`
+}
+
+var (
+	// ErrDraining rejects submissions after Drain or Close began.
+	ErrDraining = errors.New("solver: service is draining")
+	// ErrBusy rejects submissions over the service's MaxActive bound.
+	ErrBusy = errors.New("solver: service at capacity")
+)
+
+// Service runs Specs as observable, cancellable jobs on a bounded worker
+// pool — the serving shape of the solver. Submit returns immediately with
+// a Job; the job's progress streams through Job.Events, its outcome
+// through Job.Await. The zero value is ready to use.
+type Service struct {
+	// MaxConcurrent bounds the number of jobs running at once (default
+	// GOMAXPROCS). Pending jobs queue in submission order (FIFO per slot
+	// release is approximate: slots go to whichever pending job the
+	// runtime wakes first).
+	MaxConcurrent int
+	// MaxActive, when > 0, bounds the pending+running jobs; Submit returns
+	// ErrBusy beyond it. Terminal jobs never count.
+	MaxActive int
+	// EventBuffer is the per-subscription channel capacity (default 256).
+	// A subscriber that falls behind loses oldest events first; the done
+	// event is never dropped.
+	EventBuffer int
+	// EventHistory is the per-job replay ring (default 256): every new
+	// subscription first receives the job's retained past events, so a
+	// subscriber that arrives after a fast job finished still observes its
+	// progress. Long runs age their oldest events out of the ring.
+	EventHistory int
+
+	mu       sync.Mutex
+	init     bool
+	sem      chan struct{}
+	jobs     map[string]*Job
+	order    []*Job
+	seq      int64
+	active   int
+	draining bool
+
+	// noEvents drops the per-generation progress plumbing entirely: runs
+	// solve with a nil event sink, so the engines keep their no-observer
+	// fast path (no per-generation stats or locking). Pool sets it — its
+	// jobs are private, nothing can subscribe to them. Jobs still record
+	// their started/done lifecycle events.
+	noEvents bool
+}
+
+// NewService returns a Service bounded to maxConcurrent running jobs
+// (<= 0: GOMAXPROCS).
+func NewService(maxConcurrent int) *Service {
+	return &Service{MaxConcurrent: maxConcurrent}
+}
+
+// initLocked lazily initialises the zero value; callers hold s.mu.
+func (s *Service) initLocked() {
+	if s.init {
+		return
+	}
+	workers := s.MaxConcurrent
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s.sem = make(chan struct{}, workers)
+	s.jobs = make(map[string]*Job)
+	s.init = true
+}
+
+// Submit validates the spec and enqueues it as a new job. The returned
+// job is already scheduled: it starts as soon as a concurrency slot is
+// free. Cancelling ctx cancels the job (pass context.Background() to
+// detach the job's lifetime from the submission context).
+func (s *Service) Submit(ctx context.Context, spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	s.initLocked()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if s.MaxActive > 0 && s.active >= s.MaxActive {
+		s.mu.Unlock()
+		return nil, ErrBusy
+	}
+	s.seq++
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		id:        fmt.Sprintf("j%06d", s.seq),
+		spec:      spec,
+		svc:       s,
+		ctx:       jctx,
+		cancel:    cancel,
+		state:     JobPending,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.active++
+	s.mu.Unlock()
+	go s.runJob(j)
+	return j, nil
+}
+
+// runJob waits for a slot, runs the solve with the job as its event sink,
+// and finishes the job.
+func (s *Service) runJob(j *Job) {
+	select {
+	case <-j.ctx.Done():
+		j.finish(nil, j.ctx.Err())
+		return
+	case s.sem <- struct{}{}:
+	}
+	defer func() { <-s.sem }()
+	// A cancellation that raced the slot acquisition still fails fast, so
+	// a cancelled batch never starts queued work.
+	if err := j.ctx.Err(); err != nil {
+		j.finish(nil, err)
+		return
+	}
+	j.setRunning()
+	sink := j.emit
+	if s.noEvents {
+		sink = nil
+	}
+	res, err := solve(j.ctx, j.spec, sink)
+	j.finish(res, err)
+}
+
+// Get returns a submitted job by ID.
+func (s *Service) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all retained jobs in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Remove forgets a terminal job (daemons prune finished history with it).
+// Removing a live job is refused.
+func (s *Service) Remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || !j.Status().State.Terminal() {
+		return false
+	}
+	delete(s.jobs, id)
+	for i, o := range s.order {
+		if o == j {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Drain stops accepting submissions and waits for every job to finish.
+// When ctx expires first, the remaining jobs are cancelled and Drain
+// waits for their prompt generation-boundary exit before returning the
+// context's error. A nil-error return means every job completed under its
+// own budget.
+func (s *Service) Drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	s.initLocked()
+	s.draining = true
+	jobs := make([]*Job, len(s.order))
+	copy(jobs, s.order)
+	s.mu.Unlock()
+
+	var forced error
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+			continue
+		case <-ctx.Done():
+			forced = ctx.Err()
+		}
+		if forced != nil {
+			break
+		}
+	}
+	if forced != nil {
+		for _, j := range jobs {
+			j.Cancel()
+		}
+		for _, j := range jobs {
+			<-j.done
+		}
+	}
+	return forced
+}
+
+// Close cancels every job and waits for them to stop. The service rejects
+// submissions afterwards.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.initLocked()
+	s.draining = true
+	jobs := make([]*Job, len(s.order))
+	copy(jobs, s.order)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	for _, j := range jobs {
+		<-j.done
+	}
+}
+
+// Job is one submitted solver run: identified, observable, cancellable.
+type Job struct {
+	id     string
+	spec   Spec
+	svc    *Service
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     JobState
+	seq       int64
+	gen       int
+	evals     int64
+	best      float64
+	hasBest   bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *Result
+	err       error
+	subs      []chan Event
+	hist      []Event
+}
+
+// ID returns the service-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the spec as submitted.
+func (j *Job) Spec() Spec { return j.spec }
+
+// Status returns a point-in-time snapshot.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Generation:  j.gen,
+		Evaluations: j.evals,
+		Submitted:   j.submitted,
+		Started:     j.started,
+		Finished:    j.finished,
+	}
+	if j.hasBest {
+		st.BestObjective = j.best
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Result returns the terminal result and error (nil, nil while the job is
+// still live). Await is the blocking form.
+func (j *Job) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Await blocks until the job reaches a terminal state (or ctx expires)
+// and returns its outcome. Like Solve, a cancelled in-flight run returns
+// its partial best with Result.Canceled set and a nil error. A finished
+// job always returns its result, even under an already-expired ctx — the
+// common await-after-cancel pattern must not lose the partial result to
+// a select race.
+func (j *Job) Await(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+		return j.Result()
+	default:
+	}
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cancellation. A pending job fails with context.Canceled;
+// a running job stops at its next generation boundary and keeps its
+// partial result. Cancel is idempotent and safe after completion.
+func (j *Job) Cancel() { j.cancel() }
+
+// Events subscribes to the job's typed progress stream. Every call
+// returns an independent channel that first replays the job's retained
+// event history (see Service.EventHistory) — so subscribing after a fast
+// job finished still observes its progress — then receives live events,
+// and is closed after the terminal done event. A subscriber that falls
+// behind loses oldest live events first (the channel is buffered; see
+// Service.EventBuffer), never the done event.
+func (j *Job) Events() <-chan Event {
+	buf := j.svc.EventBuffer
+	if buf <= 0 {
+		buf = 256
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan Event, len(j.hist)+buf)
+	for _, ev := range j.hist {
+		ch <- ev
+	}
+	if j.state.Terminal() {
+		close(ch)
+		return ch
+	}
+	j.subs = append(j.subs, ch)
+	return ch
+}
+
+// recordLocked stamps the event (job ID, next sequence number), appends
+// it to the bounded replay ring and fans it out to every subscriber;
+// callers hold j.mu.
+func (j *Job) recordLocked(ev Event) {
+	j.seq++
+	ev.Job = j.id
+	ev.Seq = j.seq
+	max := j.svc.EventHistory
+	if max <= 0 {
+		max = 256
+	}
+	j.hist = append(j.hist, ev)
+	if len(j.hist) > max {
+		j.hist = j.hist[1:]
+	}
+	for _, ch := range j.subs {
+		sendDropOldest(ch, ev)
+	}
+}
+
+// setRunning transitions pending -> running and emits the started event.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.recordLocked(Event{Type: EventStarted, Model: j.spec.Model, Instance: j.spec.Problem.Instance})
+}
+
+// emit is the run's progress sink: it updates the status snapshot and
+// records the event. Models call the progress seam from one goroutine at
+// a time, and every other emitter holds j.mu, so the drop-oldest sends
+// have a single producer per channel.
+func (j *Job) emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ev.Generation > j.gen {
+		j.gen = ev.Generation
+	}
+	if ev.Evaluations > j.evals {
+		j.evals = ev.Evaluations
+	}
+	if ev.Type == EventImproved {
+		j.best = ev.BestObjective
+		j.hasBest = true
+	}
+	j.recordLocked(ev)
+}
+
+// finish records the outcome, emits the done event and closes every
+// subscription.
+func (j *Job) finish(res *Result, err error) {
+	j.mu.Lock()
+	switch {
+	case err != nil:
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			j.state = JobCanceled
+		} else {
+			j.state = JobFailed
+		}
+	case res != nil && res.Canceled:
+		j.state = JobCanceled
+	default:
+		j.state = JobDone
+	}
+	j.result, j.err = res, err
+	j.finished = time.Now()
+	if res != nil {
+		j.gen = res.Generations
+		j.evals = res.Evaluations
+		j.best, j.hasBest = res.BestObjective, true
+	}
+	ev := Event{Type: EventDone, Generation: j.gen, Evaluations: j.evals, Result: res}
+	if j.hasBest {
+		ev.BestObjective = j.best
+	}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	j.recordLocked(ev)
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	j.cancel() // release the job context's resources
+	j.mu.Unlock()
+
+	j.svc.mu.Lock()
+	j.svc.active--
+	j.svc.mu.Unlock()
+	close(j.done)
+}
+
+// sendDropOldest delivers ev without ever blocking the solver: when the
+// subscriber's buffer is full the oldest buffered event is discarded to
+// make room. With a single producer per channel the second send can only
+// fail if the consumer raced a receive in between, in which case space
+// exists on the retry.
+func sendDropOldest(ch chan Event, ev Event) {
+	for {
+		select {
+		case ch <- ev:
+			return
+		default:
+		}
+		select {
+		case <-ch:
+		default:
+		}
+	}
+}

@@ -40,7 +40,10 @@ type ProblemSpec struct {
 	Kind     string `json:"kind,omitempty"`
 	Jobs     int    `json:"jobs,omitempty"`     // generated jobs (default 10)
 	Machines int    `json:"machines,omitempty"` // generated machines (default 5)
-	Seed     int32  `json:"seed,omitempty"`     // instance generation seed
+	// Seed is the instance generation seed. Any int64 is accepted;
+	// ClampInstanceSeed folds it into the Taillard stream's valid range
+	// (0 selects the default seed 1).
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Params bundles the model parameters a Spec may set; zero values select
@@ -74,8 +77,13 @@ type Params struct {
 	Bits      int     `json:"bits,omitempty"`      // qga bits per priority (default 4)
 }
 
+// DefaultGenerations is the generation budget an all-zero Budget gets;
+// callers layering their own budget policy (the HTTP server's wall cap)
+// reference it instead of restating the number.
+const DefaultGenerations = 150
+
 // Budget bundles the termination criteria; any satisfied criterion stops
-// the run. All-zero budgets default to 150 generations.
+// the run. All-zero budgets default to DefaultGenerations.
 //
 // Generations, Target and WallMillis apply to every model. Evaluations is
 // enforced exactly by the engine-driven models (serial, ms) and as a
@@ -136,7 +144,19 @@ type Result struct {
 	Generations   int           `json:"generations"`
 	Elapsed       time.Duration `json:"elapsed_ns"`
 	Canceled      bool          `json:"canceled,omitempty"`
-	Trace         []TracePoint  `json:"trace,omitempty"`
+
+	// Reference, RefKind and Gap embed the instance's reference objective
+	// (see ReferenceKindFor) so consumers — the CLI, the bench suite, the
+	// HTTP server — read the gap off the Result instead of re-resolving
+	// references themselves. Gap is (BestObjective-Reference)/Reference;
+	// negative gaps against a "heuristic" reference are expected of any
+	// real GA.
+	Reference float64 `json:"reference,omitempty"`
+	RefKind   RefKind `json:"ref_kind,omitempty"`
+	// Gap stays present at 0 (a gap of exactly zero means the reference
+	// was matched, which consumers must be able to read).
+	Gap   float64      `json:"gap"`
+	Trace []TracePoint `json:"trace,omitempty"`
 
 	// Schedule is the decoded best schedule. It is reconstructed from the
 	// winning genome and validated against Table I before Solve returns.
@@ -160,6 +180,13 @@ type Run struct {
 	RNG       *rng.RNG
 
 	stop func() bool
+
+	// emit, when non-nil, receives the run's typed progress events (see
+	// events.go); lastBest/hasBest track the incumbent for classifying
+	// observations as improvements.
+	emit     func(Event)
+	lastBest float64
+	hasBest  bool
 }
 
 // Stopped reports whether the run's context has been cancelled; models
@@ -184,16 +211,13 @@ func BuildInstance(p ProblemSpec) (*shop.Instance, error) {
 	if machines <= 0 {
 		machines = 5
 	}
-	seed := p.Seed
-	if seed < 1 {
-		// The Taillard generator stream requires seeds in [1, 2^31-2].
-		seed = 1
-	}
+	// ClampInstanceSeed documents and enforces the Taillard seed range.
+	seed := ClampInstanceSeed(p.Seed)
 	switch p.Kind {
 	case "flow":
 		return shop.GenerateFlowShop("gen-flow", jobs, machines, seed), nil
 	case "job", "":
-		return shop.GenerateJobShop("gen-job", jobs, machines, seed, seed+1), nil
+		return shop.GenerateJobShop("gen-job", jobs, machines, seed, ClampInstanceSeed(int64(seed)+1)), nil
 	case "open":
 		return shop.GenerateOpenShop("gen-open", jobs, machines, seed), nil
 	case "fjs":
@@ -240,7 +264,7 @@ func (s Spec) normalized() Spec {
 	b := &s.Budget
 	if b.Generations <= 0 && b.Evaluations <= 0 && b.Stagnation <= 0 &&
 		!b.TargetSet && b.WallMillis <= 0 {
-		b.Generations = 150
+		b.Generations = DefaultGenerations
 	}
 	if b.Generations <= 0 {
 		if b.Evaluations > 0 {
@@ -276,7 +300,19 @@ func (r *Run) termination() core.Termination {
 // the model between generations, so Solve returns promptly with the best
 // found so far and Result.Canceled set. Errors are reserved for invalid
 // specs and infeasible decoded schedules.
+//
+// Solve is the blocking form; Service.Submit is the job-oriented one with
+// streaming progress, and Pool the batch layer over it.
 func Solve(ctx context.Context, spec Spec) (*Result, error) {
+	return solve(ctx, spec, nil)
+}
+
+// solve is Solve with the progress seam: emit, when non-nil, receives the
+// run's typed events (the Service wires a Job's fan-out here).
+func solve(ctx context.Context, spec Spec, emit func(Event)) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -312,6 +348,7 @@ func Solve(ctx context.Context, spec Spec) (*Result, error) {
 		Objective: obj,
 		Encoding:  enc,
 		RNG:       rng.New(spec.Seed),
+		emit:      emit,
 		stop: func() bool {
 			select {
 			case <-ctx.Done():
@@ -344,6 +381,13 @@ func Solve(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	if err := res.Schedule.Validate(); err != nil {
 		return nil, fmt.Errorf("solver: model %s produced infeasible schedule: %w", spec.Model, err)
+	}
+	// Embed the reference so consumers read gaps off the Result instead of
+	// re-resolving references themselves.
+	if ref, kind, err := ReferenceKindFor(in, spec.Objective); err == nil && ref > 0 {
+		res.Reference = ref
+		res.RefKind = kind
+		res.Gap = (res.BestObjective - ref) / ref
 	}
 	return res, nil
 }

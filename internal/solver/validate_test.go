@@ -1,0 +1,234 @@
+package solver
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fieldPaths extracts the sorted set of failed paths.
+func fieldPaths(t *testing.T, err error) map[string]bool {
+	t.Helper()
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	paths := map[string]bool{}
+	for _, f := range verr.Fields {
+		if f.Path == "" || f.Msg == "" {
+			t.Errorf("incomplete field error %+v", f)
+		}
+		paths[f.Path] = true
+	}
+	return paths
+}
+
+// TestValidateAggregatesAllFields: one pass reports every broken field by
+// its JSON path, not just the first.
+func TestValidateAggregatesAllFields(t *testing.T) {
+	spec := Spec{
+		Problem:   ProblemSpec{Kind: "warp", Jobs: -1, Machines: MaxGeneratedMachines + 1},
+		Encoding:  "morse",
+		Objective: "vibes",
+		Model:     "nope",
+		Params: Params{
+			Pop:           -2,
+			Workers:       -1,
+			Islands:       MaxDemes + 1,
+			Interval:      -1,
+			Migrants:      -3,
+			Topology:      "moebius",
+			Width:         -1,
+			Height:        MaxGridSide + 1,
+			Neighborhood:  "l7",
+			Elite:         -1,
+			CrossoverRate: 1.5,
+			MutationRate:  -0.1,
+			Rule:          "sjf",
+			Scenarios:     -1,
+			Sigma:         -2,
+			Bits:          64,
+		},
+		Budget: Budget{Generations: -1, Evaluations: -1, Stagnation: -1, WallMillis: -1},
+	}
+	paths := fieldPaths(t, spec.Validate())
+	want := []string{
+		"problem.kind", "problem.jobs", "problem.machines",
+		"encoding", "objective", "model",
+		"params.pop", "params.workers", "params.islands", "params.interval",
+		"params.migrants", "params.topology", "params.width", "params.height",
+		"params.neighborhood", "params.elite", "params.crossover_rate",
+		"params.mutation_rate", "params.rule", "params.scenarios",
+		"params.sigma", "params.bits",
+		"budget.generations", "budget.evaluations", "budget.stagnation", "budget.wall_ms",
+	}
+	for _, p := range want {
+		if !paths[p] {
+			t.Errorf("missing field error for %s", p)
+		}
+	}
+	if len(paths) != len(want) {
+		t.Errorf("got %d paths %v, want %d", len(paths), paths, len(want))
+	}
+}
+
+// TestValidateAccepts: every spec shape the repo actually uses passes.
+func TestValidateAccepts(t *testing.T) {
+	good := []Spec{
+		smallSpec("serial"),
+		{Problem: ProblemSpec{Instance: "ft10"}, Model: "island",
+			Params: Params{Pop: 200, Islands: 4, Topology: "hypercube", Migrants: 2},
+			Budget: Budget{Generations: 500, Target: 930, TargetSet: true}},
+		{Problem: ProblemSpec{Kind: "flow", Jobs: 20, Machines: 5, Seed: -7}, Encoding: EncPerm,
+			Model: "cellular", Params: Params{Width: 8, Height: 8, Neighborhood: "c9"}},
+		{Problem: ProblemSpec{Kind: "open", Seed: 1 << 40}, Model: "ms",
+			Params: Params{Rule: "lpt-task", Workers: 4}},
+		{Problem: ProblemSpec{Kind: "job"}, Model: "qga", Params: Params{Scenarios: 6, Sigma: 0.1, Bits: 4}},
+		{Problem: ProblemSpec{Instance: "/path/to/file.json"}, Encoding: EncKeys, Model: "hybrid"},
+	}
+	for i, spec := range good {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("spec %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestValidateKindCompatibility: encoding and qga constraints apply when
+// the instance kind is statically known (generated kinds and registry
+// names), and are skipped for opaque file paths.
+func TestValidateKindCompatibility(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		path string
+	}{
+		{Spec{Problem: ProblemSpec{Kind: "job"}, Encoding: EncPerm, Model: "serial"}, "encoding"},
+		{Spec{Problem: ProblemSpec{Kind: "flow"}, Encoding: EncSeq, Model: "serial"}, "encoding"},
+		{Spec{Problem: ProblemSpec{Instance: "ft06"}, Encoding: EncFlex, Model: "serial"}, "encoding"},
+		{Spec{Problem: ProblemSpec{Kind: "fjs"}, Model: "qga"}, "model"},
+		{Spec{Problem: ProblemSpec{Instance: "flow-sm"}, Model: "qga"}, "model"},
+		{Spec{Problem: ProblemSpec{Kind: "job"}, Model: "qga", Objective: "twt"}, "objective"},
+		{Spec{Problem: ProblemSpec{Kind: "job"}, Model: "qga", Encoding: EncSeq}, "encoding"},
+	}
+	for i, tc := range cases {
+		paths := fieldPaths(t, tc.spec.Validate())
+		if !paths[tc.path] {
+			t.Errorf("case %d: paths %v missing %s", i, paths, tc.path)
+		}
+	}
+	// File path: the kind is unknown until build time, so kind-dependent
+	// rules must not fire statically.
+	opaque := Spec{Problem: ProblemSpec{Instance: "x.json"}, Encoding: EncPerm, Model: "qga"}
+	if err := opaque.Validate(); err != nil {
+		paths := fieldPaths(t, err)
+		// qga's encoding rule is kind-independent and still applies.
+		if paths["model"] {
+			t.Errorf("kind-dependent qga check fired on an opaque file path: %v", paths)
+		}
+	}
+}
+
+// TestClampInstanceSeed: the single documented mapping of any int64 onto
+// the Taillard range [1, 2^31-2].
+func TestClampInstanceSeed(t *testing.T) {
+	const span = int64(2147483646)
+	cases := []struct {
+		in   int64
+		want int32
+	}{
+		{0, 1},
+		{1, 1},
+		{42, 42},
+		{span, int32(span)},   // top of range stays
+		{span + 1, 1},         // wraps
+		{-1, int32(span - 1)}, // negatives fold in deterministically
+		{1 << 40, int32((1 << 40) % span)},
+	}
+	for _, tc := range cases {
+		if got := ClampInstanceSeed(tc.in); got != tc.want {
+			t.Errorf("ClampInstanceSeed(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	// Exhaustive property: always in range.
+	for _, s := range []int64{-1 << 62, -span, -2, 7, span - 1, span + 2, 1 << 62} {
+		got := ClampInstanceSeed(s)
+		if got < 1 || int64(got) > span {
+			t.Errorf("ClampInstanceSeed(%d) = %d out of [1, %d]", s, got, span)
+		}
+	}
+}
+
+// TestSolveRejectsInvalidSpecWithFieldPaths: the blocking API reports the
+// same aggregated validation errors as the service.
+func TestSolveRejectsInvalidSpecWithFieldPaths(t *testing.T) {
+	_, err := Solve(nil, Spec{Model: "nope", Params: Params{MutationRate: 3}})
+	if err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if !strings.Contains(err.Error(), "model") || !strings.Contains(err.Error(), "params.mutation_rate") {
+		t.Errorf("error lacks field paths: %v", err)
+	}
+}
+
+// FuzzSpecJSONRoundTrip: any JSON that decodes into a Spec either fails
+// Validate with complete field-path errors, or round-trips through JSON
+// losslessly and builds its instance without panicking.
+func FuzzSpecJSONRoundTrip(f *testing.F) {
+	seeds := []string{
+		`{"problem":{"instance":"ft06"},"model":"serial"}`,
+		`{"problem":{"kind":"flow","jobs":6,"machines":3,"seed":9},"encoding":"perm","model":"island","params":{"pop":40,"islands":4,"topology":"ring"},"budget":{"generations":50},"seed":7}`,
+		`{"problem":{"kind":"open","seed":-12},"model":"ms","params":{"rule":"lpt-machine","workers":2}}`,
+		`{"problem":{"kind":"job"},"model":"qga","params":{"scenarios":4,"sigma":0.2,"bits":3}}`,
+		`{"problem":{"kind":"ffs","jobs":5,"machines":4},"model":"cellular","params":{"width":5,"height":5,"neighborhood":"l9"},"trace":true}`,
+		`{"model":"nope"}`,
+		`{"problem":{"kind":"warp","jobs":-5},"model":"serial","params":{"crossover_rate":7}}`,
+		`{"problem":{"kind":"job","jobs":99999999,"machines":99999999},"model":"serial"}`,
+		`{"problem":{"instance":"no/such/file.json"},"model":"hybrid"}`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		var spec Spec
+		if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+			t.Skip()
+		}
+		err := spec.Validate()
+		if err != nil {
+			var verr *ValidationError
+			if !errors.As(err, &verr) {
+				t.Fatalf("Validate returned %T, want *ValidationError", err)
+			}
+			if len(verr.Fields) == 0 {
+				t.Fatal("ValidationError with no fields")
+			}
+			for _, fe := range verr.Fields {
+				if fe.Path == "" || fe.Msg == "" {
+					t.Fatalf("incomplete field error %+v in %v", fe, verr)
+				}
+			}
+			return
+		}
+		// Valid: the spec must survive a JSON round trip bit for bit.
+		out, merr := json.Marshal(spec)
+		if merr != nil {
+			t.Fatalf("marshal: %v", merr)
+		}
+		var back Spec
+		if uerr := json.Unmarshal(out, &back); uerr != nil {
+			t.Fatalf("unmarshal: %v", uerr)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("round trip changed the spec:\n in: %+v\nout: %+v", spec, back)
+		}
+		// And its problem must build (or error) without panicking; the
+		// validation bounds keep generated sizes sane.
+		if _, berr := BuildInstance(spec.Problem); berr != nil {
+			// File paths and similar build-time failures are errors, not
+			// panics; that is the contract.
+			return
+		}
+	})
+}
