@@ -76,10 +76,11 @@ func runSuite(ctx context.Context, args []string, stdout io.Writer) error {
 	seeds := fs.Int("seeds", 0, "override the profile's seeds per cell (0: profile default)")
 	models := fs.String("models", "", "override the profile's models (comma-separated)")
 	poolWorkers := fs.Int("pool-workers", 0, "solver pool workers (0: GOMAXPROCS; 1 for calm wall clocks)")
+	parallelStep := fs.Int("parallel-step", 0, "measure sharded engine-step scaling at this worker count (0: off)")
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
-	opts := bench.Options{Profile: *profile, Seeds: *seeds, PoolWorkers: *poolWorkers}
+	opts := bench.Options{Profile: *profile, Seeds: *seeds, PoolWorkers: *poolWorkers, ParallelStep: *parallelStep}
 	if *models != "" {
 		opts.Models = strings.Split(*models, ",")
 	}
@@ -106,6 +107,10 @@ func printReport(w io.Writer, r *bench.Report) {
 		fmt.Fprintf(w, "%-10s %-9s %10.0f %10.1f %10.0f %-10s %8.1f %12.0f %8.2f\n",
 			e.Instance, e.Model, e.Best, e.Mean, e.Reference, e.RefKind,
 			100*e.Gap, e.EvalsPerSec, e.SpeedupVsSerial)
+	}
+	if p := r.Parallel; p != nil {
+		fmt.Fprintf(w, "parallel-step %s pop=%d: 1 worker %.0f ns/step, %d workers %.0f ns/step (%.2fx on %d CPUs)\n",
+			p.Instance, p.Pop, p.StepNsOneWorker, p.Workers, p.StepNsWorkers, p.Speedup, p.CPUs)
 	}
 }
 

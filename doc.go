@@ -30,6 +30,12 @@
 // and allocation-free makespan kernels in internal/decode that decode into
 // a reusable Scratch workspace; property tests pin the kernels to the
 // oracles bit for bit, and BENCH_hotpath.json records the measured gap.
+// Above the kernels, core.Config.Workers selects the sharded generation
+// pipeline: persistent workers execute whole shards of each generation
+// (selection, crossover, mutation, evaluation) end-to-end with per-shard
+// RNG substreams (rng.SplitN) and worker-owned scratches, allocation-free
+// and bit-identical for any worker count; Spec.Params.Workers threads the
+// width through every model.
 //
 // See README.md for the layout, the solver API and the performance
 // architecture, DESIGN.md for the system inventory and per-experiment

@@ -14,6 +14,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -115,6 +116,77 @@ func BenchmarkHotPath(b *testing.B) {
 			eng.Step()
 		}
 	})
+	// The sharded pipeline: whole generations (variation AND evaluation)
+	// executed shard-by-shard by persistent workers. shard-1 vs shard-4 is
+	// the parallel-step speedup the CI gate ratchets (TestShardedStepSpeedup).
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("engine-step-15x10/shard-%d", workers), func(b *testing.B) {
+			eng := core.New(prob, rng.New(7), core.Config[[]int]{
+				Pop: 64, Ops: shopga.SeqOps(js), Workers: workers,
+				Term: core.Termination{MaxGenerations: 1 << 30},
+			})
+			defer eng.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+		})
+	}
+}
+
+// TestShardedStepSpeedup gates the sharded pipeline's parallel-step scaling
+// on the 15x10 engine-step workload: 4 workers must be >= 1.8x faster than
+// 1 worker (the BENCH_hotpath.json acceptance row targets 2x; the gate
+// leaves headroom for shared runners). Wall-clock parallel speedup needs
+// real cores, so the guard skips below 4 CPUs — single-core containers
+// (where 4 workers necessarily run at 1-worker speed) and -race/-short
+// builds record the measurement as informational only.
+func TestShardedStepSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts parallel timing")
+	}
+	js := shop.GenerateJobShop("sp-shard-15x10", 15, 10, 912, 913)
+	prob := shopga.JobShopProblem(js, shop.Makespan)
+	stepNs := func(workers int) int64 {
+		eng := core.New(prob, rng.New(7), core.Config[[]int]{
+			Pop: 64, Ops: shopga.SeqOps(js), Workers: workers,
+			Term: core.Termination{MaxGenerations: 1 << 30},
+		})
+		defer eng.Close()
+		for i := 0; i < 30; i++ { // warm free lists, spawn workers
+			eng.Step()
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+		})
+		return res.NsPerOp()
+	}
+	// Best of three attempts: a transiently loaded host (other test
+	// binaries of `go test ./...` sharing the cores) must not flake the
+	// gate; a genuinely broken pipeline fails all three.
+	var one, four int64
+	ratio := 0.0
+	for attempt := 0; attempt < 3 && ratio < 1.8; attempt++ {
+		one = stepNs(1)
+		four = stepNs(4)
+		if r := float64(one) / float64(four); r > ratio {
+			ratio = r
+		}
+	}
+	t.Logf("engine-step-15x10: shard-1 %d ns/op, shard-4 %d ns/op (best %.2fx, %d CPUs)",
+		one, four, ratio, runtime.NumCPU())
+	if runtime.NumCPU() < 4 {
+		t.Skipf("only %d CPUs: parallel wall-clock speedup is not measurable here", runtime.NumCPU())
+	}
+	if ratio < 1.8 {
+		t.Errorf("shard-4 only %.2fx faster than shard-1 over 3 attempts, want >= 1.8x", ratio)
+	}
 }
 
 // TestHotPathKernelSpeedup is a coarse ratchet for the acceptance criterion

@@ -6,6 +6,35 @@ import (
 	"testing"
 )
 
+// TestMeasureParallelStep exercises the sharded-step scaling measurement:
+// real timings come out positive, the speedup is derived from them, and
+// the argument validation rejects non-job-shop instances and single-worker
+// requests.
+func TestMeasureParallelStep(t *testing.T) {
+	ps, err := MeasureParallelStep("ft06", 32, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Instance != "ft06" || ps.Pop != 32 || ps.Workers != 4 {
+		t.Errorf("measurement header %+v", ps)
+	}
+	if ps.StepNsOneWorker <= 0 || ps.StepNsWorkers <= 0 || ps.Speedup <= 0 {
+		t.Errorf("non-positive timings: %+v", ps)
+	}
+	if ps.CPUs <= 0 {
+		t.Errorf("CPUs = %d", ps.CPUs)
+	}
+	if _, err := MeasureParallelStep("ft06", 32, 1, 4); err == nil {
+		t.Error("workers=1 accepted")
+	}
+	if _, err := MeasureParallelStep("flow-sm", 32, 4, 4); err == nil {
+		t.Error("flow shop accepted by the job-shop step measurement")
+	}
+	if _, err := MeasureParallelStep("no-such-instance", 32, 4, 4); err == nil {
+		t.Error("unknown instance accepted")
+	}
+}
+
 func tinyProfile() Profile {
 	return Profile{
 		Name:   "tiny",

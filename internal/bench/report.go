@@ -61,6 +61,11 @@ type Report struct {
 	Generated string  `json:"generated,omitempty"` // RFC 3339; ignored by diff
 	Host      Host    `json:"host"`
 	Entries   []Entry `json:"entries"`
+
+	// Parallel is the optional sharded engine-step scaling measurement
+	// (Options.ParallelStep). Wall-clock like MeanWallMS, so diff ignores
+	// it.
+	Parallel *ParallelStep `json:"parallel,omitempty"`
 }
 
 // Find returns the entry for an (instance, model) cell.

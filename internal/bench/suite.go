@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/shop"
 	"repro/internal/solver"
 )
 
@@ -18,6 +19,11 @@ type Options struct {
 	// PoolWorkers bounds the solver.Pool (default GOMAXPROCS). Use 1 for
 	// least-noisy wall-clock figures.
 	PoolWorkers int
+	// ParallelStep != 0 appends the sharded engine-step scaling measurement
+	// (1 worker vs ParallelStep workers on the profile's first job shop
+	// workload) to the report as Report.Parallel; values below 2 are
+	// rejected by MeasureParallelStep.
+	ParallelStep int
 }
 
 // Run executes the named catalogue profile; see RunProfile.
@@ -48,6 +54,11 @@ func RunProfile(ctx context.Context, prof Profile, opts Options) (*Report, error
 		if _, ok := solver.Lookup(m); !ok {
 			return nil, fmt.Errorf("bench: unknown model %q (registered: %v)", m, solver.Names())
 		}
+	}
+	// Fail fast on an invalid parallel-step request instead of discarding
+	// a finished sweep at the end.
+	if opts.ParallelStep != 0 && opts.ParallelStep < 2 {
+		return nil, fmt.Errorf("bench: parallel-step needs workers >= 2, got %d", opts.ParallelStep)
 	}
 
 	// One flat spec batch in deterministic order: workload-major, then
@@ -123,5 +134,34 @@ func RunProfile(ctx context.Context, prof Profile, opts Options) (*Report, error
 		}
 		report.Entries = append(report.Entries, cells...)
 	}
+	if opts.ParallelStep != 0 {
+		ps, err := parallelStepForProfile(prof, opts.ParallelStep)
+		if err != nil {
+			return nil, err
+		}
+		report.Parallel = ps
+	}
 	return report, nil
+}
+
+// parallelStepForProfile measures the sharded step scaling on the
+// profile's first job shop workload (falling back to ft06 when the
+// profile has none).
+func parallelStepForProfile(prof Profile, workers int) (*ParallelStep, error) {
+	instance := "ft06"
+	pop := 64
+	for _, w := range prof.Workloads {
+		in, err := solver.BuildInstance(solver.ProblemSpec{Instance: w.Instance})
+		if err != nil {
+			continue
+		}
+		if in.Kind == shop.JobShop {
+			instance = w.Instance
+			if w.Pop > 0 {
+				pop = w.Pop
+			}
+			break
+		}
+	}
+	return MeasureParallelStep(instance, pop, workers, 0)
 }

@@ -21,6 +21,9 @@ package core
 
 import (
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/rng"
 )
@@ -56,8 +59,20 @@ type CloneIntoProblem[G any] interface {
 	CloneInto(dst, src G) G
 }
 
-// FuncProblem adapts three closures to the Problem interface, plus an
-// optional fourth for the CloneIntoProblem recycling seam.
+// LocalEvalProblem is the optional worker-locality extension of Problem:
+// LocalEvaluator returns an evaluation closure that owns private scratch
+// (a decode workspace, say) and is therefore only safe on one goroutine at
+// a time. Parallel executors — the sharded engine pipeline and
+// masterslave.PoolEvaluator — call it once per persistent worker, so the
+// hot path stops round-tripping scratches through a sync.Pool. Closures
+// must compute exactly what Evaluate computes.
+type LocalEvalProblem[G any] interface {
+	Problem[G]
+	LocalEvaluator() func(G) float64
+}
+
+// FuncProblem adapts three closures to the Problem interface, plus
+// optional extras for the CloneIntoProblem and LocalEvalProblem seams.
 type FuncProblem[G any] struct {
 	RandomFn   func(r *rng.RNG) G
 	EvaluateFn func(g G) float64
@@ -65,6 +80,10 @@ type FuncProblem[G any] struct {
 	// CloneIntoFn, when set, copies src reusing dst's capacity; when nil,
 	// CloneInto falls back to a plain Clone.
 	CloneIntoFn func(dst, src G) G
+	// LocalEvalFn, when set, builds a single-goroutine evaluation closure
+	// owning private scratch; when nil, LocalEvaluator falls back to the
+	// shared EvaluateFn (which must then be safe for concurrent use).
+	LocalEvalFn func() func(G) float64
 }
 
 // Random implements Problem.
@@ -83,6 +102,15 @@ func (p FuncProblem[G]) CloneInto(dst, src G) G {
 		return p.CloneFn(src)
 	}
 	return p.CloneIntoFn(dst, src)
+}
+
+// LocalEvaluator implements LocalEvalProblem, falling back to the shared
+// EvaluateFn when no LocalEvalFn was provided.
+func (p FuncProblem[G]) LocalEvaluator() func(G) float64 {
+	if p.LocalEvalFn == nil {
+		return p.EvaluateFn
+	}
+	return p.LocalEvalFn()
 }
 
 // Fitness maps an objective value (minimised) to a fitness value
@@ -120,14 +148,33 @@ type Selection[G any] func(r *rng.RNG, pop []Individual[G]) int
 // not modify the parents and must return freshly allocated genomes.
 type Crossover[G any] func(r *rng.RNG, a, b G) (G, G)
 
+// CrossoverInto is the recycling form of Crossover: children are written
+// reusing dst1/dst2's storage capacity (either may be the zero value of G,
+// in which case fresh storage is allocated). dst1/dst2 must not alias the
+// parents; the engine feeds it dead genomes from retired generations, which
+// can never alias the live population. Implementations must draw exactly
+// the same randomness as their plain Crossover counterpart, so swapping one
+// in never changes a trajectory.
+type CrossoverInto[G any] func(r *rng.RNG, a, b, dst1, dst2 G) (G, G)
+
 // Mutation modifies a genome in place.
 type Mutation[G any] func(r *rng.RNG, g G)
 
-// Operators bundles the three GA operators of Table II.
+// Operators bundles the three GA operators of Table II, plus the optional
+// recycling crossover seam of the sharded pipeline.
 type Operators[G any] struct {
 	Select Selection[G]
 	Cross  Crossover[G]
 	Mutate Mutation[G]
+
+	// CrossInto, when set, is a factory for recycling crossover instances.
+	// It is a factory — not a bare CrossoverInto — because instances may
+	// keep private scratch (a JOX keep-mask, say); the engine calls it once
+	// per worker so the scratch is never shared between goroutines. Sharded
+	// steps route offspring through it to reuse the retired generation's
+	// genome storage, which is what drops steady-state crossover
+	// allocations to zero.
+	CrossInto func() CrossoverInto[G]
 }
 
 // Evaluator computes objective values for a batch of genomes. The serial
@@ -136,6 +183,88 @@ type Operators[G any] struct {
 type Evaluator[G any] interface {
 	// EvalAll fills out[i] with eval(genomes[i]) for every i.
 	EvalAll(genomes []G, eval func(G) float64, out []float64)
+}
+
+// LocalEvals caches worker-local evaluation closures for one engine (one
+// problem). It is also the identity token parallel evaluators key their
+// per-worker state on: the engine creates exactly one per run, so an
+// evaluator reused across engines sees a different *LocalEvals pointer and
+// rebuilds instead of silently evaluating through a stale closure's
+// scratch. Closure w is only ever handed to worker w, which preserves the
+// single-goroutine-at-a-time contract of LocalEvalProblem closures.
+type LocalEvals[G any] struct {
+	mu      sync.Mutex
+	factory func() func(G) float64
+	workers []func(G) float64
+}
+
+// NewLocalEvals builds a cache over a LocalEvalProblem-style factory.
+func NewLocalEvals[G any](factory func() func(G) float64) *LocalEvals[G] {
+	if factory == nil {
+		panic("core: NewLocalEvals with nil factory")
+	}
+	return &LocalEvals[G]{factory: factory}
+}
+
+// For returns worker w's evaluation closure, building it on first use.
+func (c *LocalEvals[G]) For(w int) func(G) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.workers) <= w {
+		c.workers = append(c.workers, nil)
+	}
+	if c.workers[w] == nil {
+		c.workers[w] = c.factory()
+	}
+	return c.workers[w]
+}
+
+// LocalBatchEvaluator is the optional Evaluator extension matching
+// LocalEvalProblem: EvalAllLocal receives, besides the shared eval
+// fallback, the run's LocalEvals cache, so a worker-pool evaluator can
+// hand each persistent worker its own closure (its own scratch) instead of
+// contending on a shared pool. The engine routes evaluation through this
+// method whenever both seams are present.
+type LocalBatchEvaluator[G any] interface {
+	Evaluator[G]
+	EvalAllLocal(genomes []G, eval func(G) float64, locals *LocalEvals[G], out []float64)
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) on up to workers goroutines
+// (0 or negative: GOMAXPROCS), claiming indices from a shared cursor so a
+// slow item never idles the pool. It is the bounded-pool primitive behind
+// the island and hybrid models' deme stepping; fn must make i's work
+// independent of every other index for the result to be
+// schedule-independent.
+func ParallelFor(n, workers int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := cursor.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // SerialEvaluator evaluates the population one genome at a time.

@@ -59,6 +59,25 @@ type Config[G any] struct {
 	Evaluator     Evaluator[G]   // default SerialEvaluator
 	OnGeneration  func(GenStats) // optional per-generation hook
 	RecordHistory bool           // keep GenStats of every generation in Result
+
+	// Workers > 0 selects the sharded generation pipeline: Step partitions
+	// the next generation into fixed-size shards and Workers persistent
+	// goroutines each run selection, crossover, mutation AND evaluation for
+	// whole shards end-to-end, drawing randomness from per-shard substreams
+	// (rng.SplitN) instead of the master stream. Results are bit-identical
+	// for any Workers >= 1 — the shard decomposition and its substreams
+	// depend only on Pop — but differ from the Workers == 0 master-path
+	// trajectory, which remains the survey's Table II reference. On the
+	// sharded path Evaluator is only used for the initial population:
+	// generation evaluation runs inside the shard workers (through the
+	// problem's LocalEvaluator seam when present), so a custom Evaluator
+	// that must observe every evaluation belongs with Workers == 0. Sharded
+	// engines require scheduling-safe operators (every bundled selection
+	// except op.SUS; all bundled crossovers/mutations) and should be
+	// Close()d when abandoned before Run completes. Immigration-mode
+	// generation composition is a master-path feature: enabling it falls
+	// back to the master path with Evaluator-parallel evaluation.
+	Workers int
 }
 
 // Result reports the outcome of a Run.
@@ -105,6 +124,22 @@ type Engine[G any] struct {
 	// runs (OnGeneration, RecordHistory) stay allocation-free per
 	// generation like unobserved ones.
 	statBuf []float64
+
+	// ordA, ordB are the reused index buffers of the elitism/immigration
+	// sorts, keeping the per-generation ranking allocation-free.
+	ordA, ordB []int
+
+	// localEvals/localBatch cache the optional evaluation-locality seams
+	// (LocalEvalProblem / LocalBatchEvaluator) detected at New, so evalBatch
+	// does not re-assert interfaces per generation. localEvals doubles as
+	// the identity token a shared evaluator keys its per-worker closures
+	// on (one cache per engine, hence per problem).
+	localEvals *LocalEvals[G]
+	localBatch LocalBatchEvaluator[G]
+
+	// sharded is the Workers > 0 pipeline state (see sharded.go); nil for
+	// master-path engines.
+	sharded *shardedState[G]
 }
 
 // New creates an engine, applies config defaults, and evaluates the initial
@@ -157,6 +192,12 @@ func New[G any](p Problem[G], r *rng.RNG, cfg Config[G]) *Engine[G] {
 	if ci, ok := p.(CloneIntoProblem[G]); ok {
 		e.cloneInto = ci.CloneInto
 	}
+	if lep, ok := p.(LocalEvalProblem[G]); ok {
+		e.localEvals = NewLocalEvals(lep.LocalEvaluator)
+	}
+	if lbe, ok := cfg.Evaluator.(LocalBatchEvaluator[G]); ok {
+		e.localBatch = lbe
+	}
 	e.pop = make([]Individual[G], cfg.Pop)
 	genomes := make([]G, cfg.Pop)
 	for i := range e.pop {
@@ -172,11 +213,21 @@ func New[G any](p Problem[G], r *rng.RNG, cfg Config[G]) *Engine[G] {
 	e.children = genomes[:0]
 	e.childObjs = objs[:0]
 	e.refreshBest()
+	// The shard decomposition and its RNG substreams are derived after the
+	// initial population, so sharded runs share their initialisation with
+	// the master path, and depend only on Pop — never on Workers.
+	if cfg.Workers > 0 {
+		e.sharded = newShardedState(e, cfg.Workers)
+	}
 	return e
 }
 
 func (e *Engine[G]) evalBatch(genomes []G, out []float64) {
-	e.cfg.Evaluator.EvalAll(genomes, e.prob.Evaluate, out)
+	if e.localBatch != nil && e.localEvals != nil {
+		e.localBatch.EvalAllLocal(genomes, e.prob.Evaluate, e.localEvals, out)
+	} else {
+		e.cfg.Evaluator.EvalAll(genomes, e.prob.Evaluate, out)
+	}
 	e.evals += int64(len(genomes))
 }
 
@@ -291,7 +342,14 @@ func (e *Engine[G]) Done() bool {
 // elitist replacement (Table II lines 4-7). The next generation is written
 // into a double buffer that alternates with the current population, so the
 // per-generation slices are allocated once per engine, not once per Step.
+// With Config.Workers > 0 the whole generation is executed by the sharded
+// pipeline instead (see sharded.go); immigration-mode composition stays on
+// the master path.
 func (e *Engine[G]) Step() {
+	if e.sharded != nil && !e.cfg.Immigration.Enabled {
+		e.stepSharded()
+		return
+	}
 	e.gen++
 	n := e.cfg.Pop
 	// Harvest the genomes of the generation swapped out at the end of the
@@ -369,7 +427,8 @@ func (e *Engine[G]) immigrationOffspring(next []Individual[G], children []G) (nE
 	nCross := n - nBest - nRand
 	// Elites: best nBest individuals of the current population, carried
 	// over with their cached objective and fitness.
-	order := sortedIndices(e.pop)
+	order := sortedIndices(e.ordA, e.pop)
+	e.ordA = order
 	for i := 0; i < nBest && i < len(order); i++ {
 		src := e.pop[order[i]]
 		next[nElite] = Individual[G]{Genome: e.cloneGenome(src.Genome), Obj: src.Obj, Fit: src.Fit}
@@ -400,8 +459,9 @@ func (e *Engine[G]) immigrationOffspring(next []Individual[G], children []G) (nE
 // applyElitism copies the Elite best previous individuals over the worst
 // children, recycling the displaced children's genome storage.
 func (e *Engine[G]) applyElitism(next []Individual[G]) {
-	prevOrder := sortedIndices(e.pop)
-	nextOrder := sortedIndices(next)
+	prevOrder := sortedIndices(e.ordA, e.pop)
+	nextOrder := sortedIndices(e.ordB, next)
+	e.ordA, e.ordB = prevOrder, nextOrder
 	k := e.cfg.Elite
 	if k > len(prevOrder) {
 		k = len(prevOrder)
@@ -422,9 +482,14 @@ func (e *Engine[G]) applyElitism(next []Individual[G]) {
 	}
 }
 
-// sortedIndices returns population indices ordered by ascending objective.
-func sortedIndices[G any](pop []Individual[G]) []int {
-	idx := make([]int, len(pop))
+// sortedIndices returns population indices ordered by ascending objective,
+// reusing buf's capacity so the per-generation rankings do not allocate.
+func sortedIndices[G any](buf []int, pop []Individual[G]) []int {
+	idx := buf
+	if cap(idx) < len(pop) {
+		idx = make([]int, len(pop))
+	}
+	idx = idx[:len(pop)]
 	for i := range idx {
 		idx[i] = i
 	}
@@ -474,11 +539,14 @@ func (e *Engine[G]) record() {
 	}
 }
 
-// Run executes Step until Done and returns the Result.
+// Run executes Step until Done and returns the Result, releasing any
+// sharded-pipeline workers on the way out (the engine stays usable: a
+// later Step respawns them).
 func (e *Engine[G]) Run() Result[G] {
 	for !e.Done() {
 		e.Step()
 	}
+	e.Close()
 	return Result[G]{
 		Best:        e.Best(),
 		Generations: e.gen,

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation allocates; allocation guards skip under it.
+const raceEnabled = true

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// The sharded generation pipeline (Config.Workers > 0).
+//
+// The master-path Step serialises the entire variation phase — selection,
+// crossover, mutation, cloning — on one goroutine and, at best, fans out
+// only the fitness evaluation through an Evaluator. That is exactly the
+// master-slave bottleneck the parallel-GA literature works around by
+// batching whole sub-populations per device (Luo & El Baz's dual
+// heterogeneous island GA, arXiv:1903.10722) and by chunked rather than
+// per-task dispatch (Sun et al., arXiv:0809.3285).
+//
+// Here the next generation is partitioned into fixed-size shards of
+// shardSize children. Persistent workers claim whole shards from an atomic
+// cursor and run selection -> crossover -> mutation -> evaluation for
+// their shard end-to-end:
+//
+//   - Randomness: shard s draws only from its own substream, derived once
+//     at New via rng.SplitN(shards). The decomposition and the substreams
+//     depend only on Pop, so results are bit-identical for ANY worker
+//     count, including 1 — the property TestShardedWorkerInvariance pins.
+//   - Memory: each shard owns the free list of retired genomes from its own
+//     slot range and each worker owns its evaluation closure (private
+//     decode scratch via the LocalEvalProblem seam) and its recycling
+//     crossover instance (private operator scratch via Operators.CrossInto),
+//     so the steady-state step performs no allocation and no sync.Pool
+//     round-trips, and every worker writes a contiguous span of the next
+//     generation (no false sharing on the population buffer).
+//   - Dispatch: shardSize is a small constant, so a 64-individual
+//     population yields 16 shards — ~4 claims per worker at Workers=4 —
+//     which keeps the tail balanced when evaluation costs are skewed
+//     without per-genome cursor traffic.
+//
+// The previous population is read-only during a sharded step (selection
+// reads it from every worker), elitism/replacement and best-tracking stay
+// on the master between steps.
+
+// shardSize is the number of children per shard (two selection/crossover
+// pairs). It is a fixed constant — NOT derived from Workers — because the
+// shard count decides how the RNG substreams are laid out; tying it to the
+// worker count would break cross-worker-count determinism.
+const shardSize = 4
+
+// shardRange is one shard's half-open slot range in the next generation.
+type shardRange struct{ lo, hi int }
+
+// shardedState is the engine's pipeline state.
+type shardedState[G any] struct {
+	workers int
+	shards  []shardRange
+	rngs    []*rng.RNG // per-shard substream, advanced only by its shard
+	free    [][]G      // per-shard free list of retired genomes
+
+	// next is the generation buffer being filled, published to workers
+	// before they are woken each step.
+	next []Individual[G]
+
+	cursor  atomic.Int64 // shard claim cursor, reset each step
+	wg      sync.WaitGroup
+	wake    []chan struct{} // one buffered wake channel per spawned worker
+	started bool
+
+	// Per-executor (0 = master, 1..workers-1 = goroutines) evaluation
+	// closures and recycling crossover instances; both may hold private
+	// scratch and are created once, at New.
+	evals []func(G) float64
+	cross []CrossoverInto[G]
+}
+
+// newShardedState builds the shard decomposition, its RNG substreams and
+// the per-executor closures. It must be called after the initial
+// population is built so sharded and master-path runs share their
+// initialisation stream.
+func newShardedState[G any](e *Engine[G], workers int) *shardedState[G] {
+	n := e.cfg.Pop
+	nShards := (n + shardSize - 1) / shardSize
+	if workers > nShards {
+		workers = nShards
+	}
+	sh := &shardedState[G]{workers: workers}
+	sh.shards = make([]shardRange, nShards)
+	for s := range sh.shards {
+		lo := s * shardSize
+		hi := lo + shardSize
+		if hi > n {
+			hi = n
+		}
+		sh.shards[s] = shardRange{lo, hi}
+	}
+	sh.rngs = e.rng.SplitN(nShards)
+	sh.free = make([][]G, nShards)
+	sh.evals = make([]func(G) float64, workers)
+	sh.cross = make([]CrossoverInto[G], workers)
+	for k := range sh.evals {
+		if e.localEvals != nil {
+			sh.evals[k] = e.localEvals.For(k)
+		} else {
+			sh.evals[k] = e.prob.Evaluate
+		}
+		if e.cfg.Ops.CrossInto != nil {
+			sh.cross[k] = e.cfg.Ops.CrossInto()
+		}
+	}
+	return sh
+}
+
+// take2 pops up to two retired genomes off a shard's free list, returning
+// zero values when it runs dry (the recycling consumer then allocates).
+func take2[G any](free []G) (d1, d2 G, rest []G) {
+	if k := len(free); k > 0 {
+		d1 = free[k-1]
+		free = free[:k-1]
+	}
+	if k := len(free); k > 0 {
+		d2 = free[k-1]
+		free = free[:k-1]
+	}
+	return d1, d2, free
+}
+
+// startWorkers lazily spawns the persistent worker goroutines (the master
+// participates as executor 0, so Workers-1 goroutines are spawned). They
+// park on their wake channels between steps; Close releases them.
+func (e *Engine[G]) startWorkers() {
+	sh := e.sharded
+	if sh.started {
+		return
+	}
+	sh.wake = make([]chan struct{}, sh.workers-1)
+	for k := range sh.wake {
+		ch := make(chan struct{}, 1)
+		sh.wake[k] = ch
+		exec := k + 1
+		go func() {
+			for range ch {
+				e.runShards(exec)
+				sh.wg.Done()
+			}
+		}()
+	}
+	sh.started = true
+}
+
+// Close releases the sharded pipeline's persistent worker goroutines. The
+// engine stays usable: the next Step respawns them. Close is a no-op on
+// master-path engines (Workers == 0), is idempotent, and must not be
+// called concurrently with Step. Callers that abandon a sharded engine
+// before Run returns should Close it; the solver's model adapters do.
+func (e *Engine[G]) Close() {
+	sh := e.sharded
+	if sh == nil || !sh.started {
+		return
+	}
+	for _, ch := range sh.wake {
+		close(ch)
+	}
+	sh.wake = nil
+	sh.started = false
+}
+
+// stepSharded is the Workers > 0 generation: harvest retired genome
+// storage into per-shard free lists, let the workers drain the shard
+// queue, then apply elitism and bookkeeping on the master.
+func (e *Engine[G]) stepSharded() {
+	sh := e.sharded
+	e.gen++
+	n := e.cfg.Pop
+	next := e.spare
+	if cap(next) < n {
+		next = make([]Individual[G], n)
+	}
+	next = next[:n]
+	// Harvest the retired generation shard by shard: shard s recycles the
+	// genomes that previously lived in its own slot range, so the free
+	// lists need no cross-worker synchronisation.
+	if e.cloneInto != nil && len(e.spare) > 0 {
+		for s := range sh.shards {
+			f := sh.free[s][:0]
+			hi := sh.shards[s].hi
+			if hi > len(e.spare) {
+				hi = len(e.spare)
+			}
+			for i := sh.shards[s].lo; i < hi; i++ {
+				f = append(f, e.spare[i].Genome)
+			}
+			sh.free[s] = f
+		}
+	}
+	sh.next = next
+	sh.cursor.Store(0)
+	if sh.workers > 1 {
+		e.startWorkers()
+		sh.wg.Add(sh.workers - 1)
+		for _, ch := range sh.wake {
+			ch <- struct{}{}
+		}
+	}
+	e.runShards(0)
+	if sh.workers > 1 {
+		sh.wg.Wait()
+	}
+	e.evals += int64(n)
+
+	if e.cfg.Elite > 0 {
+		e.applyElitism(next)
+	}
+	e.spare = e.pop
+	e.pop = next
+	e.refreshBest()
+	e.record()
+}
+
+// runShards is one executor's claim loop: grab the next unclaimed shard
+// and run it until the queue is drained. Claiming whole shards (not
+// genomes) from the cursor is the work-stealing that re-balances skewed
+// evaluation costs across workers.
+func (e *Engine[G]) runShards(exec int) {
+	sh := e.sharded
+	eval := sh.evals[exec]
+	cross := sh.cross[exec]
+	nShards := int64(len(sh.shards))
+	for {
+		s := sh.cursor.Add(1) - 1
+		if s >= nShards {
+			return
+		}
+		e.runShard(int(s), eval, cross)
+	}
+}
+
+// runShard produces and evaluates the children of shard s, writing them to
+// the shard's contiguous slot range of the next generation.
+func (e *Engine[G]) runShard(s int, eval func(G) float64, cross CrossoverInto[G]) {
+	sh := e.sharded
+	rg := sh.shards[s]
+	r := sh.rngs[s]
+	free := sh.free[s]
+	for i := rg.lo; i < rg.hi; i += 2 {
+		i1 := e.cfg.Ops.Select(r, e.pop)
+		i2 := e.cfg.Ops.Select(r, e.pop)
+		p1, p2 := e.pop[i1].Genome, e.pop[i2].Genome
+		var c1, c2 G
+		if r.Bool(e.cfg.CrossoverRate) {
+			if cross != nil {
+				var d1, d2 G
+				d1, d2, free = take2(free)
+				c1, c2 = cross(r, p1, p2, d1, d2)
+			} else {
+				c1, c2 = e.cfg.Ops.Cross(r, p1, p2)
+			}
+		} else if e.cloneInto != nil {
+			var d1, d2 G
+			d1, d2, free = take2(free)
+			c1 = e.cloneInto(d1, p1)
+			c2 = e.cloneInto(d2, p2)
+		} else {
+			c1 = e.prob.Clone(p1)
+			c2 = e.prob.Clone(p2)
+		}
+		if r.Bool(e.cfg.MutationRate) {
+			e.cfg.Ops.Mutate(r, c1)
+		}
+		if r.Bool(e.cfg.MutationRate) {
+			e.cfg.Ops.Mutate(r, c2)
+		}
+		o1 := eval(c1)
+		o2 := eval(c2)
+		sh.next[i] = Individual[G]{Genome: c1, Obj: o1, Fit: e.cfg.Fitness(o1)}
+		sh.next[i+1] = Individual[G]{Genome: c2, Obj: o2, Fit: e.cfg.Fitness(o2)}
+	}
+	sh.free[s] = free
+}

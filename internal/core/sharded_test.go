@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// shardedProblem is a CloneInto+LocalEval []int problem whose evaluation
+// depends on every gene, for trajectory comparisons.
+func shardedProblem(n int) FuncProblem[[]int] {
+	return FuncProblem[[]int]{
+		RandomFn: func(r *rng.RNG) []int { return r.Perm(n) },
+		EvaluateFn: func(g []int) float64 {
+			v := 0.0
+			for i, x := range g {
+				v += float64((i + 1) * (x + 1) % 17)
+			}
+			return v + 1
+		},
+		CloneFn:     func(g []int) []int { return append([]int(nil), g...) },
+		CloneIntoFn: func(dst, src []int) []int { return append(dst[:0], src...) },
+	}
+}
+
+func shardedOps() Operators[[]int] {
+	swap := func(r *rng.RNG, g []int) {
+		i, j := r.Intn(len(g)), r.Intn(len(g))
+		g[i], g[j] = g[j], g[i]
+	}
+	cross := func(r *rng.RNG, a, b []int) ([]int, []int) {
+		cut := r.Intn(len(a))
+		c1 := append(append([]int(nil), a[:cut]...), b[cut:]...)
+		c2 := append(append([]int(nil), b[:cut]...), a[cut:]...)
+		return c1, c2
+	}
+	return Operators[[]int]{
+		Select: func(r *rng.RNG, pop []Individual[[]int]) int { return r.Intn(len(pop)) },
+		Cross:  cross,
+		Mutate: swap,
+		CrossInto: func() CrossoverInto[[]int] {
+			return func(r *rng.RNG, a, b, d1, d2 []int) ([]int, []int) {
+				cut := r.Intn(len(a))
+				d1 = append(append(d1[:0], a[:cut]...), b[cut:]...)
+				d2 = append(append(d2[:0], b[:cut]...), a[cut:]...)
+				return d1, d2
+			}
+		},
+	}
+}
+
+// runSharded runs a sharded engine for gens generations and returns the
+// best objective, evaluation count and best genome.
+func runSharded(t *testing.T, workers, pop, gens int) (float64, int64, []int) {
+	t.Helper()
+	eng := New(shardedProblem(12), rng.New(99), Config[[]int]{
+		Pop: pop, Workers: workers,
+		Ops:  shardedOps(),
+		Term: Termination{MaxGenerations: gens},
+	})
+	defer eng.Close()
+	res := eng.Run()
+	return res.Best.Obj, res.Evaluations, res.Best.Genome
+}
+
+// TestShardedWorkerInvariance is the engine-level determinism contract:
+// the shard decomposition and its RNG substreams depend only on Pop, so
+// any worker count — 1 included — produces bit-identical results.
+func TestShardedWorkerInvariance(t *testing.T) {
+	baseObj, baseEvals, baseGenome := runSharded(t, 1, 40, 30)
+	for _, w := range []int{2, 3, 8, 64} {
+		obj, evals, genome := runSharded(t, w, 40, 30)
+		if obj != baseObj || evals != baseEvals {
+			t.Errorf("workers=%d: (%v, %d) != workers=1 (%v, %d)", w, obj, evals, baseObj, baseEvals)
+		}
+		for i := range genome {
+			if genome[i] != baseGenome[i] {
+				t.Errorf("workers=%d: best genome diverges at %d", w, i)
+				break
+			}
+		}
+	}
+}
+
+// TestShardedSharesInitialisation checks that a sharded engine and a
+// master-path engine with the same seed build the same initial population:
+// the shard substreams are split off only after initialisation.
+func TestShardedSharesInitialisation(t *testing.T) {
+	p := shardedProblem(10)
+	mk := func(workers int) *Engine[[]int] {
+		return New(p, rng.New(5), Config[[]int]{
+			Pop: 20, Workers: workers, Ops: shardedOps(),
+			Term: Termination{MaxGenerations: 1},
+		})
+	}
+	a, b := mk(0), mk(4)
+	defer b.Close()
+	for i := range a.Population() {
+		ga, gb := a.Population()[i].Genome, b.Population()[i].Genome
+		for k := range ga {
+			if ga[k] != gb[k] {
+				t.Fatalf("initial individual %d differs between master-path and sharded engines", i)
+			}
+		}
+	}
+}
+
+// TestShardedImmigrationFallsBack: immigration-mode composition is a
+// master-path feature; a Workers > 0 engine with Immigration enabled must
+// still run it (and remain deterministic).
+func TestShardedImmigrationFallsBack(t *testing.T) {
+	mk := func() Result[[]int] {
+		eng := New(shardedProblem(8), rng.New(3), Config[[]int]{
+			Pop: 20, Workers: 4, Ops: shardedOps(),
+			Immigration: Immigration{Enabled: true, BestFrac: 0.2, CrossFrac: 0.6, RandomFrac: 0.2},
+			Term:        Termination{MaxGenerations: 15},
+		})
+		defer eng.Close()
+		return eng.Run()
+	}
+	a, b := mk(), mk()
+	if a.Best.Obj != b.Best.Obj || a.Evaluations != b.Evaluations {
+		t.Errorf("immigration fallback not deterministic: (%v,%d) vs (%v,%d)",
+			a.Best.Obj, a.Evaluations, b.Best.Obj, b.Evaluations)
+	}
+}
+
+// TestShardedCloseRespawns: Close releases the workers; the next Step
+// respawns them and the trajectory is unaffected.
+func TestShardedCloseRespawns(t *testing.T) {
+	mk := func(closeMidway bool) float64 {
+		eng := New(shardedProblem(9), rng.New(17), Config[[]int]{
+			Pop: 24, Workers: 4, Ops: shardedOps(),
+			Term: Termination{MaxGenerations: 1 << 30},
+		})
+		defer eng.Close()
+		for i := 0; i < 10; i++ {
+			if closeMidway && i == 5 {
+				eng.Close()
+			}
+			eng.Step()
+		}
+		return eng.Best().Obj
+	}
+	if a, b := mk(false), mk(true); a != b {
+		t.Errorf("Close mid-run changed the trajectory: %v vs %v", a, b)
+	}
+}
+
+// TestShardedStepAllocs is the zero-alloc guard of the sharded pipeline:
+// once warm, a full sharded Step must stay within a small constant
+// allocation budget independent of the population size (the ISSUE-5
+// acceptance bound is <= 8 allocs/op).
+func TestShardedStepAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	for _, pop := range []int{64, 256} {
+		eng := New(shardedProblem(15), rng.New(8), Config[[]int]{
+			Pop: pop, Workers: 4, Ops: shardedOps(),
+			Term: Termination{MaxGenerations: 1 << 30},
+		})
+		for i := 0; i < 60; i++ { // warm the free lists and spawn the workers
+			eng.Step()
+		}
+		avg := testing.AllocsPerRun(50, eng.Step)
+		eng.Close()
+		if avg > 8 {
+			t.Errorf("Pop=%d: sharded Step allocates %.1f/op, want <= 8", pop, avg)
+		}
+	}
+}

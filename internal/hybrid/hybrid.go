@@ -13,8 +13,6 @@
 package hybrid
 
 import (
-	"sync"
-
 	"repro/internal/cellular"
 	"repro/internal/core"
 	"repro/internal/island"
@@ -28,6 +26,12 @@ type RingOfTorusConfig[G any] struct {
 	Epochs   int // migration epochs (default 10)
 
 	Grid cellular.Config[G] // per-island cellular configuration
+
+	// Workers bounds the goroutines stepping grids within an epoch
+	// (default min(GOMAXPROCS, Grids) — one shared pool rather than a
+	// goroutine per grid). Every grid owns its randomness, so results are
+	// identical for every worker count.
+	Workers int
 
 	Target    float64
 	TargetSet bool
@@ -125,6 +129,21 @@ func (h *RingOfTorus[G]) migrate() {
 	}
 }
 
+// stepGrids advances every grid by Interval generations on one shared
+// bounded pool (core.ParallelFor, Config.Workers wide). Every grid owns
+// its randomness, so the pool width cannot change the result.
+func (h *RingOfTorus[G]) stepGrids(stopped func() bool) {
+	core.ParallelFor(len(h.grids), h.cfg.Workers, func(i int) {
+		g := h.grids[i]
+		for s := 0; s < h.cfg.Interval; s++ {
+			if stopped() {
+				break
+			}
+			g.Step()
+		}
+	})
+}
+
 // Run executes the epochs; grids advance concurrently between migrations
 // (deterministic: every grid owns its randomness).
 func (h *RingOfTorus[G]) Run() Result[G] {
@@ -137,20 +156,7 @@ func (h *RingOfTorus[G]) Run() Result[G] {
 		if stopped() {
 			break
 		}
-		var wg sync.WaitGroup
-		wg.Add(len(h.grids))
-		for _, g := range h.grids {
-			go func(g *cellular.Model[G]) {
-				defer wg.Done()
-				for s := 0; s < h.cfg.Interval; s++ {
-					if stopped() {
-						break
-					}
-					g.Step()
-				}
-			}(g)
-		}
-		wg.Wait()
+		h.stepGrids(stopped)
 		h.migrate()
 		if h.cfg.OnEpoch != nil {
 			h.cfg.OnEpoch(epoch, h.Best().Obj)

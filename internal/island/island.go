@@ -25,8 +25,6 @@
 package island
 
 import (
-	"sync"
-
 	"repro/internal/core"
 	"repro/internal/rng"
 )
@@ -121,6 +119,14 @@ type Config[G any] struct {
 
 	Merge    *MergeConfig[G]
 	TwoLevel *TwoLevel
+
+	// Workers bounds the goroutines stepping islands within an epoch. The
+	// default (0) is min(GOMAXPROCS, Islands): one pool shared across all
+	// islands instead of a goroutine per island, so a 32-island run on 8
+	// cores does not oversubscribe the scheduler. Results are identical for
+	// every worker count — each island owns its engine and RNG stream, so
+	// which goroutine steps it cannot matter.
+	Workers int
 
 	// Sequential disables the per-epoch goroutines (results are identical;
 	// used by benchmarks to separate algorithmic and scheduling effects).
@@ -256,36 +262,26 @@ func (m *Model[G]) stopped() bool {
 	return m.cfg.Stop != nil && m.cfg.Stop()
 }
 
-// stepAll advances every island by the migration interval, in parallel
-// goroutines unless Sequential. Islands only touch their own state and
-// RNGs, so the result is independent of goroutine scheduling.
+// stepAll advances every island by the migration interval on one shared
+// bounded pool (core.ParallelFor, Config.Workers wide) unless Sequential.
+// Islands only touch their own state and RNGs, so the result is
+// independent of goroutine scheduling — and of the pool width.
 func (m *Model[G]) stepAll() {
 	steps := m.cfg.Interval
-	if m.cfg.Sequential || len(m.engines) == 1 {
-		for _, e := range m.engines {
-			for s := 0; s < steps; s++ {
-				if m.stopped() {
-					break
-				}
-				e.Step()
+	stepIsland := func(i int) {
+		e := m.engines[i]
+		for s := 0; s < steps; s++ {
+			if m.stopped() {
+				break
 			}
+			e.Step()
 		}
-	} else {
-		var wg sync.WaitGroup
-		wg.Add(len(m.engines))
-		for _, e := range m.engines {
-			go func(e *core.Engine[G]) {
-				defer wg.Done()
-				for s := 0; s < steps; s++ {
-					if m.stopped() {
-						break
-					}
-					e.Step()
-				}
-			}(e)
-		}
-		wg.Wait()
 	}
+	w := m.cfg.Workers
+	if m.cfg.Sequential {
+		w = 1
+	}
+	core.ParallelFor(len(m.engines), w, stepIsland)
 	m.gen += steps
 }
 

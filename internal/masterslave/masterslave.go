@@ -26,29 +26,65 @@ import (
 	"repro/internal/sim"
 )
 
+// DefaultChunksPerWorker is the dispatch granularity of the chunked
+// evaluators: each EvalAll is cut into about this many contiguous spans per
+// worker. One mega-chunk per worker (the old default) lets a single slow
+// chunk serialise the whole tail; per-genome claiming (the older scheme)
+// maximises cursor traffic and interleaves adjacent writes to out across
+// workers (false sharing). ~4 spans per worker keeps the tail balanced
+// under skewed evaluation costs while every worker still writes contiguous,
+// disjoint ranges of out.
+const DefaultChunksPerWorker = 4
+
+// chunkFor returns the span length for n items over w workers.
+func chunkFor(n, w int) int {
+	c := (n + w*DefaultChunksPerWorker - 1) / (w * DefaultChunksPerWorker)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
 // PoolEvaluator evaluates a population with Workers concurrent goroutines.
 // The zero value uses GOMAXPROCS workers.
 //
 // The workers are persistent: they are spawned once, on the first EvalAll,
 // and then stay parked on their job channels across generations instead of
-// being respawned every call — the master hands each worker one batch
-// descriptor per generation and the workers claim genome indices from a
-// shared atomic cursor. Call Close when the evaluator is no longer needed
-// to release the worker goroutines; RunPool and the solver layer do this
-// automatically. A PoolEvaluator must not be copied after first use.
+// being respawned every call. Dispatch is chunked: the master cuts each
+// batch into contiguous spans (~DefaultChunksPerWorker per worker, or
+// ceil(len/Chunk) when Chunk > 0) and the workers steal whole spans from a
+// shared cursor — each worker therefore writes a contiguous, disjoint
+// range of out (no false sharing; see BenchmarkPoolDispatch) and a skewed
+// span cannot serialise the tail. When the engine offers a worker-local
+// evaluation cache (core.LocalEvals over a core.LocalEvalProblem), every
+// worker evaluates through its own closure — its own decode scratch —
+// instead of round-tripping a sync.Pool per genome; the cache rides on the
+// job, and closures are cached per (cache, worker), so reusing one
+// PoolEvaluator across engines/problems is safe.
+//
+// Call Close when the evaluator is no longer needed to release the worker
+// goroutines; RunPool does this automatically. A PoolEvaluator must not be
+// copied after first use.
 type PoolEvaluator[G any] struct {
 	Workers int
+	// Chunk overrides the span length (0: ~DefaultChunksPerWorker spans
+	// per worker).
+	Chunk int
 
 	mu      sync.Mutex
 	workers []chan *poolJob[G]
 }
 
 // poolJob is one EvalAll batch handed to every persistent worker. Workers
-// claim indices from cursor until the batch is drained, then check in on wg.
+// claim span indices from cursor until the batch is drained, then check in
+// on wg.
 type poolJob[G any] struct {
 	genomes []G
 	eval    func(G) float64
+	locals  *core.LocalEvals[G] // optional per-worker closure cache
 	out     []float64
+	chunk   int
+	spans   int64
 	cursor  atomic.Int64
 	wg      sync.WaitGroup
 }
@@ -75,15 +111,27 @@ func (p *PoolEvaluator[G]) lazyStart() []chan *poolJob[G] {
 		for k := range p.workers {
 			ch := make(chan *poolJob[G], 1)
 			p.workers[k] = ch
+			me := k
 			go func() {
 				for job := range ch {
-					n := int64(len(job.genomes))
+					eval := job.eval
+					if job.locals != nil {
+						eval = job.locals.For(me)
+					}
+					n := len(job.genomes)
 					for {
-						i := job.cursor.Add(1) - 1
-						if i >= n {
+						s := job.cursor.Add(1) - 1
+						if s >= job.spans {
 							break
 						}
-						job.out[i] = job.eval(job.genomes[i])
+						lo := int(s) * job.chunk
+						hi := lo + job.chunk
+						if hi > n {
+							hi = n
+						}
+						for i := lo; i < hi; i++ {
+							job.out[i] = eval(job.genomes[i])
+						}
 					}
 					job.wg.Done()
 				}
@@ -93,9 +141,21 @@ func (p *PoolEvaluator[G]) lazyStart() []chan *poolJob[G] {
 	return p.workers
 }
 
-// EvalAll implements core.Evaluator. Results are written to disjoint
-// indices, so no synchronisation of out is needed beyond the WaitGroup.
+// EvalAll implements core.Evaluator. Every span is written by exactly one
+// worker, so no synchronisation of out is needed beyond the WaitGroup.
 func (p *PoolEvaluator[G]) EvalAll(genomes []G, eval func(G) float64, out []float64) {
+	p.evalAll(genomes, eval, nil, out)
+}
+
+// EvalAllLocal implements core.LocalBatchEvaluator: like EvalAll, but each
+// persistent worker evaluates through its own closure from the locals
+// cache (worker w always gets closure w, preserving the single-goroutine
+// contract of core.LocalEvalProblem closures).
+func (p *PoolEvaluator[G]) EvalAllLocal(genomes []G, eval func(G) float64, locals *core.LocalEvals[G], out []float64) {
+	p.evalAll(genomes, eval, locals, out)
+}
+
+func (p *PoolEvaluator[G]) evalAll(genomes []G, eval func(G) float64, locals *core.LocalEvals[G], out []float64) {
 	workers := p.lazyStart()
 	if workers == nil || len(genomes) <= 1 {
 		for i, g := range genomes {
@@ -103,7 +163,14 @@ func (p *PoolEvaluator[G]) EvalAll(genomes []G, eval func(G) float64, out []floa
 		}
 		return
 	}
-	job := &poolJob[G]{genomes: genomes, eval: eval, out: out}
+	chunk := p.Chunk
+	if chunk <= 0 {
+		chunk = chunkFor(len(genomes), len(workers))
+	}
+	job := &poolJob[G]{
+		genomes: genomes, eval: eval, locals: locals, out: out,
+		chunk: chunk, spans: int64((len(genomes) + chunk - 1) / chunk),
+	}
 	job.wg.Add(len(workers))
 	for _, ch := range workers {
 		ch <- job
@@ -125,7 +192,10 @@ func (p *PoolEvaluator[G]) Close() {
 
 // BatchEvaluator dispatches contiguous chunks of Batch genomes to Workers
 // goroutines, modelling Akhshabi's batched partitioning of the unassigned
-// queue. Batch <= 0 selects len(genomes)/workers.
+// queue. Batch <= 0 selects ~DefaultChunksPerWorker chunks per worker:
+// exactly one mega-chunk per worker (the former ceil(len/workers) default)
+// meant a single slow chunk serialised the whole tail, which
+// TestBatchEvaluatorSkewedLoad demonstrates.
 type BatchEvaluator[G any] struct {
 	Workers int
 	Batch   int
@@ -139,10 +209,7 @@ func (b BatchEvaluator[G]) EvalAll(genomes []G, eval func(G) float64, out []floa
 	}
 	batch := b.Batch
 	if batch <= 0 {
-		batch = (len(genomes) + w - 1) / w
-		if batch == 0 {
-			batch = 1
-		}
+		batch = chunkFor(len(genomes), w)
 	}
 	type span struct{ lo, hi int }
 	spans := make(chan span)

@@ -152,6 +152,122 @@ func TestMasterSlaveTrajectoryIdentical(t *testing.T) {
 	}
 }
 
+// TestChunkFor pins the dispatch granularity: ~DefaultChunksPerWorker
+// contiguous spans per worker, never zero-length.
+func TestChunkFor(t *testing.T) {
+	cases := []struct{ n, w, want int }{
+		{64, 4, 4},  // 16 spans over 4 workers
+		{64, 1, 16}, // still chunked when single-worker
+		{3, 4, 1},   // more workers than work
+		{1, 1, 1},   // minimum
+		{100, 3, 9}, // ceil(100/12)
+		{97, 4, 7},  // ceil(97/16)
+	}
+	for _, c := range cases {
+		if got := chunkFor(c.n, c.w); got != c.want {
+			t.Errorf("chunkFor(%d, %d) = %d, want %d", c.n, c.w, got, c.want)
+		}
+		spans := (c.n + chunkFor(c.n, c.w) - 1) / chunkFor(c.n, c.w)
+		if spans < 1 {
+			t.Errorf("chunkFor(%d, %d) yields no spans", c.n, c.w)
+		}
+	}
+}
+
+// TestPoolEvaluatorLocalClosures: EvalAllLocal hands every worker its own
+// closure from the LocalEvals cache (one factory call per worker, never
+// shared), results match the shared path, and switching to a different
+// cache — a different engine/problem — rebuilds instead of evaluating
+// through the first problem's stale closures.
+func TestPoolEvaluatorLocalClosures(t *testing.T) {
+	ev := &PoolEvaluator[int]{Workers: 4}
+	defer ev.Close()
+	var built int64
+	locals := core.NewLocalEvals(func() func(int) float64 {
+		atomic.AddInt64(&built, 1)
+		acc := 0 // private state: a shared closure would race on it
+		return func(g int) float64 {
+			acc++
+			return float64(g * 2)
+		}
+	})
+	genomes := make([]int, 100)
+	for i := range genomes {
+		genomes[i] = i
+	}
+	out := make([]float64, len(genomes))
+	for round := 0; round < 10; round++ {
+		ev.EvalAllLocal(genomes, func(g int) float64 { return float64(g * 2) }, locals, out)
+	}
+	for i := range out {
+		if out[i] != float64(i*2) {
+			t.Fatalf("out[%d] = %v", i, out[i])
+		}
+	}
+	if b := atomic.LoadInt64(&built); b > 4 {
+		t.Errorf("factory called %d times, want <= workers (closures must be cached per worker)", b)
+	}
+	// A second problem's cache must take effect immediately on the same
+	// evaluator (per-cache identity, not first-factory-wins).
+	other := core.NewLocalEvals(func() func(int) float64 {
+		return func(g int) float64 { return float64(g * 3) }
+	})
+	ev.EvalAllLocal(genomes, func(g int) float64 { return float64(g * 3) }, other, out)
+	for i := range out {
+		if out[i] != float64(i*3) {
+			t.Fatalf("stale closure served after cache switch: out[%d] = %v", i, out[i])
+		}
+	}
+}
+
+// TestBatchEvaluatorSkewedLoad demonstrates the satellite fix: the old
+// default of one mega-chunk per worker (batch = ceil(len/workers)) put all
+// the slow genomes below into worker 0's single chunk, serialising them;
+// the ~4-chunks-per-worker default spreads them across the pool. The
+// assertion is structural (how work co-locates), not wall-clock, so it is
+// stable on loaded or race-instrumented hosts.
+func TestBatchEvaluatorSkewedLoad(t *testing.T) {
+	const n, workers = 64, 4
+	slow := []int{0, 1, 2, 3, 4, 5, 6, 7} // a hot-spot of expensive genomes at the front
+	spansHolding := func(batch int) map[int]bool {
+		m := map[int]bool{}
+		for _, g := range slow {
+			m[g/batch] = true
+		}
+		return m
+	}
+	// Old default: one mega-chunk per worker co-locates every slow genome
+	// in a single chunk — one worker eats the whole hot-spot while the
+	// other three idle after their cheap chunks.
+	megaChunk := (n + workers - 1) / workers
+	if len(spansHolding(megaChunk)) != 1 {
+		t.Fatal("test premise broken: the old default should co-locate the slow genomes")
+	}
+	// New default: the hot-spot spreads over several spans, so idle workers
+	// steal the remainder.
+	if spans := spansHolding(chunkFor(n, workers)); len(spans) < 2 {
+		t.Fatalf("default batch %d still co-locates all slow genomes in one span", chunkFor(n, workers))
+	}
+
+	// And the evaluator still computes the right thing with skewed costs.
+	genomes := make([]int, n)
+	for i := range genomes {
+		genomes[i] = i
+	}
+	out := make([]float64, n)
+	BatchEvaluator[int]{Workers: workers}.EvalAll(genomes, func(g int) float64 {
+		if g < len(slow) {
+			time.Sleep(time.Millisecond)
+		}
+		return float64(g)
+	}, out)
+	for i := range out {
+		if out[i] != float64(i) {
+			t.Fatalf("skewed out[%d] = %v", i, out[i])
+		}
+	}
+}
+
 // settleGoroutines waits for the goroutine count to stop changing (earlier
 // tests' workers may still be winding down) and returns it.
 func settleGoroutines() int {

@@ -1,0 +1,130 @@
+package op
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestCrossIntoMatchesCross pins every recycling crossover to its plain
+// counterpart: same parents, same RNG state => identical children, whether
+// the destination is nil (fresh storage) or a recycled slice of any
+// capacity. This is the property that lets the engine swap CrossInto in
+// without changing a trajectory.
+func TestCrossIntoMatchesCross(t *testing.T) {
+	seq := func(r *rng.RNG) ([]int, []int) {
+		// Operation sequences over 4 jobs with 3 operations each.
+		mk := func() []int {
+			g := []int{0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3}
+			r.Shuffle(len(g), func(i, j int) { g[i], g[j] = g[j], g[i] })
+			return g
+		}
+		return mk(), mk()
+	}
+	perm := func(r *rng.RNG) ([]int, []int) {
+		return r.Perm(9), r.Perm(9)
+	}
+	ints := func(r *rng.RNG) ([]int, []int) {
+		mk := func() []int {
+			g := make([]int, 7)
+			for i := range g {
+				g[i] = r.Intn(5)
+			}
+			return g
+		}
+		return mk(), mk()
+	}
+
+	intCases := []struct {
+		name  string
+		plain func(r *rng.RNG, a, b []int) ([]int, []int)
+		into  func() func(r *rng.RNG, a, b, d1, d2 []int) ([]int, []int)
+		gen   func(r *rng.RNG) ([]int, []int)
+	}{
+		{"JOX", JOX(4), func() func(r *rng.RNG, a, b, d1, d2 []int) ([]int, []int) {
+			f := JOXInto(4)()
+			return f
+		}, seq},
+		{"OX", OX, func() func(r *rng.RNG, a, b, d1, d2 []int) ([]int, []int) {
+			f := OXInto()()
+			return f
+		}, perm},
+		{"UniformInt", UniformInt, func() func(r *rng.RNG, a, b, d1, d2 []int) ([]int, []int) {
+			f := UniformIntInto()()
+			return f
+		}, ints},
+	}
+	for _, tc := range intCases {
+		t.Run(tc.name, func(t *testing.T) {
+			into := tc.into()
+			for trial := 0; trial < 200; trial++ {
+				gr := rng.New(uint64(1000 + trial))
+				a, b := tc.gen(gr)
+				r1 := rng.New(uint64(trial))
+				w1, w2 := tc.plain(r1, a, b)
+				var d1, d2 []int
+				switch trial % 3 {
+				case 1: // undersized recycled storage
+					d1, d2 = make([]int, 1), make([]int, 2)
+				case 2: // oversized recycled storage, dirty contents
+					d1, d2 = make([]int, len(a)+5), make([]int, len(a)+3)
+					for i := range d1 {
+						d1[i] = -7
+					}
+				}
+				r2 := rng.New(uint64(trial))
+				g1, g2 := into(r2, a, b, d1, d2)
+				if !reflect.DeepEqual(w1, g1) || !reflect.DeepEqual(w2, g2) {
+					t.Fatalf("trial %d: into children %v/%v != plain %v/%v", trial, g1, g2, w1, w2)
+				}
+				if r1.Uint64() != r2.Uint64() {
+					t.Fatalf("trial %d: into consumed different randomness", trial)
+				}
+			}
+		})
+	}
+
+	t.Run("UniformKeys", func(t *testing.T) {
+		plain := ParameterizedUniformKeys(0.7)
+		into := UniformKeysInto(0.7)()
+		for trial := 0; trial < 200; trial++ {
+			gr := rng.New(uint64(5000 + trial))
+			mk := func() []float64 {
+				g := make([]float64, 11)
+				for i := range g {
+					g[i] = gr.Float64()
+				}
+				return g
+			}
+			a, b := mk(), mk()
+			r1 := rng.New(uint64(trial))
+			w1, w2 := plain(r1, a, b)
+			r2 := rng.New(uint64(trial))
+			g1, g2 := into(r2, a, b, nil, make([]float64, 3))
+			if !reflect.DeepEqual(w1, g1) || !reflect.DeepEqual(w2, g2) {
+				t.Fatalf("trial %d: into children differ from plain", trial)
+			}
+			if r1.Uint64() != r2.Uint64() {
+				t.Fatalf("trial %d: into consumed different randomness", trial)
+			}
+		}
+	})
+}
+
+// TestCrossIntoDoesNotTouchParents guards the aliasing contract: recycling
+// crossovers must read the parents only.
+func TestCrossIntoDoesNotTouchParents(t *testing.T) {
+	r := rng.New(3)
+	a := []int{0, 1, 2, 3, 4, 5}
+	b := []int{5, 4, 3, 2, 1, 0}
+	ac := append([]int(nil), a...)
+	bc := append([]int(nil), b...)
+	ox := OXInto()()
+	for i := 0; i < 50; i++ {
+		ox(r, a, b, nil, nil)
+	}
+	if !reflect.DeepEqual(a, ac) || !reflect.DeepEqual(b, bc) {
+		t.Fatal("OXInto mutated a parent")
+	}
+}

@@ -49,6 +49,24 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64())
 }
 
+// SplitN derives n independent substreams from r, advancing r by exactly
+// n draws. It is the stream API of the sharded generation pipeline: the
+// engine derives one substream per population shard once, up front, so the
+// number of parent draws — and therefore every substream's seed — depends
+// only on the shard count, never on how many workers later execute the
+// shards. That is what makes sharded runs bit-identical for any worker
+// count, including 1.
+func (r *RNG) SplitN(n int) []*RNG {
+	if n < 0 {
+		panic("rng: SplitN with n < 0")
+	}
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = New(r.Uint64())
+	}
+	return out
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -46,6 +46,35 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestSplitNMatchesSequentialSplits(t *testing.T) {
+	// SplitN(n) must be exactly n Split calls: same substream seeds, same
+	// parent advancement — the engine relies on this to document the
+	// sharded pipeline's substream scheme in one place.
+	a, b := New(31), New(31)
+	streams := a.SplitN(5)
+	for i := 0; i < 5; i++ {
+		want := b.Split()
+		if streams[i].Uint64() != want.Uint64() {
+			t.Fatalf("SplitN stream %d diverges from sequential Split", i)
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitN advanced the parent differently from 5 Splits")
+	}
+}
+
+func TestSplitNSiblingsIndependent(t *testing.T) {
+	streams := New(7).SplitN(8)
+	seen := map[uint64]int{}
+	for i, s := range streams {
+		v := s.Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("substreams %d and %d share their first output", j, i)
+		}
+		seen[v] = i
+	}
+}
+
 func TestIntnBounds(t *testing.T) {
 	r := New(99)
 	for n := 1; n <= 64; n++ {

@@ -44,30 +44,46 @@ func scratches(in *shop.Instance) *sync.Pool {
 	return &sync.Pool{New: func() interface{} { return decode.NewScratch(in) }}
 }
 
+// pooledEval wraps a scratch-parameterised evaluation into the two
+// evaluation seams every Problem below exposes: the shared EvaluateFn
+// (round-trips a sync.Pool scratch per call — safe anywhere) and the
+// LocalEvalFn factory (one private scratch per closure — what the sharded
+// engine pipeline and masterslave.PoolEvaluator hand to each persistent
+// worker, removing the pool round-trips from the hot path).
+func pooledEval[G any](in *shop.Instance, evalWith func(G, *decode.Scratch) float64) (func(G) float64, func() func(G) float64) {
+	pool := scratches(in)
+	eval := func(g G) float64 {
+		s := pool.Get().(*decode.Scratch)
+		v := evalWith(g, s)
+		pool.Put(s)
+		return v
+	}
+	local := func() func(G) float64 {
+		s := decode.NewScratch(in)
+		return func(g G) float64 { return evalWith(g, s) }
+	}
+	return eval, local
+}
+
 // FlowShopProblem is the permutation-encoded flow shop under an arbitrary
 // objective. Makespan routes to the completion-row kernel; other objectives
 // decode into a pooled, reused schedule.
 func FlowShopProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]int] {
-	pool := scratches(in)
-	eval := func(g []int) float64 {
-		s := pool.Get().(*decode.Scratch)
-		v := obj(decode.FlowShopInto(in, g, s))
-		pool.Put(s)
-		return v
+	evalWith := func(g []int, s *decode.Scratch) float64 {
+		return obj(decode.FlowShopInto(in, g, s))
 	}
 	if isMakespan(obj) {
-		eval = func(g []int) float64 {
-			s := pool.Get().(*decode.Scratch)
-			ms := decode.FlowShopMakespanWith(in, g, s)
-			pool.Put(s)
-			return float64(ms)
+		evalWith = func(g []int, s *decode.Scratch) float64 {
+			return float64(decode.FlowShopMakespanWith(in, g, s))
 		}
 	}
+	eval, local := pooledEval(in, evalWith)
 	return core.FuncProblem[[]int]{
 		RandomFn:    func(r *rng.RNG) []int { return decode.RandomPermutation(in, r) },
 		EvaluateFn:  eval,
 		CloneFn:     cloneInts,
 		CloneIntoFn: cloneIntsInto,
+		LocalEvalFn: local,
 	}
 }
 
@@ -81,26 +97,21 @@ func FlowShopMakespanProblem(in *shop.Instance) core.Problem[[]int] {
 // representation of Section III.A) under an arbitrary objective. Makespan
 // routes to the allocation-free semi-active kernel.
 func JobShopProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]int] {
-	pool := scratches(in)
-	eval := func(g []int) float64 {
-		s := pool.Get().(*decode.Scratch)
-		v := obj(decode.JobShopInto(in, g, s))
-		pool.Put(s)
-		return v
+	evalWith := func(g []int, s *decode.Scratch) float64 {
+		return obj(decode.JobShopInto(in, g, s))
 	}
 	if isMakespan(obj) {
-		eval = func(g []int) float64 {
-			s := pool.Get().(*decode.Scratch)
-			ms := decode.JobShopMakespan(in, g, s)
-			pool.Put(s)
-			return float64(ms)
+		evalWith = func(g []int, s *decode.Scratch) float64 {
+			return float64(decode.JobShopMakespan(in, g, s))
 		}
 	}
+	eval, local := pooledEval(in, evalWith)
 	return core.FuncProblem[[]int]{
 		RandomFn:    func(r *rng.RNG) []int { return decode.RandomOpSequence(in, r) },
 		EvaluateFn:  eval,
 		CloneFn:     cloneInts,
 		CloneIntoFn: cloneIntsInto,
+		LocalEvalFn: local,
 	}
 }
 
@@ -122,26 +133,21 @@ func BlockingJobShopProblem(in *shop.Instance) core.Problem[[]int] {
 // OpenShopProblem is the open shop with the given decoding rule. Makespan
 // routes to the allocation-free greedy kernel.
 func OpenShopProblem(in *shop.Instance, rule decode.OpenRule, obj shop.Objective) core.Problem[[]int] {
-	pool := scratches(in)
-	eval := func(g []int) float64 {
-		s := pool.Get().(*decode.Scratch)
-		v := obj(decode.OpenShopInto(in, g, rule, s))
-		pool.Put(s)
-		return v
+	evalWith := func(g []int, s *decode.Scratch) float64 {
+		return obj(decode.OpenShopInto(in, g, rule, s))
 	}
 	if isMakespan(obj) {
-		eval = func(g []int) float64 {
-			s := pool.Get().(*decode.Scratch)
-			ms := decode.OpenShopMakespan(in, g, rule, s)
-			pool.Put(s)
-			return float64(ms)
+		evalWith = func(g []int, s *decode.Scratch) float64 {
+			return float64(decode.OpenShopMakespan(in, g, rule, s))
 		}
 	}
+	eval, local := pooledEval(in, evalWith)
 	return core.FuncProblem[[]int]{
 		RandomFn:    func(r *rng.RNG) []int { return decode.RandomOpSequence(in, r) },
 		EvaluateFn:  eval,
 		CloneFn:     cloneInts,
 		CloneIntoFn: cloneIntsInto,
+		LocalEvalFn: local,
 	}
 }
 
@@ -150,21 +156,15 @@ func OpenShopProblem(in *shop.Instance, rule decode.OpenRule, obj shop.Objective
 // routes to the allocation-free active-schedule kernel.
 func GTProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]float64] {
 	total := in.TotalOps()
-	pool := scratches(in)
-	eval := func(g []float64) float64 {
-		s := pool.Get().(*decode.Scratch)
-		v := obj(decode.GifflerThompsonInto(in, g, s))
-		pool.Put(s)
-		return v
+	evalWith := func(g []float64, s *decode.Scratch) float64 {
+		return obj(decode.GifflerThompsonInto(in, g, s))
 	}
 	if isMakespan(obj) {
-		eval = func(g []float64) float64 {
-			s := pool.Get().(*decode.Scratch)
-			ms := decode.GifflerThompsonMakespan(in, g, s)
-			pool.Put(s)
-			return float64(ms)
+		evalWith = func(g []float64, s *decode.Scratch) float64 {
+			return float64(decode.GifflerThompsonMakespan(in, g, s))
 		}
 	}
+	eval, local := pooledEval(in, evalWith)
 	return core.FuncProblem[[]float64]{
 		RandomFn: func(r *rng.RNG) []float64 {
 			g := make([]float64, total)
@@ -176,6 +176,7 @@ func GTProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]float64] {
 		EvaluateFn:  eval,
 		CloneFn:     cloneKeys,
 		CloneIntoFn: cloneKeysInto,
+		LocalEvalFn: local,
 	}
 }
 
@@ -203,21 +204,15 @@ func CloneFlexInto(dst, src FlexGenome) FlexGenome {
 // genomes, honouring sequence-dependent setups when the instance has them.
 // Makespan routes to the allocation-free flexible kernel.
 func FlexibleProblem(in *shop.Instance, obj shop.Objective) core.Problem[FlexGenome] {
-	pool := scratches(in)
-	eval := func(g FlexGenome) float64 {
-		s := pool.Get().(*decode.Scratch)
-		v := obj(decode.FlexibleInto(in, g.Assign, g.Seq, nil, s))
-		pool.Put(s)
-		return v
+	evalWith := func(g FlexGenome, s *decode.Scratch) float64 {
+		return obj(decode.FlexibleInto(in, g.Assign, g.Seq, nil, s))
 	}
 	if isMakespan(obj) {
-		eval = func(g FlexGenome) float64 {
-			s := pool.Get().(*decode.Scratch)
-			ms := decode.FlexibleMakespan(in, g.Assign, g.Seq, nil, s)
-			pool.Put(s)
-			return float64(ms)
+		evalWith = func(g FlexGenome, s *decode.Scratch) float64 {
+			return float64(decode.FlexibleMakespan(in, g.Assign, g.Seq, nil, s))
 		}
 	}
+	eval, local := pooledEval(in, evalWith)
 	return core.FuncProblem[FlexGenome]{
 		RandomFn: func(r *rng.RNG) FlexGenome {
 			return FlexGenome{
@@ -228,6 +223,7 @@ func FlexibleProblem(in *shop.Instance, obj shop.Objective) core.Problem[FlexGen
 		EvaluateFn:  eval,
 		CloneFn:     CloneFlex,
 		CloneIntoFn: CloneFlexInto,
+		LocalEvalFn: local,
 	}
 }
 
@@ -235,26 +231,21 @@ func FlexibleProblem(in *shop.Instance, obj shop.Objective) core.Problem[FlexGen
 // with a frozen machine assignment (the solver's greedy-assignment
 // encoding). Makespan routes to the allocation-free flexible kernel.
 func FixedAssignmentProblem(in *shop.Instance, assign []int, obj shop.Objective) core.Problem[[]int] {
-	pool := scratches(in)
-	eval := func(g []int) float64 {
-		s := pool.Get().(*decode.Scratch)
-		v := obj(decode.FlexibleInto(in, assign, g, nil, s))
-		pool.Put(s)
-		return v
+	evalWith := func(g []int, s *decode.Scratch) float64 {
+		return obj(decode.FlexibleInto(in, assign, g, nil, s))
 	}
 	if isMakespan(obj) {
-		eval = func(g []int) float64 {
-			s := pool.Get().(*decode.Scratch)
-			ms := decode.FlexibleMakespan(in, assign, g, nil, s)
-			pool.Put(s)
-			return float64(ms)
+		evalWith = func(g []int, s *decode.Scratch) float64 {
+			return float64(decode.FlexibleMakespan(in, assign, g, nil, s))
 		}
 	}
+	eval, local := pooledEval(in, evalWith)
 	return core.FuncProblem[[]int]{
 		RandomFn:    func(r *rng.RNG) []int { return decode.RandomOpSequence(in, r) },
 		EvaluateFn:  eval,
 		CloneFn:     cloneInts,
 		CloneIntoFn: cloneIntsInto,
+		LocalEvalFn: local,
 	}
 }
 
@@ -271,12 +262,14 @@ func EligibleCounts(in *shop.Instance) []int {
 }
 
 // PermOps bundles tournament selection, order crossover and swap mutation
-// for permutation genomes (flow shop defaults).
+// for permutation genomes (flow shop defaults). The CrossInto factory is
+// the recycling OX of the sharded pipeline.
 func PermOps() core.Operators[[]int] {
 	return core.Operators[[]int]{
-		Select: op.Tournament[[]int](2),
-		Cross:  op.OX,
-		Mutate: op.SwapMutation,
+		Select:    op.Tournament[[]int](2),
+		Cross:     op.OX,
+		Mutate:    op.SwapMutation,
+		CrossInto: op.OXInto(),
 	}
 }
 
@@ -284,9 +277,10 @@ func PermOps() core.Operators[[]int] {
 // mutation for operation-sequence genomes (job/open shop defaults).
 func SeqOps(in *shop.Instance) core.Operators[[]int] {
 	return core.Operators[[]int]{
-		Select: op.Tournament[[]int](2),
-		Cross:  op.JOX(len(in.Jobs)),
-		Mutate: op.SwapMutation,
+		Select:    op.Tournament[[]int](2),
+		Cross:     op.JOX(len(in.Jobs)),
+		Mutate:    op.SwapMutation,
+		CrossInto: op.JOXInto(len(in.Jobs)),
 	}
 }
 
@@ -294,9 +288,10 @@ func SeqOps(in *shop.Instance) core.Operators[[]int] {
 // Gaussian mutation for random-keys genomes (GT priorities, Huang [24]).
 func KeysOps() core.Operators[[]float64] {
 	return core.Operators[[]float64]{
-		Select: op.Tournament[[]float64](2),
-		Cross:  op.ParameterizedUniformKeys(0.7),
-		Mutate: op.GaussianKeys(0.3, 0.1),
+		Select:    op.Tournament[[]float64](2),
+		Cross:     op.ParameterizedUniformKeys(0.7),
+		Mutate:    op.GaussianKeys(0.3, 0.1),
+		CrossInto: op.UniformKeysInto(0.7),
 	}
 }
 
@@ -320,6 +315,17 @@ func FlexOps(in *shop.Instance) core.Operators[FlexGenome] {
 				reset(r, g.Assign)
 			} else {
 				op.SwapMutation(r, g.Seq)
+			}
+		},
+		// Recycling composition in the same draw order as Cross: assignment
+		// chromosome first, sequence chromosome second.
+		CrossInto: func() core.CrossoverInto[FlexGenome] {
+			assignInto := op.UniformIntInto()()
+			seqInto := op.JOXInto(len(in.Jobs))()
+			return func(r *rng.RNG, a, b, d1, d2 FlexGenome) (FlexGenome, FlexGenome) {
+				a1, a2 := assignInto(r, a.Assign, b.Assign, d1.Assign, d2.Assign)
+				s1, s2 := seqInto(r, a.Seq, b.Seq, d1.Seq, d2.Seq)
+				return FlexGenome{Assign: a1, Seq: s1}, FlexGenome{Assign: a2, Seq: s2}
 			}
 		},
 	}

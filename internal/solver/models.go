@@ -10,7 +10,6 @@ import (
 	"repro/internal/decode"
 	"repro/internal/hybrid"
 	"repro/internal/island"
-	"repro/internal/masterslave"
 	"repro/internal/qga"
 	"repro/internal/shop"
 	"repro/internal/shopga"
@@ -202,8 +201,14 @@ func runSerial[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, er
 	return coreResult(enc, res), nil
 }
 
-// runMasterSlave is Table III: the serial trajectory with the fitness
-// evaluation fanned out to a goroutine pool.
+// runMasterSlave is Table III evolved into the engine's sharded generation
+// pipeline: persistent workers each own contiguous shards of the next
+// generation and run selection → crossover → mutation → evaluation for
+// them end-to-end, drawing from per-shard RNG substreams. The survey's
+// defining Table III property — parallelisation does not change the
+// algorithm — survives in its modern form: the trajectory is bit-identical
+// for ANY workers value, 1 included (TestMasterSlaveWorkerInvariance), it
+// just no longer coincides with the serial model's master-path trajectory.
 func runMasterSlave[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, error) {
 	workers := run.Spec.Params.Workers
 	if workers <= 0 {
@@ -211,10 +216,10 @@ func runMasterSlave[G any](_ context.Context, run *Run, enc encoding[G]) (*Resul
 	}
 	cfg := engineConfig(run, enc)
 	cfg.OnGeneration = run.genHook()
-	ev := &masterslave.PoolEvaluator[G]{Workers: workers}
-	defer ev.Close()
-	cfg.Evaluator = ev
-	res := core.New(enc.problem, run.RNG, cfg).Run()
+	cfg.Workers = workers
+	eng := core.New(enc.problem, run.RNG, cfg)
+	defer eng.Close()
+	res := eng.Run()
 	return coreResult(enc, res), nil
 }
 
@@ -234,6 +239,7 @@ func runIsland[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, er
 		Migrants: run.Spec.Params.Migrants,
 		Epochs:   epochs(run, iv),
 		Topology: topo,
+		Workers:  run.Spec.Params.Workers,
 		Engine:   engineConfig(run, enc),
 		Problem:  func(int) core.Problem[G] { return enc.problem },
 		Target:   b.Target, TargetSet: b.TargetSet,
@@ -322,6 +328,7 @@ func runHybrid[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, er
 		Grids:    grids,
 		Interval: iv,
 		Epochs:   epochs(run, iv),
+		Workers:  run.Spec.Params.Workers,
 		Grid: cellular.Config[G]{
 			Width: w, Height: h,
 			Neighborhood:    nb,

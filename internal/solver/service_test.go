@@ -252,6 +252,11 @@ func TestServiceGetRemove(t *testing.T) {
 	if _, ok := svc.Get(a.ID()); ok {
 		t.Error("removed job still resolvable")
 	}
+	// Wait until b is actually running before cancelling: a Cancel that
+	// wins the race against runJob's slot acquisition legitimately fails
+	// the job with context.Canceled (pending-cancel semantics), which is
+	// not the partial-result path this test asserts.
+	waitRunning(t, b)
 	b.Cancel()
 	if _, err := b.Await(context.Background()); err != nil {
 		t.Fatal(err)

@@ -50,8 +50,15 @@ type ProblemSpec struct {
 // model-specific defaults. One flat struct keeps Specs trivially
 // JSON-round-trippable; each model reads the fields it understands.
 type Params struct {
-	Pop      int `json:"pop,omitempty"`      // total population across islands (default 80)
-	Workers  int `json:"workers,omitempty"`  // ms slaves / cellular partitions (default 4 / 1)
+	Pop int `json:"pop,omitempty"` // total population across islands (default 80)
+	// Workers is the parallel-execution width, threaded into every model
+	// that has one: ms sharded-pipeline workers (default 4), island/hybrid
+	// island-stepping pool (default GOMAXPROCS), cellular partitions
+	// (default 1). serial, agents and qga run their fixed concurrency
+	// structure and ignore it. Every model is deterministic in it: the
+	// same Spec.Seed yields the same Result for workers 1, 2 or 8
+	// (TestWorkerCountInvariance).
+	Workers  int `json:"workers,omitempty"`
 	Islands  int `json:"islands,omitempty"`  // islands, grids, processor agents (default 4; agents 8)
 	Interval int `json:"interval,omitempty"` // generations between migrations (default 5; hybrid 10)
 	Migrants int `json:"migrants,omitempty"` // emigrants per edge per epoch (default 1)

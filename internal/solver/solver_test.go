@@ -90,20 +90,28 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
-// TestMasterSlaveMatchesSerial: the registry preserves the survey's
-// defining Table III property — ms is bit-identical to serial.
-func TestMasterSlaveMatchesSerial(t *testing.T) {
-	serial, err := Solve(context.Background(), smallSpec("serial"))
+// TestMasterSlaveWorkerInvariance: the registry preserves the survey's
+// defining Table III property in its sharded-pipeline form — the parallel
+// structure does not change the algorithm, so the ms trajectory is
+// bit-identical for any worker count (the fixed shard decomposition and
+// its per-shard RNG substreams depend only on Pop; workers merely execute
+// shards). TestWorkerCountInvariance extends this to all 7 models.
+func TestMasterSlaveWorkerInvariance(t *testing.T) {
+	one := smallSpec("ms")
+	one.Params.Workers = 1
+	eight := smallSpec("ms")
+	eight.Params.Workers = 8
+	a, err := Solve(context.Background(), one)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms, err := Solve(context.Background(), smallSpec("ms"))
+	b, err := Solve(context.Background(), eight)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if serial.BestObjective != ms.BestObjective || serial.Evaluations != ms.Evaluations {
-		t.Errorf("ms (%v, %d) != serial (%v, %d)",
-			ms.BestObjective, ms.Evaluations, serial.BestObjective, serial.Evaluations)
+	if a.BestObjective != b.BestObjective || a.Evaluations != b.Evaluations {
+		t.Errorf("ms workers=8 (%v, %d) != workers=1 (%v, %d)",
+			b.BestObjective, b.Evaluations, a.BestObjective, a.Evaluations)
 	}
 }
 

@@ -1,0 +1,51 @@
+package solver
+
+import (
+	"context"
+	"testing"
+)
+
+// TestWorkerCountInvariance pins the contract of Params.Workers across the
+// whole registry: the knob sets how wide a model executes, never what it
+// computes. For every model, the same Spec.Seed must produce an identical
+// Result for workers 1, 2 and 8 — the sharded ms pipeline guarantees it
+// through its fixed shard decomposition and per-shard RNG substreams, the
+// island/hybrid stepping pools because each deme owns its stream, cellular
+// because every cell's stream is derived from (seed, generation, cell),
+// and serial/agents/qga because their concurrency structure is fixed.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			type outcome struct {
+				obj      float64
+				evals    int64
+				gens     int
+				makespan int
+			}
+			var base *outcome
+			var baseWorkers int
+			for _, w := range []int{1, 2, 8} {
+				spec := smallSpec(name)
+				spec.Params.Workers = w
+				res, err := Solve(context.Background(), spec)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				got := outcome{
+					obj:      res.BestObjective,
+					evals:    res.Evaluations,
+					gens:     res.Generations,
+					makespan: res.Schedule.Makespan(),
+				}
+				if base == nil {
+					base, baseWorkers = &got, w
+					continue
+				}
+				if got != *base {
+					t.Errorf("workers=%d result %+v differs from workers=%d result %+v",
+						w, got, baseWorkers, *base)
+				}
+			}
+		})
+	}
+}
