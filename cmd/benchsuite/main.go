@@ -2,6 +2,7 @@
 // instance registry and diffs suite reports for CI regression gating.
 //
 //	benchsuite run  -profile smoke -out BENCH_suite.json
+//	benchsuite run  -profile smoke -cpuprofile cpu.pprof -memprofile mem.pprof
 //	benchsuite diff -baseline BENCH_suite.json -report /tmp/suite.json
 //
 // run sweeps the profile's instances x models x seeds through the solver
@@ -77,6 +78,8 @@ func runSuite(ctx context.Context, args []string, stdout io.Writer) error {
 	models := fs.String("models", "", "override the profile's models (comma-separated)")
 	poolWorkers := fs.Int("pool-workers", 0, "solver pool workers (0: GOMAXPROCS; 1 for calm wall clocks)")
 	parallelStep := fs.Int("parallel-step", 0, "measure sharded engine-step scaling at this worker count (0: off)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile after the sweep to this file")
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
@@ -84,9 +87,19 @@ func runSuite(ctx context.Context, args []string, stdout io.Writer) error {
 	if *models != "" {
 		opts.Models = strings.Split(*models, ",")
 	}
-	report, err := bench.Run(ctx, opts)
+	stopCPU, err := bench.StartCPUProfile(*cpuProfile)
 	if err != nil {
 		return err
+	}
+	report, runErr := bench.Run(ctx, opts)
+	if err := stopCPU(); err != nil {
+		return err
+	}
+	if err := bench.WriteHeapProfile(*memProfile); err != nil {
+		return err
+	}
+	if runErr != nil {
+		return runErr
 	}
 	printReport(stdout, report)
 	if *out != "-" {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -37,6 +38,31 @@ func TestRunThenDiffCleanPass(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "no regressions") {
 		t.Errorf("diff output: %s", buf.String())
+	}
+}
+
+// TestRunWritesProfiles: -cpuprofile/-memprofile produce non-empty pprof
+// files alongside the report.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"run", "-profile", "smoke", "-seeds", "1", "-models", "serial", "-out", "-",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
 	}
 }
 

@@ -25,17 +25,25 @@
 // concurrency, per-job deadlines, graceful drain) and serve/client the
 // typed Go client.
 //
-// Evaluation — the hot path of every parallel model — is split into
-// schedule-building oracle decoders (reference semantics, final results)
-// and allocation-free makespan kernels in internal/decode that decode into
-// a reusable Scratch workspace; property tests pin the kernels to the
-// oracles bit for bit, and BENCH_hotpath.json records the measured gap.
+// Evaluation — the hot path of every parallel model — is a three-rung
+// ladder in internal/decode: schedule-building oracle decoders (reference
+// semantics, final results), allocation-free makespan kernels decoding
+// into a reusable Scratch workspace, and batch kernels (BatchScratch) that
+// decode whole slices of genomes in 4-wide lockstep — hiding the scalar
+// decoder's completion-time dependency chain behind neighbouring genomes'
+// arithmetic, with precomputed flat operation tables and scalar fallback
+// for the irregular kinds. Property and fuzz tests pin each rung to the
+// one below bit for bit, and BENCH_hotpath.json records the measured gaps.
+// Problems expose the rungs through the core.LocalEvalProblem and
+// core.BatchEvalProblem seams; evaluators route spans to per-worker batch
+// closures via core.BatchSpanEvaluator.
 // Above the kernels, core.Config.Workers selects the sharded generation
 // pipeline: persistent workers execute whole shards of each generation
 // (selection, crossover, mutation, evaluation) end-to-end with per-shard
-// RNG substreams (rng.SplitN) and worker-owned scratches, allocation-free
-// and bit-identical for any worker count; Spec.Params.Workers threads the
-// width through every model.
+// RNG substreams (rng.SplitN) and worker-owned scratches — each shard of 4
+// children is exactly one batch tile — allocation-free and bit-identical
+// for any worker count; Spec.Params.Workers threads the width through
+// every model.
 //
 // See README.md for the layout, the solver API and the performance
 // architecture, DESIGN.md for the system inventory and per-experiment

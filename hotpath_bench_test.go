@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/decode"
@@ -27,6 +28,12 @@ import (
 
 func BenchmarkHotPath(b *testing.B) {
 	r := rng.New(42)
+
+	// Batch rows (the third evaluation rung) decode one whole batchN-genome
+	// batch through the lockstep kernels per benchmark op, so their ns/op is
+	// per batch — divide by batchN to compare against the per-genome kernel
+	// rows (BENCH_hotpath.json records the derived per-genome ratio).
+	const batchN = 64
 
 	jobShops := []*shop.Instance{
 		shop.FT06(),
@@ -67,6 +74,35 @@ func BenchmarkHotPath(b *testing.B) {
 			_ = decode.FlowShopMakespanWith(fs, perm, s)
 		}
 	})
+	fsPerms := make([][]int, batchN)
+	for i := range fsPerms {
+		fsPerms[i] = decode.RandomPermutation(fs, r)
+	}
+	fsOut := make([]float64, batchN)
+	b.Run(fmt.Sprintf("flowshop-hp-fs-20x5/batch-%d", batchN), func(b *testing.B) {
+		bs := decode.NewBatchScratch(fs)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bs.FlowShopMakespans(fsPerms, fsOut)
+		}
+	})
+
+	for _, in := range jobShops {
+		seqs := make([][]int, batchN)
+		for i := range seqs {
+			seqs[i] = decode.RandomOpSequence(in, r)
+		}
+		out := make([]float64, batchN)
+		b.Run(fmt.Sprintf("jobshop-%s/batch-%d", in.Name, batchN), func(b *testing.B) {
+			bs := decode.NewBatchScratch(in)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bs.JobShopMakespans(seqs, out)
+			}
+		})
+	}
 
 	gt := shop.FT06()
 	pri := make([]float64, gt.TotalOps())
@@ -187,6 +223,101 @@ func TestShardedStepSpeedup(t *testing.T) {
 	if ratio < 1.8 {
 		t.Errorf("shard-4 only %.2fx faster than shard-1 over 3 attempts, want >= 1.8x", ratio)
 	}
+}
+
+// pairedRatio measures two closures by alternating them rep-by-rep and
+// taking each side's minimum wall time. On a frequency-throttled or shared
+// host, measuring a and b sequentially biases whichever ran during the
+// faster phase; interleaving exposes both sides to the same noise, and the
+// minima approximate the undisturbed cost. Returns bestA/bestB.
+func pairedRatio(reps int, a, b func()) float64 {
+	bestA, bestB := int64(1)<<62, int64(1)<<62
+	for rep := 0; rep < reps; rep++ {
+		s := time.Now()
+		a()
+		if d := time.Since(s).Nanoseconds(); d < bestA {
+			bestA = d
+		}
+		s = time.Now()
+		b()
+		if d := time.Since(s).Nanoseconds(); d < bestB {
+			bestB = d
+		}
+	}
+	return float64(bestA) / float64(bestB)
+}
+
+// TestBatchKernelSpeedup ratchets the batch rung against the scalar kernels
+// on the BENCH_hotpath workloads: the 4-wide lockstep sweeps must hold
+// >= 1.5x on the flow shop row and >= 1.2x on the 15x10 job shop row
+// (measured margins ~1.55x and ~1.35x). Measurement is paired (kernel and
+// batch timings interleaved, best-of-reps minima) so host frequency drift
+// cannot fake or mask a regression, with best-of-3 attempts on top.
+func TestBatchKernelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the kernel-vs-batch ratio")
+	}
+	r := rng.New(4243)
+	fs := shop.GenerateFlowShop("sp-fs-20x5", 20, 5, 911)
+	js := shop.GenerateJobShop("sp-js-15x10", 15, 10, 912, 913)
+	const batchN = 64
+	const iters = 4096 // scalar decodes per timing sample (batch does iters/batchN batches)
+	perms := make([][]int, batchN)
+	seqs := make([][]int, batchN)
+	for i := range perms {
+		perms[i] = decode.RandomPermutation(fs, r)
+		seqs[i] = decode.RandomOpSequence(js, r)
+	}
+	out := make([]float64, batchN)
+	bf, bj := decode.NewBatchScratch(fs), decode.NewBatchScratch(js)
+	sf, sj := decode.NewScratch(fs), decode.NewScratch(js)
+	sink := 0
+	cases := []struct {
+		name      string
+		threshold float64
+		kernel    func()
+		batch     func()
+	}{
+		{"flowshop-20x5", 1.5,
+			func() {
+				for i := 0; i < iters; i++ {
+					sink += decode.FlowShopMakespanWith(fs, perms[i%batchN], sf)
+				}
+			},
+			func() {
+				for i := 0; i < iters/batchN; i++ {
+					bf.FlowShopMakespans(perms, out)
+				}
+			}},
+		{"jobshop-15x10", 1.2,
+			func() {
+				for i := 0; i < iters; i++ {
+					sink += decode.JobShopMakespan(js, seqs[i%batchN], sj)
+				}
+			},
+			func() {
+				for i := 0; i < iters/batchN; i++ {
+					bj.JobShopMakespans(seqs, out)
+				}
+			}},
+	}
+	for _, c := range cases {
+		ratio := 0.0
+		for attempt := 0; attempt < 3 && ratio < c.threshold; attempt++ {
+			if r := pairedRatio(15, c.kernel, c.batch); r > ratio {
+				ratio = r
+			}
+		}
+		t.Logf("%s: batch %.2fx vs scalar kernel (want >= %.1fx)", c.name, ratio, c.threshold)
+		if ratio < c.threshold {
+			t.Errorf("%s: batch only %.2fx faster than the scalar kernel over 3 paired attempts, want >= %.1fx",
+				c.name, ratio, c.threshold)
+		}
+	}
+	_ = sink
 }
 
 // TestHotPathKernelSpeedup is a coarse ratchet for the acceptance criterion

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiling hooks for the suite runner. A benchsuite run is the closest
+// thing the repo has to a production workload — every model, decoder rung
+// and dispatch path under a realistic instance mix — so it is where
+// hot-path work (the batch kernels, the sharded pipeline) gets profiled,
+// via `benchsuite run -cpuprofile cpu.pprof -memprofile mem.pprof`.
+
+// StartCPUProfile begins writing a CPU profile to path and returns the stop
+// function that must be called (once) to flush and close it. An empty path
+// is a no-op with a no-op stop, so callers can thread an optional flag
+// straight through.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bench: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("bench: cpu profile: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeapProfile captures an allocation profile at path, after a GC so
+// the numbers reflect live retention rather than collection timing. An
+// empty path is a no-op.
+func WriteHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("bench: heap profile: %w", err)
+	}
+	return nil
+}

@@ -71,8 +71,23 @@ type LocalEvalProblem[G any] interface {
 	LocalEvaluator() func(G) float64
 }
 
+// BatchEvalProblem is the optional batch-evaluation extension of Problem:
+// BatchEvaluator returns a closure that fills out[i] with the objective of
+// genomes[i] for a whole contiguous span in one call. Like LocalEvaluator
+// closures it owns private scratch (a decode.BatchScratch, say) and is only
+// safe on one goroutine at a time; unlike them it sees the whole span, so
+// implementations can amortise instance tables across the span and decode
+// genomes in lockstep. Closures must compute exactly what Evaluate
+// computes, genome for genome — the engine treats batch and scalar paths
+// as interchangeable.
+type BatchEvalProblem[G any] interface {
+	Problem[G]
+	BatchEvaluator() func(genomes []G, out []float64)
+}
+
 // FuncProblem adapts three closures to the Problem interface, plus
-// optional extras for the CloneIntoProblem and LocalEvalProblem seams.
+// optional extras for the CloneIntoProblem, LocalEvalProblem and
+// BatchEvalProblem seams.
 type FuncProblem[G any] struct {
 	RandomFn   func(r *rng.RNG) G
 	EvaluateFn func(g G) float64
@@ -84,6 +99,10 @@ type FuncProblem[G any] struct {
 	// owning private scratch; when nil, LocalEvaluator falls back to the
 	// shared EvaluateFn (which must then be safe for concurrent use).
 	LocalEvalFn func() func(G) float64
+	// BatchEvalFn, when set, builds a single-goroutine span-evaluation
+	// closure; when nil, BatchEvaluator falls back to looping a local (or
+	// shared) scalar evaluation, so the seam always yields the same values.
+	BatchEvalFn func() func(genomes []G, out []float64)
 }
 
 // Random implements Problem.
@@ -111,6 +130,24 @@ func (p FuncProblem[G]) LocalEvaluator() func(G) float64 {
 		return p.EvaluateFn
 	}
 	return p.LocalEvalFn()
+}
+
+// BatchEvaluator implements BatchEvalProblem, falling back to a loop over
+// a private local evaluation closure (or the shared EvaluateFn) when no
+// BatchEvalFn was provided.
+func (p FuncProblem[G]) BatchEvaluator() func(genomes []G, out []float64) {
+	if p.BatchEvalFn != nil {
+		return p.BatchEvalFn()
+	}
+	eval := p.EvaluateFn
+	if p.LocalEvalFn != nil {
+		eval = p.LocalEvalFn()
+	}
+	return func(genomes []G, out []float64) {
+		for i, g := range genomes {
+			out[i] = eval(g)
+		}
+	}
 }
 
 // Fitness maps an objective value (minimised) to a fitness value
@@ -219,6 +256,38 @@ func (c *LocalEvals[G]) For(w int) func(G) float64 {
 	return c.workers[w]
 }
 
+// BatchEvals caches worker-local span-evaluation closures for one engine,
+// mirroring LocalEvals for the BatchEvalProblem seam: one closure (one
+// BatchScratch) per persistent worker, keyed on the cache's identity so an
+// evaluator reused across engines rebuilds instead of evaluating through a
+// stale closure.
+type BatchEvals[G any] struct {
+	mu      sync.Mutex
+	factory func() func([]G, []float64)
+	workers []func([]G, []float64)
+}
+
+// NewBatchEvals builds a cache over a BatchEvalProblem-style factory.
+func NewBatchEvals[G any](factory func() func([]G, []float64)) *BatchEvals[G] {
+	if factory == nil {
+		panic("core: NewBatchEvals with nil factory")
+	}
+	return &BatchEvals[G]{factory: factory}
+}
+
+// For returns worker w's span-evaluation closure, building it on first use.
+func (c *BatchEvals[G]) For(w int) func([]G, []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.workers) <= w {
+		c.workers = append(c.workers, nil)
+	}
+	if c.workers[w] == nil {
+		c.workers[w] = c.factory()
+	}
+	return c.workers[w]
+}
+
 // LocalBatchEvaluator is the optional Evaluator extension matching
 // LocalEvalProblem: EvalAllLocal receives, besides the shared eval
 // fallback, the run's LocalEvals cache, so a worker-pool evaluator can
@@ -228,6 +297,17 @@ func (c *LocalEvals[G]) For(w int) func(G) float64 {
 type LocalBatchEvaluator[G any] interface {
 	Evaluator[G]
 	EvalAllLocal(genomes []G, eval func(G) float64, locals *LocalEvals[G], out []float64)
+}
+
+// BatchSpanEvaluator is the optional Evaluator extension matching
+// BatchEvalProblem: EvalAllBatches evaluates the population by handing each
+// persistent worker whole contiguous spans through its own span closure
+// from the run's BatchEvals cache, amortising one batch workspace across
+// every span the worker claims. It takes precedence over EvalAllLocal when
+// both seams are available; results must be identical either way.
+type BatchSpanEvaluator[G any] interface {
+	Evaluator[G]
+	EvalAllBatches(genomes []G, eval func(G) float64, batches *BatchEvals[G], out []float64)
 }
 
 // ParallelFor runs fn(i) for every i in [0, n) on up to workers goroutines
@@ -275,4 +355,12 @@ func (SerialEvaluator[G]) EvalAll(genomes []G, eval func(G) float64, out []float
 	for i, g := range genomes {
 		out[i] = eval(g)
 	}
+}
+
+// EvalAllBatches implements BatchSpanEvaluator: the whole population is one
+// span for the single (serial) worker. Batch closures return exactly the
+// scalar objectives, so routing the serial engine through the batch path
+// never changes a trajectory — it only removes per-genome call overhead.
+func (SerialEvaluator[G]) EvalAllBatches(genomes []G, eval func(G) float64, batches *BatchEvals[G], out []float64) {
+	batches.For(0)(genomes, out)
 }

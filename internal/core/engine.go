@@ -129,13 +129,18 @@ type Engine[G any] struct {
 	// sorts, keeping the per-generation ranking allocation-free.
 	ordA, ordB []int
 
-	// localEvals/localBatch cache the optional evaluation-locality seams
-	// (LocalEvalProblem / LocalBatchEvaluator) detected at New, so evalBatch
-	// does not re-assert interfaces per generation. localEvals doubles as
-	// the identity token a shared evaluator keys its per-worker closures
-	// on (one cache per engine, hence per problem).
+	// localEvals/localBatch/batchEvals/batchSpan cache the optional
+	// evaluation seams (LocalEvalProblem / LocalBatchEvaluator /
+	// BatchEvalProblem / BatchSpanEvaluator) detected at New, so evalBatch
+	// does not re-assert interfaces per generation. The caches double as
+	// the identity tokens a shared evaluator keys its per-worker closures
+	// on (one cache per engine, hence per problem). Routing priority is
+	// batch span > local > plain EvalAll; all three produce identical
+	// objective values.
 	localEvals *LocalEvals[G]
 	localBatch LocalBatchEvaluator[G]
+	batchEvals *BatchEvals[G]
+	batchSpan  BatchSpanEvaluator[G]
 
 	// sharded is the Workers > 0 pipeline state (see sharded.go); nil for
 	// master-path engines.
@@ -198,6 +203,12 @@ func New[G any](p Problem[G], r *rng.RNG, cfg Config[G]) *Engine[G] {
 	if lbe, ok := cfg.Evaluator.(LocalBatchEvaluator[G]); ok {
 		e.localBatch = lbe
 	}
+	if bep, ok := p.(BatchEvalProblem[G]); ok {
+		e.batchEvals = NewBatchEvals(bep.BatchEvaluator)
+	}
+	if bse, ok := cfg.Evaluator.(BatchSpanEvaluator[G]); ok {
+		e.batchSpan = bse
+	}
 	e.pop = make([]Individual[G], cfg.Pop)
 	genomes := make([]G, cfg.Pop)
 	for i := range e.pop {
@@ -223,9 +234,12 @@ func New[G any](p Problem[G], r *rng.RNG, cfg Config[G]) *Engine[G] {
 }
 
 func (e *Engine[G]) evalBatch(genomes []G, out []float64) {
-	if e.localBatch != nil && e.localEvals != nil {
+	switch {
+	case e.batchSpan != nil && e.batchEvals != nil:
+		e.batchSpan.EvalAllBatches(genomes, e.prob.Evaluate, e.batchEvals, out)
+	case e.localBatch != nil && e.localEvals != nil:
 		e.localBatch.EvalAllLocal(genomes, e.prob.Evaluate, e.localEvals, out)
-	} else {
+	default:
 		e.cfg.Evaluator.EvalAll(genomes, e.prob.Evaluate, out)
 	}
 	e.evals += int64(len(genomes))

@@ -28,8 +28,9 @@ import (
 //     count, including 1 — the property TestShardedWorkerInvariance pins.
 //   - Memory: each shard owns the free list of retired genomes from its own
 //     slot range and each worker owns its evaluation closure (private
-//     decode scratch via the LocalEvalProblem seam) and its recycling
-//     crossover instance (private operator scratch via Operators.CrossInto),
+//     decode scratch via the LocalEvalProblem seam, or a whole-shard batch
+//     closure via BatchEvalProblem) and its recycling crossover instance
+//     (private operator scratch via Operators.CrossInto),
 //     so the steady-state step performs no allocation and no sync.Pool
 //     round-trips, and every worker writes a contiguous span of the next
 //     generation (no false sharing on the population buffer).
@@ -72,6 +73,15 @@ type shardedState[G any] struct {
 	// scratch and are created once, at New.
 	evals []func(G) float64
 	cross []CrossoverInto[G]
+
+	// Per-executor batch-evaluation closures (BatchEvalProblem seam) plus
+	// their gather/result buffers, capacity shardSize. When batch[exec] is
+	// non-nil a shard's children are evaluated in one call after the
+	// variation loop — evaluation draws no randomness, so the reordering
+	// leaves the RNG substreams, and hence the trajectory, untouched.
+	batch []func(genomes []G, out []float64)
+	gbuf  [][]G
+	obuf  [][]float64
 }
 
 // newShardedState builds the shard decomposition, its RNG substreams and
@@ -98,6 +108,9 @@ func newShardedState[G any](e *Engine[G], workers int) *shardedState[G] {
 	sh.free = make([][]G, nShards)
 	sh.evals = make([]func(G) float64, workers)
 	sh.cross = make([]CrossoverInto[G], workers)
+	sh.batch = make([]func([]G, []float64), workers)
+	sh.gbuf = make([][]G, workers)
+	sh.obuf = make([][]float64, workers)
 	for k := range sh.evals {
 		if e.localEvals != nil {
 			sh.evals[k] = e.localEvals.For(k)
@@ -106,6 +119,11 @@ func newShardedState[G any](e *Engine[G], workers int) *shardedState[G] {
 		}
 		if e.cfg.Ops.CrossInto != nil {
 			sh.cross[k] = e.cfg.Ops.CrossInto()
+		}
+		if e.batchEvals != nil {
+			sh.batch[k] = e.batchEvals.For(k)
+			sh.gbuf[k] = make([]G, 0, shardSize)
+			sh.obuf[k] = make([]float64, shardSize)
 		}
 	}
 	return sh
@@ -231,17 +249,21 @@ func (e *Engine[G]) runShards(exec int) {
 		if s >= nShards {
 			return
 		}
-		e.runShard(int(s), eval, cross)
+		e.runShard(int(s), exec, eval, cross)
 	}
 }
 
 // runShard produces and evaluates the children of shard s, writing them to
-// the shard's contiguous slot range of the next generation.
-func (e *Engine[G]) runShard(s int, eval func(G) float64, cross CrossoverInto[G]) {
+// the shard's contiguous slot range of the next generation. With a batch
+// closure the variation loop only places genomes; the whole shard is then
+// decoded in one lockstep batch call (shardSize == the batch kernels'
+// interleave width, so a full shard is exactly one tile).
+func (e *Engine[G]) runShard(s, exec int, eval func(G) float64, cross CrossoverInto[G]) {
 	sh := e.sharded
 	rg := sh.shards[s]
 	r := sh.rngs[s]
 	free := sh.free[s]
+	batch := sh.batch[exec]
 	for i := rg.lo; i < rg.hi; i += 2 {
 		i1 := e.cfg.Ops.Select(r, e.pop)
 		i2 := e.cfg.Ops.Select(r, e.pop)
@@ -270,10 +292,28 @@ func (e *Engine[G]) runShard(s int, eval func(G) float64, cross CrossoverInto[G]
 		if r.Bool(e.cfg.MutationRate) {
 			e.cfg.Ops.Mutate(r, c2)
 		}
+		if batch != nil {
+			sh.next[i].Genome = c1
+			sh.next[i+1].Genome = c2
+			continue
+		}
 		o1 := eval(c1)
 		o2 := eval(c2)
 		sh.next[i] = Individual[G]{Genome: c1, Obj: o1, Fit: e.cfg.Fitness(o1)}
 		sh.next[i+1] = Individual[G]{Genome: c2, Obj: o2, Fit: e.cfg.Fitness(o2)}
 	}
 	sh.free[s] = free
+	if batch != nil {
+		g := sh.gbuf[exec][:0]
+		for i := rg.lo; i < rg.hi; i++ {
+			g = append(g, sh.next[i].Genome)
+		}
+		o := sh.obuf[exec][:rg.hi-rg.lo]
+		batch(g, o)
+		for k, i := 0, rg.lo; i < rg.hi; i, k = i+1, k+1 {
+			sh.next[i].Obj = o[k]
+			sh.next[i].Fit = e.cfg.Fitness(o[k])
+		}
+		sh.gbuf[exec] = g
+	}
 }

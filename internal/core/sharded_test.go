@@ -147,6 +147,43 @@ func TestShardedCloseRespawns(t *testing.T) {
 	}
 }
 
+// noSeamProblem hides every optional seam of a FuncProblem (CloneInto,
+// LocalEvaluator, BatchEvaluator), leaving only the base Problem interface.
+type noSeamProblem struct{ p FuncProblem[[]int] }
+
+func (n noSeamProblem) Random(r *rng.RNG) []int  { return n.p.Random(r) }
+func (n noSeamProblem) Evaluate(g []int) float64 { return n.p.Evaluate(g) }
+func (n noSeamProblem) Clone(g []int) []int      { return n.p.Clone(g) }
+
+// TestShardedBatchSeamTrajectoryInvariance: routing evaluation through the
+// BatchEvalProblem seam (whole-shard batch calls after the variation loop)
+// must not change a single trajectory — evaluation draws no randomness and
+// batch closures return exactly the scalar objectives.
+func TestShardedBatchSeamTrajectoryInvariance(t *testing.T) {
+	run := func(p Problem[[]int], workers int) Result[[]int] {
+		eng := New(p, rng.New(41), Config[[]int]{
+			Pop: 36, Workers: workers, Ops: shardedOps(),
+			Term: Termination{MaxGenerations: 25},
+		})
+		defer eng.Close()
+		return eng.Run()
+	}
+	fp := shardedProblem(11)
+	for _, workers := range []int{0, 1, 4} {
+		with, without := run(fp, workers), run(noSeamProblem{fp}, workers)
+		if with.Best.Obj != without.Best.Obj || with.Evaluations != without.Evaluations {
+			t.Errorf("workers=%d: batch seam changed trajectory: (%v,%d) vs (%v,%d)",
+				workers, with.Best.Obj, with.Evaluations, without.Best.Obj, without.Evaluations)
+		}
+		for i := range with.Best.Genome {
+			if with.Best.Genome[i] != without.Best.Genome[i] {
+				t.Errorf("workers=%d: best genome diverges at %d", workers, i)
+				break
+			}
+		}
+	}
+}
+
 // TestShardedStepAllocs is the zero-alloc guard of the sharded pipeline:
 // once warm, a full sharded Step must stay within a small constant
 // allocation budget independent of the population size (the ISSUE-5

@@ -27,6 +27,8 @@ type Scratch struct {
 	done     []bool
 	off      []int
 	row      []int
+	candMach []int
+	candDur  []int
 
 	// sched is the schedule reused by the Into decoders. It lives behind a
 	// pointer-stable field so callers can hold the *shop.Schedule returned
@@ -48,6 +50,8 @@ func NewScratch(in *shop.Instance) *Scratch {
 		done:     make([]bool, total),
 		off:      make([]int, n+1),
 		row:      make([]int, in.NumMachines),
+		candMach: make([]int, n),
+		candDur:  make([]int, n),
 		sched:    shop.Schedule{Ops: make([]shop.Assignment, 0, total)},
 	}
 }
@@ -220,49 +224,82 @@ func FlowShopInto(in *shop.Instance, perm []int, s *Scratch) *shop.Schedule {
 	return out
 }
 
+// gtState primes the per-job candidate tables consumed by gtPick: the
+// machine and duration of each job's next unscheduled operation (machine -1
+// once the job is exhausted). gtAdvance maintains them incrementally, so
+// the two conflict scans per scheduled operation read two flat int arrays
+// instead of re-deriving Ops[k].Machines[0] / Times[0] through three
+// pointer hops each iteration.
+func (s *Scratch) gtState(in *shop.Instance) {
+	n := len(in.Jobs)
+	s.candMach = growInts(s.candMach, n)
+	s.candDur = growInts(s.candDur, n)
+	for j := 0; j < n; j++ {
+		if len(in.Jobs[j].Ops) == 0 {
+			s.candMach[j] = -1
+			continue
+		}
+		op := &in.Jobs[j].Ops[0]
+		s.candMach[j] = op.Machines[0]
+		s.candDur[j] = op.Times[0]
+	}
+}
+
+// gtAdvance records that job j's operation k was scheduled and refreshes
+// j's candidate tables for the next pick.
+func (s *Scratch) gtAdvance(in *shop.Instance, j, k int) {
+	s.nextOp[j] = k + 1
+	if k+1 >= len(in.Jobs[j].Ops) {
+		s.candMach[j] = -1
+		return
+	}
+	op := &in.Jobs[j].Ops[k+1]
+	s.candMach[j] = op.Machines[0]
+	s.candDur[j] = op.Times[0]
+}
+
 // gtPick runs one Giffler-Thompson iteration's selection shared by the
 // makespan kernel and the Into decoder: find the candidate with minimal
 // earliest completion time, then the highest-priority member of the
 // conflict set on its machine. It returns the chosen job and its machine.
+// Callers must have primed the candidate tables with gtState and keep them
+// current with gtAdvance.
 func gtPick(in *shop.Instance, priority []float64, s *Scratch, off []int) (chosen, bestM int) {
 	n := len(in.Jobs)
 	bestJob, bestECT := -1, 0
 	bestM = -1
 	for j := 0; j < n; j++ {
-		k := s.nextOp[j]
-		if k >= len(in.Jobs[j].Ops) {
+		m := s.candMach[j]
+		if m < 0 {
 			continue
 		}
-		op := &in.Jobs[j].Ops[k]
-		m := op.Machines[0]
 		est := s.jobReady[j]
 		if s.machFree[m] > est {
 			est = s.machFree[m]
 		}
-		ect := est + op.Times[0]
+		ect := est + s.candDur[j]
 		if bestJob < 0 || ect < bestECT {
 			bestJob, bestECT, bestM = j, ect, m
 		}
 	}
 	chosen = -1
+	if bestM < 0 {
+		return chosen, bestM // every job exhausted; callers stop before this
+	}
 	var chosenPri float64
+	mf := s.machFree[bestM]
 	for j := 0; j < n; j++ {
-		k := s.nextOp[j]
-		if k >= len(in.Jobs[j].Ops) {
-			continue
-		}
-		op := &in.Jobs[j].Ops[k]
-		if op.Machines[0] != bestM {
-			continue
+		if s.candMach[j] != bestM {
+			continue // candMach is -1 for exhausted jobs, never equal to bestM
 		}
 		est := s.jobReady[j]
-		if s.machFree[bestM] > est {
-			est = s.machFree[bestM]
+		if mf > est {
+			est = mf
 		}
 		if est >= bestECT {
 			continue
 		}
-		pri := priority[off[j]+k]
+		pri := priority[off[j]+s.nextOp[j]]
 		if chosen < 0 || pri > chosenPri {
 			chosen, chosenPri = j, pri
 		}
@@ -277,20 +314,20 @@ func GifflerThompsonMakespan(in *shop.Instance, priority []float64, s *Scratch) 
 	s = scratchOrNew(in, s)
 	s.jobState(in)
 	s.machState(in, false)
+	s.gtState(in)
 	off := s.offsets(in)
 	ms := 0
 	for remaining := in.TotalOps(); remaining > 0; remaining-- {
 		chosen, m := gtPick(in, priority, s, off)
 		k := s.nextOp[chosen]
-		op := &in.Jobs[chosen].Ops[k]
 		start := s.jobReady[chosen]
 		if s.machFree[m] > start {
 			start = s.machFree[m]
 		}
-		end := start + op.Times[0]
+		end := start + s.candDur[chosen]
 		s.jobReady[chosen] = end
 		s.machFree[m] = end
-		s.nextOp[chosen] = k + 1
+		s.gtAdvance(in, chosen, k)
 		if end > ms {
 			ms = end
 		}
@@ -304,21 +341,21 @@ func GifflerThompsonInto(in *shop.Instance, priority []float64, s *Scratch) *sho
 	s = scratchOrNew(in, s)
 	s.jobState(in)
 	s.machState(in, false)
+	s.gtState(in)
 	off := s.offsets(in)
 	out := s.schedule(in)
 	for remaining := in.TotalOps(); remaining > 0; remaining-- {
 		chosen, m := gtPick(in, priority, s, off)
 		k := s.nextOp[chosen]
-		op := &in.Jobs[chosen].Ops[k]
 		start := s.jobReady[chosen]
 		if s.machFree[m] > start {
 			start = s.machFree[m]
 		}
-		end := start + op.Times[0]
+		end := start + s.candDur[chosen]
 		out.Ops = append(out.Ops, shop.Assignment{Job: chosen, Op: k, Machine: m, Start: start, End: end})
 		s.jobReady[chosen] = end
 		s.machFree[m] = end
-		s.nextOp[chosen] = k + 1
+		s.gtAdvance(in, chosen, k)
 	}
 	return out
 }

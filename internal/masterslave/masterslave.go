@@ -82,6 +82,7 @@ type poolJob[G any] struct {
 	genomes []G
 	eval    func(G) float64
 	locals  *core.LocalEvals[G] // optional per-worker closure cache
+	batches *core.BatchEvals[G] // optional per-worker batch closure cache
 	out     []float64
 	chunk   int
 	spans   int64
@@ -118,6 +119,10 @@ func (p *PoolEvaluator[G]) lazyStart() []chan *poolJob[G] {
 					if job.locals != nil {
 						eval = job.locals.For(me)
 					}
+					var batch func([]G, []float64)
+					if job.batches != nil {
+						batch = job.batches.For(me)
+					}
 					n := len(job.genomes)
 					for {
 						s := job.cursor.Add(1) - 1
@@ -128,6 +133,10 @@ func (p *PoolEvaluator[G]) lazyStart() []chan *poolJob[G] {
 						hi := lo + job.chunk
 						if hi > n {
 							hi = n
+						}
+						if batch != nil {
+							batch(job.genomes[lo:hi], job.out[lo:hi])
+							continue
 						}
 						for i := lo; i < hi; i++ {
 							job.out[i] = eval(job.genomes[i])
@@ -144,7 +153,7 @@ func (p *PoolEvaluator[G]) lazyStart() []chan *poolJob[G] {
 // EvalAll implements core.Evaluator. Every span is written by exactly one
 // worker, so no synchronisation of out is needed beyond the WaitGroup.
 func (p *PoolEvaluator[G]) EvalAll(genomes []G, eval func(G) float64, out []float64) {
-	p.evalAll(genomes, eval, nil, out)
+	p.evalAll(genomes, eval, nil, nil, out)
 }
 
 // EvalAllLocal implements core.LocalBatchEvaluator: like EvalAll, but each
@@ -152,12 +161,24 @@ func (p *PoolEvaluator[G]) EvalAll(genomes []G, eval func(G) float64, out []floa
 // cache (worker w always gets closure w, preserving the single-goroutine
 // contract of core.LocalEvalProblem closures).
 func (p *PoolEvaluator[G]) EvalAllLocal(genomes []G, eval func(G) float64, locals *core.LocalEvals[G], out []float64) {
-	p.evalAll(genomes, eval, locals, out)
+	p.evalAll(genomes, eval, locals, nil, out)
 }
 
-func (p *PoolEvaluator[G]) evalAll(genomes []G, eval func(G) float64, locals *core.LocalEvals[G], out []float64) {
+// EvalAllBatches implements core.BatchSpanEvaluator: the chunked spans the
+// workers already steal become the batches handed to each worker's batch
+// closure (worker w always gets closure w), so a whole contiguous span is
+// decoded in one lockstep batch call instead of genome by genome.
+func (p *PoolEvaluator[G]) EvalAllBatches(genomes []G, eval func(G) float64, batches *core.BatchEvals[G], out []float64) {
+	p.evalAll(genomes, eval, nil, batches, out)
+}
+
+func (p *PoolEvaluator[G]) evalAll(genomes []G, eval func(G) float64, locals *core.LocalEvals[G], batches *core.BatchEvals[G], out []float64) {
 	workers := p.lazyStart()
 	if workers == nil || len(genomes) <= 1 {
+		if batches != nil {
+			batches.For(0)(genomes, out)
+			return
+		}
 		for i, g := range genomes {
 			out[i] = eval(g)
 		}
@@ -168,7 +189,7 @@ func (p *PoolEvaluator[G]) evalAll(genomes []G, eval func(G) float64, locals *co
 		chunk = chunkFor(len(genomes), len(workers))
 	}
 	job := &poolJob[G]{
-		genomes: genomes, eval: eval, locals: locals, out: out,
+		genomes: genomes, eval: eval, locals: locals, batches: batches, out: out,
 		chunk: chunk, spans: int64((len(genomes) + chunk - 1) / chunk),
 	}
 	job.wg.Add(len(workers))

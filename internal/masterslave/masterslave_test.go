@@ -220,6 +220,60 @@ func TestPoolEvaluatorLocalClosures(t *testing.T) {
 	}
 }
 
+// TestPoolEvaluatorBatchSpans: EvalAllBatches hands every worker its own
+// batch closure from the BatchEvals cache and feeds it the chunked spans the
+// workers steal — every genome is covered exactly once, values match the
+// scalar path, and the factory is invoked at most once per worker. The
+// single-worker path must route through closure 0, not the scalar loop.
+func TestPoolEvaluatorBatchSpans(t *testing.T) {
+	ev := &PoolEvaluator[int]{Workers: 4}
+	defer ev.Close()
+	var built, batchCalls int64
+	batches := core.NewBatchEvals(func() func([]int, []float64) {
+		atomic.AddInt64(&built, 1)
+		scratch := 0 // private state: a shared closure would race on it
+		return func(gs []int, out []float64) {
+			atomic.AddInt64(&batchCalls, 1)
+			for i, g := range gs {
+				scratch++
+				out[i] = float64(g * 2)
+			}
+		}
+	})
+	genomes := make([]int, 100)
+	for i := range genomes {
+		genomes[i] = i
+	}
+	out := make([]float64, len(genomes))
+	for round := 0; round < 10; round++ {
+		ev.EvalAllBatches(genomes, func(g int) float64 { return float64(g * 2) }, batches, out)
+	}
+	for i := range out {
+		if out[i] != float64(i*2) {
+			t.Fatalf("out[%d] = %v", i, out[i])
+		}
+	}
+	if b := atomic.LoadInt64(&built); b > 4 {
+		t.Errorf("factory called %d times, want <= workers", b)
+	}
+	if c := atomic.LoadInt64(&batchCalls); c >= 10*int64(len(genomes)) {
+		t.Errorf("batch closures called %d times over 10 rounds — spans are not batched", c)
+	}
+	// Single-worker evaluators must still use the batch closure.
+	solo := &PoolEvaluator[int]{Workers: 1}
+	defer solo.Close()
+	atomic.StoreInt64(&batchCalls, 0)
+	solo.EvalAllBatches(genomes, func(g int) float64 { return -1 }, batches, out)
+	if atomic.LoadInt64(&batchCalls) != 1 {
+		t.Errorf("single-worker path made %d batch calls, want 1", batchCalls)
+	}
+	for i := range out {
+		if out[i] != float64(i*2) {
+			t.Fatalf("single-worker out[%d] = %v", i, out[i])
+		}
+	}
+}
+
 // TestBatchEvaluatorSkewedLoad demonstrates the satellite fix: the old
 // default of one mega-chunk per worker (batch = ceil(len/workers)) put all
 // the slow genomes below into worker 0's single chunk, serialising them;

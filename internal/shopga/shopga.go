@@ -65,6 +65,38 @@ func pooledEval[G any](in *shop.Instance, evalWith func(G, *decode.Scratch) floa
 	return eval, local
 }
 
+// batchEval builds the BatchEvalFn factory of the problems below: each
+// closure owns a private decode.BatchScratch — the lockstep workspace of the
+// batch evaluation rung — and hands it to the kind-specific batch body.
+func batchEval[G any](in *shop.Instance, with func([]G, []float64, *decode.BatchScratch)) func() func([]G, []float64) {
+	return func() func([]G, []float64) {
+		b := decode.NewBatchScratch(in)
+		return func(genomes []G, out []float64) { with(genomes, out, b) }
+	}
+}
+
+// scalarBatch adapts a per-genome evaluation into a batch body for
+// objectives with no lockstep kernel: the closure's private scalar scratch
+// decodes genome by genome, so the batch seam stays uniform while values
+// remain those of the schedule-reusing decoders.
+func scalarBatch[G any](evalWith func(G, *decode.Scratch) float64) func([]G, []float64, *decode.BatchScratch) {
+	return func(genomes []G, out []float64, b *decode.BatchScratch) {
+		s := b.Scalar()
+		for i, g := range genomes {
+			out[i] = evalWith(g, s)
+		}
+	}
+}
+
+// growViews resizes a reusable slice-of-views buffer without reallocating
+// once it has seen the largest batch.
+func growViews(buf [][]int, n int) [][]int {
+	if cap(buf) < n {
+		return make([][]int, n)
+	}
+	return buf[:n]
+}
+
 // FlowShopProblem is the permutation-encoded flow shop under an arbitrary
 // objective. Makespan routes to the completion-row kernel; other objectives
 // decode into a pooled, reused schedule.
@@ -72,9 +104,13 @@ func FlowShopProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]int] 
 	evalWith := func(g []int, s *decode.Scratch) float64 {
 		return obj(decode.FlowShopInto(in, g, s))
 	}
+	batch := scalarBatch(evalWith)
 	if isMakespan(obj) {
 		evalWith = func(g []int, s *decode.Scratch) float64 {
 			return float64(decode.FlowShopMakespanWith(in, g, s))
+		}
+		batch = func(gs [][]int, out []float64, b *decode.BatchScratch) {
+			b.FlowShopMakespans(gs, out)
 		}
 	}
 	eval, local := pooledEval(in, evalWith)
@@ -84,6 +120,7 @@ func FlowShopProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]int] 
 		CloneFn:     cloneInts,
 		CloneIntoFn: cloneIntsInto,
 		LocalEvalFn: local,
+		BatchEvalFn: batchEval(in, batch),
 	}
 }
 
@@ -100,9 +137,13 @@ func JobShopProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]int] {
 	evalWith := func(g []int, s *decode.Scratch) float64 {
 		return obj(decode.JobShopInto(in, g, s))
 	}
+	batch := scalarBatch(evalWith)
 	if isMakespan(obj) {
 		evalWith = func(g []int, s *decode.Scratch) float64 {
 			return float64(decode.JobShopMakespan(in, g, s))
+		}
+		batch = func(gs [][]int, out []float64, b *decode.BatchScratch) {
+			b.JobShopMakespans(gs, out)
 		}
 	}
 	eval, local := pooledEval(in, evalWith)
@@ -112,6 +153,7 @@ func JobShopProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]int] {
 		CloneFn:     cloneInts,
 		CloneIntoFn: cloneIntsInto,
 		LocalEvalFn: local,
+		BatchEvalFn: batchEval(in, batch),
 	}
 }
 
@@ -136,9 +178,13 @@ func OpenShopProblem(in *shop.Instance, rule decode.OpenRule, obj shop.Objective
 	evalWith := func(g []int, s *decode.Scratch) float64 {
 		return obj(decode.OpenShopInto(in, g, rule, s))
 	}
+	batch := scalarBatch(evalWith)
 	if isMakespan(obj) {
 		evalWith = func(g []int, s *decode.Scratch) float64 {
 			return float64(decode.OpenShopMakespan(in, g, rule, s))
+		}
+		batch = func(gs [][]int, out []float64, b *decode.BatchScratch) {
+			b.OpenShopMakespans(gs, rule, out)
 		}
 	}
 	eval, local := pooledEval(in, evalWith)
@@ -148,6 +194,7 @@ func OpenShopProblem(in *shop.Instance, rule decode.OpenRule, obj shop.Objective
 		CloneFn:     cloneInts,
 		CloneIntoFn: cloneIntsInto,
 		LocalEvalFn: local,
+		BatchEvalFn: batchEval(in, batch),
 	}
 }
 
@@ -159,9 +206,13 @@ func GTProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]float64] {
 	evalWith := func(g []float64, s *decode.Scratch) float64 {
 		return obj(decode.GifflerThompsonInto(in, g, s))
 	}
+	batch := scalarBatch(evalWith)
 	if isMakespan(obj) {
 		evalWith = func(g []float64, s *decode.Scratch) float64 {
 			return float64(decode.GifflerThompsonMakespan(in, g, s))
+		}
+		batch = func(gs [][]float64, out []float64, b *decode.BatchScratch) {
+			b.GifflerThompsonMakespans(gs, out)
 		}
 	}
 	eval, local := pooledEval(in, evalWith)
@@ -177,6 +228,7 @@ func GTProblem(in *shop.Instance, obj shop.Objective) core.Problem[[]float64] {
 		CloneFn:     cloneKeys,
 		CloneIntoFn: cloneKeysInto,
 		LocalEvalFn: local,
+		BatchEvalFn: batchEval(in, batch),
 	}
 }
 
@@ -207,9 +259,25 @@ func FlexibleProblem(in *shop.Instance, obj shop.Objective) core.Problem[FlexGen
 	evalWith := func(g FlexGenome, s *decode.Scratch) float64 {
 		return obj(decode.FlexibleInto(in, g.Assign, g.Seq, nil, s))
 	}
+	batchFn := batchEval(in, scalarBatch(evalWith))
 	if isMakespan(obj) {
 		evalWith = func(g FlexGenome, s *decode.Scratch) float64 {
 			return float64(decode.FlexibleMakespan(in, g.Assign, g.Seq, nil, s))
+		}
+		// The two-chromosome genome is split into view buffers that live in
+		// the closure (never shared across workers) so the batch entry point
+		// stays allocation-free once it has seen the largest batch.
+		batchFn = func() func([]FlexGenome, []float64) {
+			b := decode.NewBatchScratch(in)
+			var assigns, seqs [][]int
+			return func(gs []FlexGenome, out []float64) {
+				assigns = growViews(assigns, len(gs))
+				seqs = growViews(seqs, len(gs))
+				for i, g := range gs {
+					assigns[i], seqs[i] = g.Assign, g.Seq
+				}
+				b.FlexibleMakespans(assigns, seqs, nil, out)
+			}
 		}
 	}
 	eval, local := pooledEval(in, evalWith)
@@ -224,6 +292,7 @@ func FlexibleProblem(in *shop.Instance, obj shop.Objective) core.Problem[FlexGen
 		CloneFn:     CloneFlex,
 		CloneIntoFn: CloneFlexInto,
 		LocalEvalFn: local,
+		BatchEvalFn: batchFn,
 	}
 }
 
@@ -234,9 +303,21 @@ func FixedAssignmentProblem(in *shop.Instance, assign []int, obj shop.Objective)
 	evalWith := func(g []int, s *decode.Scratch) float64 {
 		return obj(decode.FlexibleInto(in, assign, g, nil, s))
 	}
+	batchFn := batchEval(in, scalarBatch(evalWith))
 	if isMakespan(obj) {
 		evalWith = func(g []int, s *decode.Scratch) float64 {
 			return float64(decode.FlexibleMakespan(in, assign, g, nil, s))
+		}
+		batchFn = func() func([][]int, []float64) {
+			b := decode.NewBatchScratch(in)
+			var assigns [][]int
+			return func(gs [][]int, out []float64) {
+				assigns = growViews(assigns, len(gs))
+				for i := range assigns {
+					assigns[i] = assign
+				}
+				b.FlexibleMakespans(assigns, gs, nil, out)
+			}
 		}
 	}
 	eval, local := pooledEval(in, evalWith)
@@ -246,6 +327,7 @@ func FixedAssignmentProblem(in *shop.Instance, assign []int, obj shop.Objective)
 		CloneFn:     cloneInts,
 		CloneIntoFn: cloneIntsInto,
 		LocalEvalFn: local,
+		BatchEvalFn: batchFn,
 	}
 }
 
