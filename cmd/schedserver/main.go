@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/jobstore"
 	"repro/internal/serve"
 )
 
@@ -53,6 +54,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		maxWallMS     = fs.Int64("max-wall-ms", 120000, "per-job wall deadline cap in milliseconds (<0: uncapped)")
 		maxRetained   = fs.Int("max-retained", 1024, "finished jobs kept for status queries")
 		drainMS       = fs.Int64("drain-ms", 10000, "graceful drain budget on shutdown in milliseconds")
+		storeDir      = fs.String("store-dir", "", "job store directory for durable jobs (empty: in-memory only)")
+		ckptEvery     = fs.Int("checkpoint-every", 0, "checkpoint cadence in generations for durable jobs (0: default 20, <0: records only)")
+		eventHistory  = fs.Int("event-history", 0, "per-job SSE replay ring size (0: default 256)")
 	)
 	switch err := fs.Parse(args); {
 	case err == nil:
@@ -62,12 +66,30 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return errors.New("invalid flags (see usage above)")
 	}
 
-	srv := serve.New(serve.Config{
-		MaxConcurrent: *maxConcurrent,
-		MaxActive:     *maxActive,
-		MaxWallMillis: *maxWallMS,
-		MaxRetained:   *maxRetained,
-	})
+	cfg := serve.Config{
+		MaxConcurrent:   *maxConcurrent,
+		MaxActive:       *maxActive,
+		MaxWallMillis:   *maxWallMS,
+		MaxRetained:     *maxRetained,
+		CheckpointEvery: *ckptEvery,
+		EventHistory:    *eventHistory,
+	}
+	if *storeDir != "" {
+		store, err := jobstore.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = store
+		// Recovery and durability diagnostics go to stdout; the e2e
+		// crash-recovery test greps these lines.
+		cfg.Logf = func(format string, a ...any) {
+			fmt.Fprintf(stdout, "schedserver: "+format+"\n", a...)
+		}
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

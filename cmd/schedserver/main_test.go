@@ -3,6 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -109,5 +113,158 @@ func TestDaemonFlagErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-addr", "256.256.256.256:99999"}, &out); err == nil {
 		t.Error("unbindable address accepted")
+	}
+}
+
+// TestHelperDaemon is not a test: it is the child process of the
+// crash-recovery e2e below. It runs the real daemon main loop with the
+// arguments passed through the environment, so the parent test can
+// SIGKILL it mid-job exactly as a crashed host would.
+func TestHelperDaemon(t *testing.T) {
+	if os.Getenv("SCHEDSERVER_HELPER") != "1" {
+		t.Skip("not a test: helper process for TestDaemonCrashRecovery")
+	}
+	args := strings.Split(os.Getenv("SCHEDSERVER_ARGS"), "\n")
+	if err := run(context.Background(), args, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// startDaemonProcess spawns the daemon as a real OS process (via the
+// helper above) and returns the process, its base URL, and the
+// line-buffered stdout.
+func startDaemonProcess(t *testing.T, out *syncBuffer, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperDaemon$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"SCHEDSERVER_HELPER=1",
+		"SCHEDSERVER_ARGS="+strings.Join(args, "\n"),
+	)
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting daemon process: %v", err)
+	}
+	return cmd
+}
+
+// waitForLine polls the buffer until pred finds a match or the deadline
+// passes.
+func waitForLine(t *testing.T, out *syncBuffer, what string, pred func(string) (string, bool)) string {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if got, ok := pred(out.String()); ok {
+			return got
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s:\n%s", what, out.String())
+	return ""
+}
+
+// listenAddr extracts the daemon's bound base URL from its stdout.
+func listenAddr(s string) (string, bool) {
+	i := strings.Index(s, "listening on ")
+	if i < 0 {
+		return "", false
+	}
+	line := s[i+len("listening on "):]
+	return strings.TrimSpace(strings.SplitN(line, "\n", 2)[0]), true
+}
+
+// TestDaemonCrashRecovery is the end-to-end durability gate: a daemon
+// with a job store is SIGKILLed mid-run — no drain, no flush, exactly a
+// crash — and a restarted daemon over the same store directory resumes
+// the job from its last checkpoint and finishes it with a valid result
+// whose gap is no worse than the committed ft10 baseline.
+func TestDaemonCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemon processes")
+	}
+	storeDir := t.TempDir()
+	var out1 syncBuffer
+	daemon1 := startDaemonProcess(t, &out1,
+		"-addr", "127.0.0.1:0", "-store-dir", storeDir, "-checkpoint-every", "5")
+	defer daemon1.Process.Kill()
+	base := waitForLine(t, &out1, "daemon 1 address", listenAddr)
+
+	// A long ft10 run: big enough that the kill lands mid-job, resumable
+	// (ms is engine-driven), submitted idempotently like a crash-safe
+	// client would.
+	c := &client.Client{BaseURL: base}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	spec := solver.Spec{
+		Problem: solver.ProblemSpec{Instance: "ft10"},
+		Model:   "ms",
+		Params:  solver.Params{Pop: 80, Workers: 2},
+		Budget:  solver.Budget{Generations: 20000},
+		Seed:    9,
+	}
+	job, err := c.SubmitIdempotent(ctx, spec, "crash-e2e")
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// Kill only after at least one checkpoint frame is durably on disk.
+	ckptLog := filepath.Join(storeDir, job.ID, "checkpoints.log")
+	waitForLine(t, &out1, "first checkpoint", func(string) (string, bool) {
+		if fi, err := os.Stat(ckptLog); err == nil && fi.Size() > 0 {
+			return "", true
+		}
+		return "", false
+	})
+	if err := daemon1.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	_ = daemon1.Wait()
+
+	// Restart over the same store: the job must resume warm and finish.
+	var out2 syncBuffer
+	daemon2 := startDaemonProcess(t, &out2,
+		"-addr", "127.0.0.1:0", "-store-dir", storeDir, "-checkpoint-every", "5")
+	defer func() {
+		daemon2.Process.Kill()
+		daemon2.Wait()
+	}()
+	base2 := waitForLine(t, &out2, "daemon 2 address", listenAddr)
+	waitForLine(t, &out2, "warm resume log", func(s string) (string, bool) {
+		i := strings.Index(s, "resumed job "+job.ID+" from generation ")
+		if i < 0 {
+			return "", false
+		}
+		return "", true
+	})
+
+	c2 := &client.Client{BaseURL: base2}
+	final, err := c2.Await(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("await after restart: %v", err)
+	}
+	if final.State != solver.JobDone || final.Result == nil {
+		t.Fatalf("final %+v", final)
+	}
+	res := final.Result
+	if res.Reference != 930 || res.BestObjective <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+	// The committed BENCH_suite baseline for ms/ft10 is gap 0.0441; allow
+	// the CI smoke margin on top. A resume that lost the population or the
+	// RNG streams would land far outside this.
+	const baseline, margin = 0.0441, 0.05
+	if res.Gap > baseline+margin {
+		t.Errorf("post-recovery gap %.4f exceeds baseline %.4f + %.2f", res.Gap, baseline, margin)
+	}
+	// The idempotency key survived the crash: replaying the submission
+	// resolves to the same (now finished) job instead of a duplicate run.
+	again, err := c2.SubmitIdempotent(ctx, spec, "crash-e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != job.ID {
+		t.Errorf("idempotent replay after crash created %s, want %s", again.ID, job.ID)
 	}
 }

@@ -25,6 +25,21 @@
 // concurrency, per-job deadlines, graceful drain) and serve/client the
 // typed Go client.
 //
+// Jobs are durable when the daemon runs with a store directory: the
+// crash-safe internal/jobstore persists per-job records with atomic
+// renames and CRC-checksummed checkpoint frames (torn or corrupt frames
+// are quarantined, never fatal), the engine-driven models snapshot their
+// full state — population, incumbent, counters and every RNG stream —
+// through solver.SolveWithCheckpoints / Service.OnCheckpoint, and a
+// restarted daemon replays the store: terminal jobs served from disk,
+// in-flight jobs resumed bit-identically from their newest checkpoint
+// with the wall budget they had left (cold restart is the validated
+// fallback for anything damaged or non-checkpointable). The client
+// retries transient failures with backoff, deduplicates submissions via
+// idempotency keys, and reconnects severed event streams with
+// Last-Event-ID. A SIGKILL-mid-job e2e plus a fault-injection suite
+// (jobstore.FaultStore) pin the recovery paths.
+//
 // Evaluation — the hot path of every parallel model — is a three-rung
 // ladder in internal/decode: schedule-building oracle decoders (reference
 // semantics, final results), allocation-free makespan kernels decoding

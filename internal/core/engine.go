@@ -352,6 +352,107 @@ func (e *Engine[G]) Done() bool {
 	return false
 }
 
+// Snapshot is a resumable copy of an engine's mid-run state: the live
+// population with its cached objectives, the incumbent best, the loop
+// counters and every random stream the next Step would draw from. Feeding
+// it to Restore on a freshly built engine with the same configuration
+// replays the run bit-identically from this point — the checkpoint seam
+// behind the solver's durable jobs.
+type Snapshot[G any] struct {
+	Pop         []Individual[G]
+	Best        Individual[G]
+	HasBest     bool
+	Generation  int
+	Evaluations int64
+	Stagnation  int
+	// RNG is the master stream's state; Shards holds the per-shard
+	// substream states of the Workers > 0 pipeline (nil on the master
+	// path). The shard decomposition depends only on Pop, so a snapshot
+	// restores into any engine with the same Pop regardless of Workers —
+	// but a master-path snapshot cannot restore into a sharded engine or
+	// vice versa, because the two draw from different stream layouts.
+	RNG    rng.State
+	Shards []rng.State
+}
+
+// Snapshot captures the engine's current resumable state. Genomes are
+// deep-copied, so the snapshot stays valid across later Steps. It must not
+// be called concurrently with Step (call it from OnGeneration, or between
+// Steps, like every other engine accessor).
+func (e *Engine[G]) Snapshot() Snapshot[G] {
+	s := Snapshot[G]{
+		Pop:         make([]Individual[G], len(e.pop)),
+		HasBest:     e.bestValid,
+		Generation:  e.gen,
+		Evaluations: e.evals,
+		Stagnation:  e.stagnation,
+		RNG:         e.rng.State(),
+	}
+	for i, ind := range e.pop {
+		s.Pop[i] = Individual[G]{Genome: e.prob.Clone(ind.Genome), Obj: ind.Obj, Fit: ind.Fit}
+	}
+	if e.bestValid {
+		s.Best = Individual[G]{Genome: e.prob.Clone(e.best.Genome), Obj: e.best.Obj, Fit: e.best.Fit}
+	}
+	if e.sharded != nil {
+		s.Shards = make([]rng.State, len(e.sharded.rngs))
+		for i, r := range e.sharded.rngs {
+			s.Shards[i] = r.State()
+		}
+	}
+	return s
+}
+
+// Restore replaces the engine's state with a snapshot taken from an engine
+// of the same configuration: population and incumbent best (genomes are
+// deep-copied in; fitness is recomputed through the engine's own transform,
+// so snapshots never need to carry it), generation/evaluation/stagnation
+// counters, and the random streams. The engine's wall clock restarts at
+// Restore — callers that budget wall time across restarts shrink the
+// budget by the time already consumed instead (the serving layer does).
+// Restore fails, leaving the engine unchanged, when the snapshot's shape
+// does not fit: wrong population size, or a shard-stream layout that does
+// not match this engine's execution path.
+func (e *Engine[G]) Restore(s Snapshot[G]) error {
+	if len(s.Pop) != e.cfg.Pop {
+		return fmt.Errorf("core: restore: snapshot population %d, engine expects %d", len(s.Pop), e.cfg.Pop)
+	}
+	if !s.HasBest {
+		return fmt.Errorf("core: restore: snapshot has no incumbent best")
+	}
+	if e.sharded != nil {
+		if len(s.Shards) != len(e.sharded.rngs) {
+			return fmt.Errorf("core: restore: snapshot has %d shard streams, sharded engine expects %d", len(s.Shards), len(e.sharded.rngs))
+		}
+	} else if len(s.Shards) != 0 {
+		return fmt.Errorf("core: restore: snapshot has %d shard streams, master-path engine expects none", len(s.Shards))
+	}
+	pop := make([]Individual[G], len(s.Pop))
+	for i, ind := range s.Pop {
+		pop[i] = Individual[G]{Genome: e.prob.Clone(ind.Genome), Obj: ind.Obj, Fit: e.cfg.Fitness(ind.Obj)}
+	}
+	e.pop = pop
+	e.best = Individual[G]{Genome: e.prob.Clone(s.Best.Genome), Obj: s.Best.Obj, Fit: e.cfg.Fitness(s.Best.Obj)}
+	e.bestValid = true
+	e.gen = s.Generation
+	e.evals = s.Evaluations
+	e.stagnation = s.Stagnation
+	e.rng.SetState(s.RNG)
+	if e.sharded != nil {
+		for i := range e.sharded.rngs {
+			e.sharded.rngs[i].SetState(s.Shards[i])
+		}
+	}
+	// The discarded initial population and the double-buffer scratch hold
+	// genomes nothing references any more; drop them so the recycling paths
+	// start clean rather than resurrecting pre-restore storage.
+	e.spare = nil
+	e.children = nil
+	e.childObjs = nil
+	e.free = nil
+	return nil
+}
+
 // Step runs one generation: Selection, Crossover, Mutation, Evaluation,
 // elitist replacement (Table II lines 4-7). The next generation is written
 // into a double buffer that alternates with the current population, so the

@@ -1,0 +1,372 @@
+// Package jobstore persists the scheduling daemon's jobs across restarts:
+// one directory per job holding an atomically replaced record (the job's
+// spec, lifecycle state and terminal result) and an append-only log of
+// CRC-checksummed checkpoint frames (the solver's resumable population
+// snapshots). The daemon can be SIGKILLed at any point: record writes are
+// temp-file + rename, so a record is either the old version or the new one,
+// and a torn checkpoint append is detected by its checksum on load and
+// quarantined — the job falls back to its previous frame, or to a cold
+// start, instead of crashing the daemon.
+//
+// Store is the seam the serving layer depends on; FileStore is the bundled
+// implementation and FaultStore the fault-injection wrapper used by the
+// recovery tests.
+package jobstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/solver"
+)
+
+// Record is the persisted form of one job. It mirrors the wire-visible
+// part of a job (solver.Result marshals without its Schedule, which is
+// exactly what the HTTP API serves), plus the submission-side metadata the
+// daemon needs to rebuild its state: the spec as admitted (budget caps
+// already applied) and the client's idempotency key.
+type Record struct {
+	ID    string          `json:"id"`
+	Spec  solver.Spec     `json:"spec"`
+	State solver.JobState `json:"state"`
+	// IdempotencyKey is the client-supplied dedupe key, re-registered on
+	// restart so resubmitting an already-accepted request keeps returning
+	// the same job.
+	IdempotencyKey string         `json:"idempotency_key,omitempty"`
+	Submitted      time.Time      `json:"submitted,omitzero"`
+	Started        time.Time      `json:"started,omitzero"`
+	Finished       time.Time      `json:"finished,omitzero"`
+	Result         *solver.Result `json:"result,omitempty"`
+	Error          string         `json:"error,omitempty"`
+}
+
+var (
+	// ErrNotFound: no record for the job ID.
+	ErrNotFound = errors.New("jobstore: job not found")
+	// ErrNoCheckpoint: the job has no loadable checkpoint (never written,
+	// or every frame was corrupt and quarantined).
+	ErrNoCheckpoint = errors.New("jobstore: no checkpoint")
+)
+
+// Store is the durability seam of the serving layer. Implementations must
+// be safe for concurrent use; the daemon appends checkpoints from job
+// goroutines while the HTTP layer lists and reads.
+type Store interface {
+	// PutRecord durably replaces the job's record.
+	PutRecord(rec *Record) error
+	// GetRecord returns the job's record (ErrNotFound when absent).
+	GetRecord(id string) (*Record, error)
+	// ListRecords returns every readable record. Unreadable records are
+	// quarantined and skipped, never returned as errors: recovery must
+	// proceed past individual corruption.
+	ListRecords() ([]*Record, error)
+	// AppendCheckpoint appends one opaque checkpoint frame for the job.
+	AppendCheckpoint(id string, frame []byte) error
+	// LoadCheckpoint returns the newest intact checkpoint frame
+	// (ErrNoCheckpoint when none survives). Torn or corrupt data found on
+	// the way is quarantined, not returned.
+	LoadCheckpoint(id string) ([]byte, error)
+	// Delete forgets the job entirely (record and checkpoints).
+	Delete(id string) error
+}
+
+// Checkpoint frame layout: magic, payload length, CRC32 (IEEE) of the
+// payload, payload bytes. The fixed header makes torn tails (a crash
+// mid-append) distinguishable from corruption at a glance, but both are
+// handled the same way: the frame and everything after it is quarantined.
+var frameMagic = [4]byte{'C', 'K', 'P', '1'}
+
+const frameHeaderLen = 12 // magic + len + crc
+
+// maxFramePayload bounds a single frame; anything larger in the header is
+// treated as corruption (a random header would otherwise make the loader
+// try to allocate gigabytes).
+const maxFramePayload = 64 << 20
+
+// defaultMaxLogBytes is the compaction threshold of the checkpoint log:
+// when an append would grow the log past it, the log is rewritten to hold
+// only the new frame. Only the newest frame is ever loaded, so compaction
+// loses nothing; without it a long-running job would grow its log without
+// bound.
+const defaultMaxLogBytes = 8 << 20
+
+// FileStore is the file-backed Store: dir/<jobID>/record.json +
+// dir/<jobID>/checkpoints.log. The zero value is not usable; Open it.
+type FileStore struct {
+	dir string
+	// MaxLogBytes overrides the checkpoint log compaction threshold
+	// (default 8 MiB; set before use, not concurrently with it).
+	MaxLogBytes int64
+}
+
+// Open creates (if needed) and returns a FileStore rooted at dir.
+func Open(dir string) (*FileStore, error) {
+	if dir == "" {
+		return nil, errors.New("jobstore: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// validID rejects IDs that could escape the store directory or collide
+// with the store's own file names.
+func validID(id string) error {
+	if id == "" || id == "." || id == ".." ||
+		strings.ContainsAny(id, "/\\") || strings.HasPrefix(id, ".") {
+		return fmt.Errorf("jobstore: invalid job ID %q", id)
+	}
+	return nil
+}
+
+func (s *FileStore) jobDir(id string) string { return filepath.Join(s.dir, id) }
+
+// writeFileAtomic writes data to path via a same-directory temp file,
+// fsync and rename, so a crash leaves either the old file or the new one —
+// never a torn mix.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after the rename succeeds
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so renames are durable; some
+// filesystems refuse directory syncs, which is not worth failing over.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// PutRecord implements Store.
+func (s *FileStore) PutRecord(rec *Record) error {
+	if rec == nil {
+		return errors.New("jobstore: nil record")
+	}
+	if err := validID(rec.ID); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobstore: marshal record %s: %w", rec.ID, err)
+	}
+	dir := s.jobDir(rec.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, "record.json"), data); err != nil {
+		return fmt.Errorf("jobstore: write record %s: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// GetRecord implements Store.
+func (s *FileStore) GetRecord(id string) (*Record, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.jobDir(id), "record.json"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: read record %s: %w", id, err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("jobstore: decode record %s: %w", id, err)
+	}
+	return &rec, nil
+}
+
+// ListRecords implements Store. Records that fail to parse are quarantined
+// (renamed to record.corrupt) and skipped; results are ordered by ID so
+// recovery is deterministic.
+func (s *FileStore) ListRecords() ([]*Record, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	var out []*Record
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rec, err := s.GetRecord(e.Name())
+		switch {
+		case err == nil:
+			out = append(out, rec)
+		case errors.Is(err, ErrNotFound):
+			// A job dir without a record (crash between MkdirAll and the
+			// record rename): nothing to recover.
+		default:
+			// Parse failure: quarantine so the next recovery does not trip
+			// over it again, and move on.
+			p := filepath.Join(s.jobDir(e.Name()), "record.json")
+			_ = os.Rename(p, p+".corrupt")
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+func (s *FileStore) logPath(id string) string {
+	return filepath.Join(s.jobDir(id), "checkpoints.log")
+}
+
+// encodeFrame wraps payload in the framed on-disk form.
+func encodeFrame(payload []byte) []byte {
+	buf := make([]byte, frameHeaderLen+len(payload))
+	copy(buf, frameMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeaderLen:], payload)
+	return buf
+}
+
+// AppendCheckpoint implements Store. The frame is written with a single
+// append and fsync; when the log would outgrow MaxLogBytes it is compacted
+// to hold only the new frame (older frames are never loaded anyway).
+func (s *FileStore) AppendCheckpoint(id string, frame []byte) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	if len(frame) == 0 {
+		return errors.New("jobstore: empty checkpoint frame")
+	}
+	if len(frame) > maxFramePayload {
+		return fmt.Errorf("jobstore: checkpoint frame %d bytes exceeds limit", len(frame))
+	}
+	dir := s.jobDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	buf := encodeFrame(frame)
+	limit := s.MaxLogBytes
+	if limit <= 0 {
+		limit = defaultMaxLogBytes
+	}
+	path := s.logPath(id)
+	if st, err := os.Stat(path); err == nil && st.Size()+int64(len(buf)) > limit {
+		if err := writeFileAtomic(path, buf); err != nil {
+			return fmt.Errorf("jobstore: compact checkpoints %s: %w", id, err)
+		}
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("jobstore: append checkpoint %s: %w", id, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("jobstore: sync checkpoint %s: %w", id, err)
+	}
+	return f.Close()
+}
+
+// scanFrames walks the framed log and returns the newest intact payload
+// plus whether trailing corruption (torn append, bit rot) was found.
+func scanFrames(data []byte) (last []byte, corrupt bool) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen {
+			return last, true // torn header
+		}
+		if [4]byte(rest[:4]) != frameMagic {
+			return last, true
+		}
+		n := int(binary.LittleEndian.Uint32(rest[4:8]))
+		if n <= 0 || n > maxFramePayload || frameHeaderLen+n > len(rest) {
+			return last, true // torn or nonsensical payload length
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+n]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[8:12]) {
+			return last, true
+		}
+		last = payload
+		off += frameHeaderLen + n
+	}
+	return last, false
+}
+
+// LoadCheckpoint implements Store: scan the log, return the newest frame
+// whose checksum holds. When torn or corrupt data is found the damaged log
+// is quarantined (renamed to checkpoints.quarantined, replacing any
+// previous quarantine) and a clean log holding only the surviving frame is
+// written back, so the damage is kept for inspection without being
+// re-scanned on every load.
+func (s *FileStore) LoadCheckpoint(id string) ([]byte, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	path := s.logPath(id)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNoCheckpoint
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: read checkpoints %s: %w", id, err)
+	}
+	last, corrupt := scanFrames(data)
+	if corrupt {
+		_ = os.Remove(path + ".quarantined")
+		if err := os.Rename(path, path+".quarantined"); err == nil && last != nil {
+			// Keep a copy: `last` aliases the quarantined file's bytes we
+			// already hold in memory, so rewriting is safe.
+			_ = writeFileAtomic(path, encodeFrame(last))
+		}
+	}
+	if last == nil {
+		return nil, ErrNoCheckpoint
+	}
+	return last, nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(id string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	if err := os.RemoveAll(s.jobDir(id)); err != nil {
+		return fmt.Errorf("jobstore: delete %s: %w", id, err)
+	}
+	return nil
+}

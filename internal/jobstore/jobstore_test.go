@@ -1,0 +1,347 @@
+package jobstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/solver"
+)
+
+func openTestStore(t *testing.T) *FileStore {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testRecord(id string) *Record {
+	return &Record{
+		ID: id,
+		Spec: solver.Spec{
+			Problem: solver.ProblemSpec{Instance: "ft06"},
+			Model:   "serial",
+			Budget:  solver.Budget{Generations: 50},
+		},
+		State:     solver.JobRunning,
+		Submitted: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	s := openTestStore(t)
+	rec := testRecord("j000001")
+	rec.IdempotencyKey = "client-key-1"
+	if err := s.PutRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetRecord("j000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, rec)
+	}
+	if _, err := s.GetRecord("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing record: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutRecordOverwriteIsAtomicallyReplaced(t *testing.T) {
+	s := openTestStore(t)
+	rec := testRecord("j000001")
+	if err := s.PutRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.State = solver.JobDone
+	rec.Result = &solver.Result{Model: "serial", BestObjective: 55}
+	if err := s.PutRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetRecord("j000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != solver.JobDone || got.Result == nil || got.Result.BestObjective != 55 {
+		t.Fatalf("overwrite not visible: %+v", got)
+	}
+	// No temp litter left behind.
+	entries, _ := os.ReadDir(filepath.Join(s.Dir(), "j000001"))
+	for _, e := range entries {
+		if e.Name() != "record.json" {
+			t.Fatalf("unexpected file after atomic write: %s", e.Name())
+		}
+	}
+}
+
+func TestListRecordsSortedAndQuarantinesCorrupt(t *testing.T) {
+	s := openTestStore(t)
+	for _, id := range []string{"j000003", "j000001", "j000002"} {
+		if err := s.PutRecord(testRecord(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt one record wholesale and drop a job dir with no record at all.
+	bad := filepath.Join(s.Dir(), "j000002", "record.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(s.Dir(), "j000009"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := s.ListRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, r := range recs {
+		ids = append(ids, r.ID)
+	}
+	if !reflect.DeepEqual(ids, []string{"j000001", "j000003"}) {
+		t.Fatalf("listed %v, want sorted survivors", ids)
+	}
+	if _, err := os.Stat(bad + ".corrupt"); err != nil {
+		t.Fatalf("corrupt record not quarantined: %v", err)
+	}
+}
+
+func TestValidIDRejectsTraversal(t *testing.T) {
+	s := openTestStore(t)
+	for _, id := range []string{"", ".", "..", "../x", "a/b", `a\b`, ".hidden"} {
+		if err := s.PutRecord(&Record{ID: id}); err == nil {
+			t.Errorf("PutRecord accepted ID %q", id)
+		}
+		if _, err := s.GetRecord(id); err == nil || errors.Is(err, ErrNotFound) {
+			t.Errorf("GetRecord accepted ID %q", id)
+		}
+		if err := s.Delete(id); err == nil {
+			t.Errorf("Delete accepted ID %q", id)
+		}
+	}
+}
+
+func TestCheckpointAppendLoad(t *testing.T) {
+	s := openTestStore(t)
+	if _, err := s.LoadCheckpoint("j000001"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty job: got %v, want ErrNoCheckpoint", err)
+	}
+	for i := 1; i <= 5; i++ {
+		frame := []byte(fmt.Sprintf(`{"generation":%d}`, i*10))
+		if err := s.AppendCheckpoint("j000001", frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.LoadCheckpoint("j000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"generation":50}`; string(got) != want {
+		t.Fatalf("loaded %q, want newest frame %q", got, want)
+	}
+}
+
+func TestTornAppendFallsBackToPreviousFrame(t *testing.T) {
+	s := openTestStore(t)
+	if err := s.AppendCheckpoint("j1", []byte("frame-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendCheckpoint("j1", []byte("frame-two-that-gets-torn")); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail of the last frame, as a crash mid-append would.
+	log := s.logPath("j1")
+	st, err := os.Stat(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(log, st.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := s.LoadCheckpoint("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "frame-one" {
+		t.Fatalf("loaded %q, want the previous intact frame", got)
+	}
+	if _, err := os.Stat(log + ".quarantined"); err != nil {
+		t.Fatalf("damaged log not quarantined: %v", err)
+	}
+	// The rewritten log is clean: loading again is quiet and identical.
+	got2, err := s.LoadCheckpoint("j1")
+	if err != nil || string(got2) != "frame-one" {
+		t.Fatalf("reload after quarantine: %q, %v", got2, err)
+	}
+	if data, _ := os.ReadFile(log); !bytes.Equal(data, encodeFrame([]byte("frame-one"))) {
+		t.Fatal("log was not rewritten to the surviving frame")
+	}
+}
+
+func TestCorruptPayloadDetectedByChecksum(t *testing.T) {
+	s := openTestStore(t)
+	if err := s.AppendCheckpoint("j1", []byte("good-frame")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendCheckpoint("j1", []byte("later-frame")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the LAST frame without touching its header.
+	log := s.logPath("j1")
+	data, err := os.ReadFile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(log, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := s.LoadCheckpoint("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "good-frame" {
+		t.Fatalf("loaded %q, want the frame before the bit flip", got)
+	}
+}
+
+func TestAllFramesCorruptReturnsNoCheckpoint(t *testing.T) {
+	s := openTestStore(t)
+	if err := s.AppendCheckpoint("j1", []byte("only-frame")); err != nil {
+		t.Fatal(err)
+	}
+	log := s.logPath("j1")
+	if err := os.WriteFile(log, []byte("garbage, not a frame at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadCheckpoint("j1"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("got %v, want ErrNoCheckpoint", err)
+	}
+	if _, err := os.Stat(log + ".quarantined"); err != nil {
+		t.Fatalf("corrupt log not quarantined: %v", err)
+	}
+	// The damaged log is gone; the job is back to a clean cold-start state.
+	if _, err := os.Stat(log); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt log left in place")
+	}
+	if err := s.AppendCheckpoint("j1", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.LoadCheckpoint("j1"); err != nil || string(got) != "fresh" {
+		t.Fatalf("store unusable after quarantine: %q, %v", got, err)
+	}
+}
+
+func TestCompactionKeepsOnlyNewestFrame(t *testing.T) {
+	s := openTestStore(t)
+	s.MaxLogBytes = 256
+	var last string
+	for i := 0; i < 40; i++ {
+		last = fmt.Sprintf("frame-%02d-%s", i, "padding-padding-padding")
+		if err := s.AppendCheckpoint("j1", []byte(last)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := os.Stat(s.logPath("j1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 256 {
+		t.Fatalf("log grew to %d bytes despite 256-byte compaction threshold", st.Size())
+	}
+	got, err := s.LoadCheckpoint("j1")
+	if err != nil || string(got) != last {
+		t.Fatalf("after compaction: %q, %v; want %q", got, err, last)
+	}
+}
+
+func TestDeleteRemovesEverything(t *testing.T) {
+	s := openTestStore(t)
+	if err := s.PutRecord(testRecord("j1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendCheckpoint("j1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("j1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetRecord("j1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("record survived delete: %v", err)
+	}
+	if _, err := s.LoadCheckpoint("j1"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("checkpoints survived delete: %v", err)
+	}
+	// Deleting a job that never existed is fine.
+	if err := s.Delete("j-never"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultStoreInjectsAndRecovers(t *testing.T) {
+	inner := openTestStore(t)
+	fs := NewFaultStore(inner)
+	fs.FailNext(OpPut, 2)
+	rec := testRecord("j1")
+	for i := 0; i < 2; i++ {
+		if err := fs.PutRecord(rec); !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	if err := fs.PutRecord(rec); err != nil {
+		t.Fatalf("fault not cleared after budget: %v", err)
+	}
+	if fs.Calls(OpPut) != 3 {
+		t.Fatalf("call count %d, want 3", fs.Calls(OpPut))
+	}
+	fs.FailNext(OpLoad, 1)
+	if _, err := fs.LoadCheckpoint("j1"); !errors.Is(err, ErrInjected) {
+		t.Fatal("load fault not injected")
+	}
+}
+
+func TestFaultStoreTornAppendIsQuarantinedOnLoad(t *testing.T) {
+	inner := openTestStore(t)
+	fs := NewFaultStore(inner)
+	if err := fs.AppendCheckpoint("j1", []byte("stable-frame")); err != nil {
+		t.Fatal(err)
+	}
+	fs.TearNextAppend()
+	if err := fs.AppendCheckpoint("j1", []byte("doomed-frame-simulating-a-crash")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.LoadCheckpoint("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "stable-frame" {
+		t.Fatalf("loaded %q after torn append, want previous frame", got)
+	}
+	if _, err := os.Stat(inner.logPath("j1") + ".quarantined"); err != nil {
+		t.Fatalf("torn append not quarantined: %v", err)
+	}
+}
+
+func TestScanFramesEmptyAndExactBoundaries(t *testing.T) {
+	if last, corrupt := scanFrames(nil); last != nil || corrupt {
+		t.Fatal("empty log misread")
+	}
+	// A lone header with no payload bytes yet (crash right after the header
+	// write was partially flushed).
+	frame := encodeFrame([]byte("abc"))
+	if last, corrupt := scanFrames(frame[:frameHeaderLen]); last != nil || !corrupt {
+		t.Fatal("header-only tail not flagged as torn")
+	}
+	if last, corrupt := scanFrames(frame); string(last) != "abc" || corrupt {
+		t.Fatal("exact single frame misread")
+	}
+}

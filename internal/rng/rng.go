@@ -67,6 +67,43 @@ func (r *RNG) SplitN(n int) []*RNG {
 	return out
 }
 
+// State is the marshalable full state of an RNG stream: the xoshiro256**
+// registers plus the Gaussian cache. Capturing it with State and loading
+// it with SetState resumes a stream exactly where it left off, which is
+// what makes checkpointed GA runs replay bit-identically — the stream is
+// the only hidden input of a deterministic engine.
+type State struct {
+	S        [4]uint64 `json:"s"`
+	HasGauss bool      `json:"has_gauss,omitempty"`
+	Gauss    float64   `json:"gauss,omitempty"`
+}
+
+// State returns a copy of the stream's current state.
+func (r *RNG) State() State {
+	return State{S: r.s, HasGauss: r.hasGauss, Gauss: r.gauss}
+}
+
+// SetState loads a previously captured state, so the stream's next draws
+// continue exactly where State was taken. An all-zero register state (not
+// producible by State, but possible on a zero value or corrupt input) is
+// replaced by the same escape constant New uses, since xoshiro must never
+// run from the all-zero state.
+func (r *RNG) SetState(s State) {
+	r.s = s.S
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	r.hasGauss = s.HasGauss
+	r.gauss = s.Gauss
+}
+
+// FromState builds a new stream positioned at a captured state.
+func FromState(s State) *RNG {
+	r := &RNG{}
+	r.SetState(s)
+	return r
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -236,6 +236,53 @@ func TestPickAllZeroFallsBackToUniform(t *testing.T) {
 	}
 }
 
+func TestStateRoundTrip(t *testing.T) {
+	r := New(42)
+	// Advance through every state-bearing path, including the Gaussian
+	// cache, so the captured state is mid-pair.
+	for i := 0; i < 100; i++ {
+		_ = r.Uint64()
+	}
+	_ = r.NormFloat64() // leaves the second deviate cached
+	st := r.State()
+
+	resumed := FromState(st)
+	for i := 0; i < 200; i++ {
+		if a, b := r.NormFloat64(), resumed.NormFloat64(); a != b {
+			t.Fatalf("draw %d: NormFloat64 diverged: %v vs %v", i, a, b)
+		}
+		if a, b := r.Uint64(), resumed.Uint64(); a != b {
+			t.Fatalf("draw %d: Uint64 diverged: %v vs %v", i, a, b)
+		}
+		if a, b := r.Intn(97), resumed.Intn(97); a != b {
+			t.Fatalf("draw %d: Intn diverged: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestSetStateMidStream(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10; i++ {
+		_ = r.Uint64()
+	}
+	st := r.State()
+	want := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+	// Rewind the SAME stream and replay.
+	r.SetState(st)
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("replayed draw %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestSetStateAllZeroEscapes(t *testing.T) {
+	r := FromState(State{})
+	if a, b := r.Uint64(), r.Uint64(); a == 0 && b == 0 {
+		t.Fatal("all-zero state was not escaped")
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {

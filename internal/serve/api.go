@@ -22,6 +22,11 @@ type JobInfo struct {
 	solver.JobStatus
 	Spec   solver.Spec    `json:"spec"`
 	Result *solver.Result `json:"result,omitempty"`
+	// ReplayRing is the server's per-job SSE replay capacity (the last
+	// ReplayRing events are re-deliverable to late or reconnecting
+	// subscribers; see Config.EventHistory). Clients resuming a stream
+	// with Last-Event-ID can expect a gapless replay only within it.
+	ReplayRing int `json:"replay_ring,omitempty"`
 }
 
 // JobList is the GET /v1/jobs payload.

@@ -7,6 +7,12 @@
 //	events, _ := c.Events(ctx, job.ID)
 //	for ev := range events { ... }
 //	final, _ := c.Job(ctx, job.ID)
+//
+// The client is built for flaky networks: idempotent requests retry
+// transient failures with exponential backoff and jitter, submissions can
+// be made retry-safe with SubmitIdempotent (the server deduplicates on the
+// Idempotency-Key header), and a severed event stream reconnects with the
+// standard Last-Event-ID header so no event is delivered twice.
 package client
 
 import (
@@ -14,8 +20,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,6 +39,54 @@ type Client struct {
 	// HTTPClient overrides http.DefaultClient (streams disable its
 	// timeout per-request via context instead).
 	HTTPClient *http.Client
+
+	// MaxRetries bounds the retry attempts after a transiently failed
+	// request — a transport error, or a 429/502/503/504 response (default
+	// 3; <0 disables retrying). Only safely repeatable requests retry:
+	// GET/DELETE always, POST only when it carries an idempotency key.
+	MaxRetries int
+	// RetryBackoff is the first retry's delay; each further retry doubles
+	// it, plus up to half of itself in jitter (default 100ms).
+	RetryBackoff time.Duration
+	// RequestTimeout bounds each non-streaming request attempt (default:
+	// none beyond the caller's context). Streams are exempt: an event
+	// stream legitimately stays open for the whole job.
+	RequestTimeout time.Duration
+}
+
+// retries resolves MaxRetries defaults.
+func (c *Client) retries() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 0
+	case c.MaxRetries == 0:
+		return 3
+	default:
+		return c.MaxRetries
+	}
+}
+
+// backoff returns the delay before retry attempt (0-based), doubling each
+// time with up to 50% jitter.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << attempt
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// transientStatus reports response codes worth retrying: throttling and
+// gateway-style unavailability. Everything else is either success or a
+// deterministic failure a retry cannot fix.
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
 }
 
 // APIError is a non-2xx response: the server's message plus, for 400s
@@ -60,23 +117,61 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // do issues one JSON request and decodes the response into out (which may
-// be nil). Non-2xx responses become *APIError.
+// be nil). Non-2xx responses become *APIError. Requests that are safe to
+// repeat — GET, DELETE, and POSTs carrying an idempotency key — retry
+// transient failures with exponential backoff.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body *bytes.Reader
+	return c.doHeaders(ctx, method, path, nil, in, out)
+}
+
+func (c *Client) doHeaders(ctx context.Context, method, path string, hdr http.Header, in, out any) error {
+	var raw []byte
 	if in != nil {
-		raw, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if raw, err = json.Marshal(in); err != nil {
 			return err
 		}
-		body = bytes.NewReader(raw)
-	} else {
-		body = bytes.NewReader(nil)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	idempotent := method != http.MethodPost || hdr.Get("Idempotency-Key") != ""
+	retries := 0
+	if idempotent {
+		retries = c.retries()
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := c.attempt(ctx, method, path, hdr, raw, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var apiErr *APIError
+		transient := !errors.As(err, &apiErr) || transientStatus(apiErr.Status)
+		if !transient || attempt >= retries {
+			return lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return lastErr
+		case <-time.After(c.backoff(attempt)):
+		}
+	}
+}
+
+// attempt is one request/response cycle, bounded by RequestTimeout.
+func (c *Client) attempt(ctx context.Context, method, path string, hdr http.Header, raw []byte, out any) error {
+	if c.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.RequestTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(raw))
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	if raw != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
@@ -103,10 +198,30 @@ func decodeAPIError(resp *http.Response) error {
 	return apiErr
 }
 
-// Submit posts a Spec and returns the created job.
+// Submit posts a Spec and returns the created job. A plain Submit never
+// retries — repeating a failed POST could start duplicate runs; use
+// SubmitIdempotent when the connection is unreliable.
 func (c *Client) Submit(ctx context.Context, spec solver.Spec) (*serve.JobInfo, error) {
 	var info serve.JobInfo
 	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// SubmitIdempotent posts a Spec under a client-chosen idempotency key,
+// making the submission retry-safe: the server maps the key to the job it
+// created, so a retried (or repeated) submission returns the existing job
+// instead of starting a second run. With the key set, transient failures
+// retry automatically like any idempotent request.
+func (c *Client) SubmitIdempotent(ctx context.Context, spec solver.Spec, key string) (*serve.JobInfo, error) {
+	if key == "" {
+		return nil, fmt.Errorf("client: empty idempotency key")
+	}
+	hdr := http.Header{}
+	hdr.Set("Idempotency-Key", key)
+	var info serve.JobInfo
+	if err := c.doHeaders(ctx, http.MethodPost, "/v1/jobs", hdr, spec, &info); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -158,15 +273,66 @@ func (c *Client) Instances(ctx context.Context) ([]serve.InstanceInfo, error) {
 }
 
 // Events opens the job's SSE stream and returns a channel of decoded
-// events. The channel closes when the terminal done event arrives, the
-// stream ends server-side, or ctx is cancelled; cancel ctx to abandon the
-// stream early.
+// events. The channel closes when the terminal done event arrives, or ctx
+// is cancelled; cancel ctx to abandon the stream early. A stream severed
+// before the done event reconnects (up to MaxRetries times, with backoff)
+// carrying the standard Last-Event-ID header, so the resumed stream picks
+// up exactly after the last event delivered — no duplicates, and the
+// terminal event is never missed. Only the initial connection's failure is
+// returned as an error; reconnect failures close the channel.
 func (c *Client) Events(ctx context.Context, id string) (<-chan solver.Event, error) {
+	return c.EventsFrom(ctx, id, -1)
+}
+
+// EventsFrom is Events resuming after a known event sequence number: only
+// events with Seq > after are delivered (the terminal done event always
+// is). Pass -1 (or use Events) for the full stream.
+func (c *Client) EventsFrom(ctx context.Context, id string, after int64) (<-chan solver.Event, error) {
+	resp, err := c.openStream(ctx, id, after)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan solver.Event, 16)
+	go func() {
+		defer close(out)
+		lastSeq := after
+		for attempt := 0; ; attempt++ {
+			done, progressed := c.consumeStream(ctx, resp, out, &lastSeq)
+			if done || ctx.Err() != nil {
+				return
+			}
+			// Severed before the done event: reconnect after lastSeq. Any
+			// delivered progress resets the attempt budget — only repeated
+			// failures with no forward motion give up.
+			if progressed {
+				attempt = 0
+			}
+			if attempt >= c.retries() {
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(c.backoff(attempt)):
+			}
+			if resp, err = c.openStream(ctx, id, lastSeq); err != nil {
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// openStream issues one SSE request, resuming after the given sequence.
+func (c *Client) openStream(ctx context.Context, id string, after int64) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if after >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(after, 10))
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
@@ -175,38 +341,50 @@ func (c *Client) Events(ctx context.Context, id string) (<-chan solver.Event, er
 		defer resp.Body.Close()
 		return nil, decodeAPIError(resp)
 	}
-	out := make(chan solver.Event, 16)
-	go func() {
-		defer close(out)
-		defer resp.Body.Close()
-		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-		var data []byte
-		for sc.Scan() {
-			line := sc.Text()
-			switch {
-			case strings.HasPrefix(line, "data:"):
-				data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
-			case line == "":
-				if len(data) == 0 {
-					continue
-				}
-				var ev solver.Event
-				if err := json.Unmarshal(data, &ev); err == nil {
+	return resp, nil
+}
+
+// consumeStream decodes one SSE response body into out until it ends,
+// tracking the last delivered sequence for reconnects. It reports whether
+// the terminal done event arrived and whether any event was delivered.
+func (c *Client) consumeStream(ctx context.Context, resp *http.Response, out chan<- solver.Event, lastSeq *int64) (done, progressed bool) {
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+		case line == "":
+			if len(data) == 0 {
+				continue
+			}
+			var ev solver.Event
+			if err := json.Unmarshal(data, &ev); err == nil {
+				// Drop anything at or below the resume point: the server
+				// skips these too, but an overlap-replaying server must not
+				// produce client-visible duplicates.
+				if ev.Seq > *lastSeq || ev.Type == solver.EventDone {
 					select {
 					case out <- ev:
 					case <-ctx.Done():
-						return
+						return false, progressed
+					}
+					progressed = true
+					if ev.Seq > *lastSeq {
+						*lastSeq = ev.Seq
 					}
 					if ev.Type == solver.EventDone {
-						return
+						return true, true
 					}
 				}
-				data = data[:0]
 			}
+			data = data[:0]
 		}
-	}()
-	return out, nil
+	}
+	return false, progressed
 }
 
 // Await streams the job's events until it is terminal (or ctx expires)

@@ -1,0 +1,436 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobstore"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/solver"
+)
+
+// logBuf collects Logf output for assertions on the recovery diagnostics.
+type logBuf struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *logBuf) Logf(format string, a ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, fmt.Sprintf(format, a...))
+}
+
+func (l *logBuf) contains(sub string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ln := range l.lines {
+		if strings.Contains(ln, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *logBuf) all() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.lines...)
+}
+
+// durableSpec is a small deterministic checkpointable job.
+func durableSpec(gens int) solver.Spec {
+	return solver.Spec{
+		Problem: solver.ProblemSpec{Instance: "ft06"},
+		Model:   "ms",
+		Params:  solver.Params{Pop: 30, Workers: 2},
+		Budget:  solver.Budget{Generations: gens},
+		Seed:    11,
+	}
+}
+
+// openStore opens a FileStore in a temp dir shared across "restarts".
+func openStore(t *testing.T, dir string) *jobstore.FileStore {
+	t.Helper()
+	st, err := jobstore.Open(dir)
+	if err != nil {
+		t.Fatalf("jobstore.Open: %v", err)
+	}
+	return st
+}
+
+// TestServerDurableTerminalRestart: a finished job survives a daemon
+// restart — served from disk with its result, its idempotency key still
+// deduplicating, and the replay-ring capacity reported on job info.
+func TestServerDurableTerminalRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := testCtx(t)
+
+	srv1, c1 := newTestServer(t, serve.Config{Store: openStore(t, dir), EventHistory: 64})
+	job, err := c1.SubmitIdempotent(ctx, durableSpec(8), "key-terminal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ReplayRing != 64 {
+		t.Errorf("replay ring %d, want the configured 64", job.ReplayRing)
+	}
+	final, err := c1.Await(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != solver.JobDone || final.Result == nil {
+		t.Fatalf("final %+v", final)
+	}
+	// A replayed idempotent submit returns the same job, not a second run.
+	again, err := c1.SubmitIdempotent(ctx, durableSpec(8), "key-terminal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != job.ID {
+		t.Fatalf("idempotent resubmit created %s, want %s", again.ID, job.ID)
+	}
+	if err := srv1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// "Restart": a fresh server over the same store directory.
+	_, c2 := newTestServer(t, serve.Config{Store: openStore(t, dir), EventHistory: 64})
+	restored, err := c2.Job(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("restored job: %v", err)
+	}
+	if restored.State != solver.JobDone || restored.Result == nil {
+		t.Fatalf("restored %+v", restored)
+	}
+	if restored.Result.BestObjective != final.Result.BestObjective {
+		t.Errorf("restored best %v, want %v", restored.Result.BestObjective, final.Result.BestObjective)
+	}
+	// The terminal event is replayable from the restored ring, so a client
+	// that reconnects after the restart still observes closure.
+	events, err := c2.Events(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDone := false
+	for ev := range events {
+		if ev.Type == solver.EventDone {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Error("no done event replayed for the restored job")
+	}
+	// The key still maps across the restart.
+	again2, err := c2.SubmitIdempotent(ctx, durableSpec(8), "key-terminal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again2.ID != job.ID {
+		t.Errorf("post-restart idempotent resubmit created %s, want %s", again2.ID, job.ID)
+	}
+}
+
+// midCheckpoint runs the spec once with checkpointing and returns a middle
+// snapshot plus the full run's result (the resume-equivalence reference).
+func midCheckpoint(t *testing.T, spec solver.Spec, every int) (*solver.Checkpoint, *solver.Result) {
+	t.Helper()
+	var cps []*solver.Checkpoint
+	res, err := solver.SolveWithCheckpoints(context.Background(), spec, solver.CheckpointOptions{
+		Every: every,
+		Save:  func(cp *solver.Checkpoint) { cps = append(cps, cp) },
+	})
+	if err != nil {
+		t.Fatalf("SolveWithCheckpoints: %v", err)
+	}
+	if len(cps) < 2 {
+		t.Fatalf("only %d checkpoints saved", len(cps))
+	}
+	return cps[len(cps)/2], res
+}
+
+// seedRunningJob writes the store state a crash leaves behind: a record in
+// the running state plus (optionally) a checkpoint frame.
+func seedRunningJob(t *testing.T, st *jobstore.FileStore, id string, spec solver.Spec, cp *solver.Checkpoint) {
+	t.Helper()
+	err := st.PutRecord(&jobstore.Record{
+		ID: id, Spec: spec, State: solver.JobRunning, Submitted: time.Now().Add(-time.Minute),
+	})
+	if err != nil {
+		t.Fatalf("PutRecord: %v", err)
+	}
+	if cp != nil {
+		data, err := json.Marshal(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.AppendCheckpoint(id, data); err != nil {
+			t.Fatalf("AppendCheckpoint: %v", err)
+		}
+	}
+}
+
+// TestServerRestartResumesWarm: a job interrupted mid-run resumes from its
+// newest checkpoint and finishes with the exact result an uninterrupted
+// run produces — the checkpoint carries every RNG stream, so the resumed
+// trajectory is bit-identical.
+func TestServerRestartResumesWarm(t *testing.T) {
+	spec := durableSpec(40)
+	cp, want := midCheckpoint(t, spec, 5)
+
+	dir := t.TempDir()
+	seedRunningJob(t, openStore(t, dir), "j000042", spec, cp)
+
+	logs := &logBuf{}
+	_, c := newTestServer(t, serve.Config{Store: openStore(t, dir), Logf: logs.Logf})
+	ctx := testCtx(t)
+	final, err := c.Await(ctx, "j000042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != solver.JobDone || final.Result == nil {
+		t.Fatalf("final %+v", final)
+	}
+	if !logs.contains(fmt.Sprintf("resumed job j000042 from generation %d", cp.Generation)) {
+		t.Errorf("no warm-resume log line in %q", logs.all())
+	}
+	got := final.Result
+	if got.BestObjective != want.BestObjective || got.Generations != want.Generations || got.Evaluations != want.Evaluations {
+		t.Errorf("resumed run (best %v, gens %d, evals %d) != uninterrupted run (best %v, gens %d, evals %d)",
+			got.BestObjective, got.Generations, got.Evaluations,
+			want.BestObjective, want.Generations, want.Evaluations)
+	}
+}
+
+// TestServerRestartColdOnBadCheckpoint: a checkpoint that passes the
+// store's checksum but fails semantic validation downgrades to a cold
+// start — the job is not lost and the daemon does not crash.
+func TestServerRestartColdOnBadCheckpoint(t *testing.T) {
+	spec := durableSpec(12)
+	cp, _ := midCheckpoint(t, spec, 4)
+	cp.Pop = cp.Pop[:len(cp.Pop)-1] // truncated population: checksum-clean damage
+	cp.Objs = cp.Objs[:len(cp.Objs)-1]
+
+	dir := t.TempDir()
+	seedRunningJob(t, openStore(t, dir), "j000007", spec, cp)
+
+	logs := &logBuf{}
+	_, c := newTestServer(t, serve.Config{Store: openStore(t, dir), Logf: logs.Logf})
+	ctx := testCtx(t)
+	final, err := c.Await(ctx, "j000007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != solver.JobDone || final.Result == nil {
+		t.Fatalf("final %+v", final)
+	}
+	if !logs.contains("checkpoint invalid") || !logs.contains("restarted job j000007 cold") {
+		t.Errorf("cold-start downgrade not logged: %q", logs.all())
+	}
+	// The cold restart is the plain deterministic run.
+	want, err := solver.Solve(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Result.BestObjective != want.BestObjective {
+		t.Errorf("cold restart best %v, want %v", final.Result.BestObjective, want.BestObjective)
+	}
+}
+
+// TestServerRestartColdWithoutCheckpoint: a running record with no
+// checkpoint at all (crash before the first snapshot) restarts cold.
+func TestServerRestartColdWithoutCheckpoint(t *testing.T) {
+	spec := durableSpec(6)
+	dir := t.TempDir()
+	seedRunningJob(t, openStore(t, dir), "j000003", spec, nil)
+
+	logs := &logBuf{}
+	_, c := newTestServer(t, serve.Config{Store: openStore(t, dir), Logf: logs.Logf})
+	final, err := c.Await(testCtx(t), "j000003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != solver.JobDone || final.Result == nil {
+		t.Fatalf("final %+v", final)
+	}
+	if !logs.contains("restarted job j000003 cold") {
+		t.Errorf("no cold-restart log line in %q", logs.all())
+	}
+}
+
+// TestServerResumeDeadlineClamped: a resumed job gets only the wall budget
+// it had left at the checkpoint — a crash-restart loop cannot extend the
+// deadline. Here the checkpoint says the budget is already spent, so the
+// resumed job must stop almost immediately instead of running its huge
+// generation budget.
+func TestServerResumeDeadlineClamped(t *testing.T) {
+	base := durableSpec(30)
+	cp, _ := midCheckpoint(t, base, 5)
+
+	spec := base
+	spec.Budget = solver.Budget{Generations: 1 << 20, WallMillis: 60_000}
+	cp.ElapsedMS = 3_600_000 // checkpoint claims an hour already burned
+
+	dir := t.TempDir()
+	seedRunningJob(t, openStore(t, dir), "j000009", spec, cp)
+
+	logs := &logBuf{}
+	_, c := newTestServer(t, serve.Config{Store: openStore(t, dir), Logf: logs.Logf})
+	ctx := testCtx(t)
+	start := time.Now()
+	final, err := c.Await(ctx, "j000009")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("exhausted-budget resume still ran %s", elapsed)
+	}
+	if !final.State.Terminal() || final.Result == nil {
+		t.Fatalf("final %+v", final)
+	}
+	if final.Result.Generations > cp.Generation+1000 {
+		t.Errorf("resumed job ran %d generations on a spent wall budget", final.Result.Generations)
+	}
+	if !logs.contains("resumed job j000009") {
+		t.Errorf("expected a warm resume: %q", logs.all())
+	}
+}
+
+// TestServerStoreFaultsDegradeDurabilityNotAvailability: injected store
+// failures (record writes, checkpoint appends) are logged and absorbed —
+// the job still runs to completion and is queryable.
+func TestServerStoreFaultsDegradeDurabilityNotAvailability(t *testing.T) {
+	fs := jobstore.NewFaultStore(openStore(t, t.TempDir()))
+	logs := &logBuf{}
+	srv, err := serve.New(serve.Config{Store: fs, CheckpointEvery: 2, Logf: logs.Logf})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	})
+	c := &client.Client{BaseURL: ts.URL}
+
+	fs.FailNext(jobstore.OpPut, 1)
+	fs.FailNext(jobstore.OpAppend, 2)
+	ctx := testCtx(t)
+	job, err := c.Submit(ctx, durableSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Await(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != solver.JobDone || final.Result == nil {
+		t.Fatalf("final %+v", final)
+	}
+	if !logs.contains("record write") {
+		t.Errorf("injected record failure not logged: %q", logs.all())
+	}
+	if !logs.contains("checkpoint append") {
+		t.Errorf("injected append failure not logged: %q", logs.all())
+	}
+}
+
+// TestServerPruneDeletesStore: retention pruning removes the persisted
+// record and frees the idempotency key, so a restart cannot resurrect a
+// job the server already forgot.
+func TestServerPruneDeletesStore(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	_, c := newTestServer(t, serve.Config{Store: st, MaxRetained: 1})
+	ctx := testCtx(t)
+
+	a, err := c.SubmitIdempotent(ctx, durableSpec(4), "key-pruned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Await(ctx, a.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Submitting b prunes the now-terminal a past MaxRetained=1.
+	b, err := c.Submit(ctx, durableSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Await(ctx, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Job(ctx, a.ID); err == nil {
+		t.Errorf("pruned job %s still queryable", a.ID)
+	}
+	if _, err := st.GetRecord(a.ID); err == nil {
+		t.Errorf("pruned job %s still in the store", a.ID)
+	}
+	// The key is free again: reusing it starts a new run.
+	fresh, err := c.SubmitIdempotent(ctx, durableSpec(4), "key-pruned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == a.ID {
+		t.Errorf("pruned key resolved to the old job %s", a.ID)
+	}
+	if _, err := c.Await(ctx, fresh.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerEventsLastEventID: replaying the stream after a known sequence
+// skips everything already seen but always delivers the terminal event.
+func TestServerEventsLastEventID(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{})
+	ctx := testCtx(t)
+	job, err := c.Submit(ctx, durableSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.Events(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []solver.Event
+	for ev := range events {
+		all = append(all, ev)
+	}
+	if len(all) < 3 {
+		t.Fatalf("only %d events", len(all))
+	}
+	done := all[len(all)-1]
+	if done.Type != solver.EventDone {
+		t.Fatalf("stream did not end with done: %v", done.Type)
+	}
+	// Resume after a middle event: everything at or below it is skipped.
+	mid := all[len(all)/2].Seq
+	replay, err := c.EventsFrom(ctx, job.ID, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ev := range replay {
+		if ev.Seq <= mid && ev.Type != solver.EventDone {
+			t.Errorf("replayed event seq %d <= Last-Event-ID %d", ev.Seq, mid)
+		}
+	}
+	// Resume after the terminal event itself: only done is re-delivered,
+	// so a reconnecting client still observes closure.
+	replay, err = c.EventsFrom(ctx, job.ID, done.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail []solver.Event
+	for ev := range replay {
+		tail = append(tail, ev)
+	}
+	if len(tail) != 1 || tail[0].Type != solver.EventDone {
+		t.Errorf("resume-at-end replay %v, want exactly the done event", tail)
+	}
+}

@@ -6,7 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 
+	"repro/internal/jobstore"
 	"repro/internal/shop"
 	"repro/internal/solver"
 )
@@ -27,18 +30,51 @@ type Config struct {
 	MaxRetained int
 	// MaxBodyBytes bounds the submit request body (default 1 MiB).
 	MaxBodyBytes int64
+
+	// Store, when non-nil, makes jobs durable: every job's record is
+	// persisted at submission and on completion, checkpointable models
+	// snapshot their state every CheckpointEvery generations, and New
+	// replays the store — terminal jobs are served from disk, in-flight
+	// jobs are re-submitted (warm from their last checkpoint when the
+	// model supports it, cold otherwise) with the wall budget they had
+	// left. Store write failures degrade durability, never availability:
+	// they are logged via Logf and the job keeps running.
+	Store jobstore.Store
+	// CheckpointEvery is the snapshot cadence in generations for durable
+	// jobs (default 20; <0 disables checkpointing, leaving record-only
+	// durability).
+	CheckpointEvery int
+	// EventHistory bounds each job's SSE replay ring (default 256); it is
+	// reported per job as JobInfo.ReplayRing.
+	EventHistory int
+	// Logf receives durability and recovery diagnostics (default: silent).
+	Logf func(format string, args ...any)
 }
 
 // Server is the HTTP layer over a solver.Service. Create with New, mount
 // Handler, and call Drain on shutdown.
 type Server struct {
-	cfg  Config
-	svc  *solver.Service
-	stop chan struct{} // closed by Drain: unblocks event streams
+	cfg   Config
+	svc   *solver.Service
+	store jobstore.Store
+	stop  chan struct{} // closed by Drain: unblocks event streams
+
+	// watchers tracks the per-job goroutines writing terminal records;
+	// Drain flushes them so the store is consistent before exit.
+	watchers sync.WaitGroup
+	stopOnce sync.Once
+
+	// idem maps client idempotency keys to job IDs. The lock is held
+	// across the lookup AND the submit, so concurrent retries of the same
+	// keyed request cannot race into duplicate jobs.
+	idemMu sync.Mutex
+	idem   map[string]string
 }
 
-// New builds a Server and its backing Service.
-func New(cfg Config) *Server {
+// New builds a Server and its backing Service. With a configured Store it
+// also replays persisted jobs (see Config.Store); an unreadable store is
+// the only error.
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxActive == 0 {
 		cfg.MaxActive = 256
 	}
@@ -54,11 +90,36 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
-	return &Server{
-		cfg:  cfg,
-		svc:  &solver.Service{MaxConcurrent: cfg.MaxConcurrent, MaxActive: cfg.MaxActive},
-		stop: make(chan struct{}),
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 20
 	}
+	if cfg.EventHistory <= 0 {
+		cfg.EventHistory = 256
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: cfg.Store,
+		stop:  make(chan struct{}),
+		idem:  map[string]string{},
+	}
+	s.svc = &solver.Service{
+		MaxConcurrent: cfg.MaxConcurrent,
+		MaxActive:     cfg.MaxActive,
+		EventHistory:  cfg.EventHistory,
+	}
+	if s.store != nil && cfg.CheckpointEvery > 0 {
+		s.svc.CheckpointEvery = cfg.CheckpointEvery
+		s.svc.OnCheckpoint = s.persistCheckpoint
+	}
+	if s.store != nil {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Service exposes the backing job service (tests, embedding).
@@ -67,11 +128,154 @@ func (s *Server) Service() *solver.Service { return s.svc }
 // Drain gracefully stops the server's job service: no new submissions,
 // in-flight jobs run to completion until ctx expires, then they are
 // cancelled and collected promptly. Event streams observe the terminal
-// events and end. Safe to call once.
+// events and end, and every terminal record reaches the store. Safe to
+// call more than once.
 func (s *Server) Drain(ctx context.Context) error {
 	err := s.svc.Drain(ctx)
-	close(s.stop)
+	s.watchers.Wait()
+	s.stopOnce.Do(func() { close(s.stop) })
 	return err
+}
+
+// persistCheckpoint is the Service's OnCheckpoint sink: frame the snapshot
+// and append it to the job's checkpoint log.
+func (s *Server) persistCheckpoint(jobID string, cp *solver.Checkpoint) {
+	data, err := json.Marshal(cp)
+	if err != nil {
+		s.cfg.Logf("job %s: checkpoint marshal: %v", jobID, err)
+		return
+	}
+	if err := s.store.AppendCheckpoint(jobID, data); err != nil {
+		s.cfg.Logf("job %s: checkpoint append: %v", jobID, err)
+	}
+}
+
+// track persists the job's submission record and watches it to a terminal
+// state, at which point the record is rewritten with the outcome.
+func (s *Server) track(job *solver.Job, idemKey string) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.PutRecord(s.record(job, idemKey)); err != nil {
+		s.cfg.Logf("job %s: record write: %v", job.ID(), err)
+	}
+	s.watchers.Add(1)
+	go func() {
+		defer s.watchers.Done()
+		<-job.Done()
+		if err := s.store.PutRecord(s.record(job, idemKey)); err != nil {
+			s.cfg.Logf("job %s: terminal record write: %v", job.ID(), err)
+		}
+	}()
+}
+
+// record assembles the job's persisted form from its live state.
+func (s *Server) record(job *solver.Job, idemKey string) *jobstore.Record {
+	st := job.Status()
+	rec := &jobstore.Record{
+		ID:             job.ID(),
+		Spec:           job.Spec(),
+		State:          st.State,
+		IdempotencyKey: idemKey,
+		Submitted:      st.Submitted,
+		Started:        st.Started,
+		Finished:       st.Finished,
+		Error:          st.Error,
+	}
+	if res, _ := job.Result(); res != nil {
+		rec.Result = res
+	}
+	return rec
+}
+
+// recover replays the store into the fresh service: terminal jobs become
+// served-from-disk history, in-flight jobs are re-submitted. A job whose
+// model supports checkpointing resumes warm from its newest intact
+// checkpoint — with the wall budget it had left at that checkpoint, so a
+// crash-restart loop can never extend a job's deadline — and anything
+// wrong with the checkpoint (quarantined by the store's checksum, or
+// rejected by semantic validation) downgrades to a cold start rather than
+// losing the job.
+func (s *Server) recover() error {
+	recs, err := s.store.ListRecords()
+	if err != nil {
+		return fmt.Errorf("serve: recovering job store: %w", err)
+	}
+	for _, rec := range recs {
+		if rec.State.Terminal() {
+			if _, err := s.svc.RestoreTerminal(rec.ID, rec.Spec, rec.State, rec.Result, rec.Error, rec.Submitted, rec.Started, rec.Finished); err != nil {
+				s.cfg.Logf("job %s: terminal restore: %v", rec.ID, err)
+				continue
+			}
+			if rec.IdempotencyKey != "" {
+				s.idem[rec.IdempotencyKey] = rec.ID
+			}
+			continue
+		}
+		resume := s.loadResume(rec)
+		spec := rec.Spec
+		if resume != nil {
+			// Satellite of the durability story: the resumed job's wall
+			// budget is what remained at the checkpoint, not a fresh grant.
+			if w := spec.Budget.WallMillis; w > 0 {
+				rem := w - resume.ElapsedMS
+				if rem < 1 {
+					rem = 1
+				}
+				spec.Budget.WallMillis = rem
+			}
+		}
+		job, err := s.svc.SubmitOpts(context.Background(), spec, solver.SubmitOptions{
+			ID: rec.ID, Resume: resume, Submitted: rec.Submitted,
+		})
+		if err != nil && resume != nil {
+			s.cfg.Logf("job %s: warm resubmit failed (%v), cold start", rec.ID, err)
+			resume = nil
+			job, err = s.svc.SubmitOpts(context.Background(), rec.Spec, solver.SubmitOptions{
+				ID: rec.ID, Submitted: rec.Submitted,
+			})
+		}
+		if err != nil {
+			s.cfg.Logf("job %s: resubmit failed: %v", rec.ID, err)
+			continue
+		}
+		if resume != nil {
+			s.cfg.Logf("resumed job %s from generation %d", rec.ID, resume.Generation)
+		} else {
+			s.cfg.Logf("restarted job %s cold", rec.ID)
+		}
+		if rec.IdempotencyKey != "" {
+			s.idem[rec.IdempotencyKey] = rec.ID
+		}
+		s.track(job, rec.IdempotencyKey)
+	}
+	return nil
+}
+
+// loadResume fetches and validates the job's newest checkpoint; nil means
+// cold start. The store's checksum already quarantined torn and corrupt
+// frames; semantic validation catches checksum-clean damage.
+func (s *Server) loadResume(rec *jobstore.Record) *solver.Checkpoint {
+	if !solver.SupportsCheckpoint(rec.Spec.Model) {
+		return nil
+	}
+	data, err := s.store.LoadCheckpoint(rec.ID)
+	if err != nil {
+		if !errors.Is(err, jobstore.ErrNoCheckpoint) {
+			s.cfg.Logf("job %s: checkpoint load: %v", rec.ID, err)
+		}
+		return nil
+	}
+	var cp solver.Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		s.cfg.Logf("job %s: checkpoint decode: %v, cold start", rec.ID, err)
+		return nil
+	}
+	if err := solver.ValidateCheckpoint(rec.Spec, &cp); err != nil {
+		s.cfg.Logf("job %s: checkpoint invalid: %v, cold start", rec.ID, err)
+		return nil
+	}
+	return &cp
 }
 
 // Handler returns the route table.
@@ -106,8 +310,8 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // jobInfo assembles the wire form of a job.
-func jobInfo(j *solver.Job) JobInfo {
-	info := JobInfo{JobStatus: j.Status(), Spec: j.Spec()}
+func (s *Server) jobInfo(j *solver.Job) JobInfo {
+	info := JobInfo{JobStatus: j.Status(), Spec: j.Spec(), ReplayRing: s.cfg.EventHistory}
 	if res, _ := j.Result(); res != nil {
 		info.Result = res
 	}
@@ -171,7 +375,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Jobs outlive the submit request: they run under the service's
 	// lifetime, not the HTTP request context.
-	job, err := s.svc.Submit(context.Background(), spec)
+	idemKey := r.Header.Get("Idempotency-Key")
+	job, existed, err := s.submitKeyed(spec, idemKey)
 	switch {
 	case err == nil:
 	case errors.Is(err, solver.ErrDraining):
@@ -184,12 +389,47 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.prune()
 	w.Header().Set("Location", "/v1/jobs/"+job.ID())
-	writeJSON(w, http.StatusCreated, jobInfo(job))
+	if existed {
+		// Idempotent replay of an already-accepted submit: same job, 200.
+		writeJSON(w, http.StatusOK, s.jobInfo(job))
+		return
+	}
+	s.track(job, idemKey)
+	s.prune()
+	writeJSON(w, http.StatusCreated, s.jobInfo(job))
 }
 
-// prune drops the oldest terminal jobs beyond the retention bound.
+// submitKeyed submits the spec, deduplicating on the client's idempotency
+// key: a key already mapped to a live job returns that job (existed=true)
+// instead of starting a second run. The lock is held through the submit so
+// two concurrent retries of the same keyed request cannot both miss the
+// map.
+func (s *Server) submitKeyed(spec solver.Spec, key string) (job *solver.Job, existed bool, err error) {
+	if key == "" {
+		job, err = s.svc.Submit(context.Background(), spec)
+		return job, false, err
+	}
+	s.idemMu.Lock()
+	defer s.idemMu.Unlock()
+	if id, seen := s.idem[key]; seen {
+		if job, ok := s.svc.Get(id); ok {
+			return job, true, nil
+		}
+		// The deduped job was pruned; the key is free again.
+		delete(s.idem, key)
+	}
+	job, err = s.svc.Submit(context.Background(), spec)
+	if err == nil {
+		s.idem[key] = job.ID()
+	}
+	return job, false, err
+}
+
+// prune drops the oldest terminal jobs beyond the retention bound —
+// including their persisted records and idempotency mappings, so the
+// store cannot grow without bound and a restart cannot resurrect jobs the
+// server already forgot.
 func (s *Server) prune() {
 	jobs := s.svc.Jobs()
 	excess := len(jobs) - s.cfg.MaxRetained
@@ -199,6 +439,18 @@ func (s *Server) prune() {
 		}
 		if s.svc.Remove(j.ID()) {
 			excess--
+			if s.store != nil {
+				if err := s.store.Delete(j.ID()); err != nil {
+					s.cfg.Logf("job %s: store delete: %v", j.ID(), err)
+				}
+			}
+			s.idemMu.Lock()
+			for key, id := range s.idem {
+				if id == j.ID() {
+					delete(s.idem, key)
+				}
+			}
+			s.idemMu.Unlock()
 		}
 	}
 }
@@ -208,7 +460,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	jobs := s.svc.Jobs()
 	out := JobList{Jobs: make([]JobInfo, 0, len(jobs))}
 	for _, j := range jobs {
-		out.Jobs = append(out.Jobs, jobInfo(j))
+		out.Jobs = append(out.Jobs, s.jobInfo(j))
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -226,7 +478,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*solver.Job, bo
 // handleGet: GET /v1/jobs/{id}.
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if job, ok := s.lookup(w, r); ok {
-		writeJSON(w, http.StatusOK, jobInfo(job))
+		writeJSON(w, http.StatusOK, s.jobInfo(job))
 	}
 }
 
@@ -239,13 +491,16 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job.Cancel()
-	writeJSON(w, http.StatusAccepted, jobInfo(job))
+	writeJSON(w, http.StatusAccepted, s.jobInfo(job))
 }
 
 // handleEvents: GET /v1/jobs/{id}/events — the job's typed event stream
 // as Server-Sent Events. Each frame is `event: <type>` + `id: <seq>` +
 // `data: <Event JSON>`; the stream ends after the done event, when the
-// client disconnects, or at server drain.
+// client disconnects, or at server drain. A reconnecting client sends the
+// standard Last-Event-ID header with the last sequence it saw, and the
+// replay skips everything at or below it — except the terminal done event,
+// which is always delivered so a resumed stream still observes closure.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.lookup(w, r)
 	if !ok {
@@ -256,6 +511,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
 		return
 	}
+	lastSeen := int64(-1)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			lastSeen = n
+		}
+	}
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
@@ -264,6 +525,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	fl.Flush()
 	events := job.Events()
 	write := func(ev solver.Event) bool {
+		if ev.Seq <= lastSeen && ev.Type != solver.EventDone {
+			return true
+		}
 		data, err := json.Marshal(ev)
 		if err != nil {
 			return false

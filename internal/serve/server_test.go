@@ -16,9 +16,18 @@ import (
 // newTestServer spins a server + typed client against an httptest server.
 func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *client.Client) {
 	t.Helper()
-	srv := serve.New(cfg)
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
+	// Flush the durability watchers before test temp dirs are removed.
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	})
 	return srv, &client.Client{BaseURL: ts.URL}
 }
 

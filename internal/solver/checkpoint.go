@@ -1,0 +1,362 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/shop"
+	"repro/internal/shopga"
+)
+
+// Genome is the encoding-agnostic wire form of one chromosome: exactly one
+// field group is populated per encoding (Seq for perm/seq, Keys for keys,
+// Assign+Seq for flex). Keeping it flat and JSON-tagged is what lets a
+// checkpoint round-trip through the job store without generic machinery.
+type Genome struct {
+	Seq    []int     `json:"seq,omitempty"`
+	Keys   []float64 `json:"keys,omitempty"`
+	Assign []int     `json:"assign,omitempty"`
+}
+
+// Checkpoint is a resumable snapshot of an engine-driven run (models
+// serial and ms — see SupportsCheckpoint): the full population with its
+// objectives, the incumbent, the loop counters, and every RNG stream
+// state. Resuming from it is bit-identical to never having stopped: the
+// streams are the only hidden input of the deterministic engine, and they
+// are all here.
+type Checkpoint struct {
+	// Model and Encoding pin the checkpoint to the run shape that produced
+	// it; resuming under any other is rejected.
+	Model    string `json:"model"`
+	Encoding string `json:"encoding"`
+
+	Generation  int   `json:"generation"`
+	Evaluations int64 `json:"evaluations"`
+	Stagnation  int   `json:"stagnation,omitempty"`
+	// ElapsedMS accumulates wall time spent across every run segment up to
+	// this snapshot, so a serving layer can re-derive the remaining wall
+	// budget after a crash instead of granting the full budget again.
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	// EventSeq is the job's event sequence number at snapshot time (stamped
+	// by the Service); a resumed job continues numbering from it so SSE
+	// clients resuming with Last-Event-ID stay roughly aligned across a
+	// daemon restart.
+	EventSeq int64 `json:"event_seq,omitempty"`
+
+	RNG    rng.State   `json:"rng"`
+	Shards []rng.State `json:"shards,omitempty"`
+
+	Pop           []Genome  `json:"pop"`
+	Objs          []float64 `json:"objs"`
+	Best          *Genome   `json:"best"`
+	BestObjective float64   `json:"best_objective"`
+}
+
+// SupportsCheckpoint reports whether the model can checkpoint and resume.
+// Only the engine-driven models qualify: their whole state is one engine.
+// The epoch-structured models (island, cellular, hybrid, agents, qga)
+// spread state over many demes and are restarted cold on recovery instead.
+func SupportsCheckpoint(model string) bool {
+	return model == "serial" || model == "ms"
+}
+
+// CheckpointOptions configures SolveWithCheckpoints.
+type CheckpointOptions struct {
+	// Every is the snapshot cadence in generations (<= 0 disables saving).
+	Every int
+	// Save receives each snapshot, synchronously from the generation loop;
+	// keep it cheap or hand off. The Checkpoint is owned by the callee.
+	Save func(*Checkpoint)
+	// Resume, when set, warm-starts the run from a prior snapshot instead
+	// of a fresh population. The spec's model and encoding must match the
+	// checkpoint's, and the model must support checkpointing.
+	Resume *Checkpoint
+}
+
+// SolveWithCheckpoints is Solve with the durability seam: periodic
+// resumable snapshots out, an optional warm start in. Saving is silently
+// skipped for models that do not support checkpointing; resuming from one
+// is an error.
+func SolveWithCheckpoints(ctx context.Context, spec Spec, opts CheckpointOptions) (*Result, error) {
+	return solve(ctx, spec, nil, &ckptSeam{every: opts.Every, save: opts.Save, resume: opts.Resume})
+}
+
+// ValidateCheckpoint checks a decoded checkpoint against the spec it is
+// about to resume, without running anything: the model must support
+// checkpointing, the model/encoding pins must match the spec's resolved
+// shape, the population must be exactly the spec's, and every genome must
+// satisfy its encoding's invariants against the spec's instance. It is the
+// recovery layer's semantic gate — a checkpoint that passed the store's
+// checksum can still be wrong (edited spec, different instance, truncated
+// population), and the caller downgrades any error here to a cold start.
+func ValidateCheckpoint(spec Spec, cp *Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("solver: nil checkpoint")
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if !SupportsCheckpoint(spec.Model) {
+		return fmt.Errorf("solver: model %q cannot resume from a checkpoint", spec.Model)
+	}
+	norm := spec.normalized()
+	in, err := BuildInstance(norm.Problem)
+	if err != nil {
+		return err
+	}
+	if _, err := objectiveByName(norm.Objective); err != nil {
+		return err
+	}
+	encName, err := resolveEncoding(norm.Encoding, in)
+	if err != nil {
+		return err
+	}
+	if len(cp.Pop) != norm.Params.Pop {
+		return fmt.Errorf("solver: checkpoint population %d, spec wants %d", len(cp.Pop), norm.Params.Pop)
+	}
+	if cp.ElapsedMS < 0 || cp.EventSeq < 0 {
+		return fmt.Errorf("solver: checkpoint elapsed/event counters out of range")
+	}
+	// Dry-run the resume path's unpack: unpackSnapshot applies the same
+	// strict per-genome validation the engine restore will see.
+	run := &Run{Spec: norm, Instance: in, Encoding: encName}
+	switch encName {
+	case EncPerm, EncSeq:
+		pack, unpack := seqPackers(run)
+		_, err = unpackSnapshot(run, encoding[[]int]{pack: pack, unpack: unpack}, cp)
+	case EncKeys:
+		pack, unpack := keysPackers(run)
+		_, err = unpackSnapshot(run, encoding[[]float64]{pack: pack, unpack: unpack}, cp)
+	case EncFlex:
+		pack, unpack := flexPackers(run)
+		_, err = unpackSnapshot(run, encoding[shopga.FlexGenome]{pack: pack, unpack: unpack}, cp)
+	default:
+		return fmt.Errorf("solver: unknown encoding %q", encName)
+	}
+	return err
+}
+
+// ckptSeam is the internal form of CheckpointOptions threaded through
+// solve into the engine runners.
+type ckptSeam struct {
+	every  int
+	save   func(*Checkpoint)
+	resume *Checkpoint
+}
+
+// active reports whether periodic saving is configured.
+func (c *ckptSeam) active() bool {
+	return c != nil && c.save != nil && c.every > 0
+}
+
+// packCheckpoint converts an engine snapshot into the wire form.
+func packCheckpoint[G any](run *Run, enc encoding[G], snap core.Snapshot[G]) *Checkpoint {
+	cp := &Checkpoint{
+		Model:       run.Spec.Model,
+		Encoding:    run.Encoding,
+		Generation:  snap.Generation,
+		Evaluations: snap.Evaluations,
+		Stagnation:  snap.Stagnation,
+		RNG:         snap.RNG,
+		Shards:      snap.Shards,
+		Pop:         make([]Genome, len(snap.Pop)),
+		Objs:        make([]float64, len(snap.Pop)),
+	}
+	for i, ind := range snap.Pop {
+		cp.Pop[i] = enc.pack(ind.Genome)
+		cp.Objs[i] = ind.Obj
+	}
+	best := enc.pack(snap.Best.Genome)
+	cp.Best = &best
+	cp.BestObjective = snap.Best.Obj
+	return cp
+}
+
+// unpackSnapshot validates a wire checkpoint against the resolved run and
+// rebuilds the engine snapshot. Validation is strict — a checkpoint that
+// passed the store's checksum can still be semantically wrong (wrong
+// instance, truncated population, out-of-range genes), and a corrupt
+// genome must surface as a resume error the caller can downgrade to a
+// cold start, never as a crash deep in a decode kernel.
+func unpackSnapshot[G any](run *Run, enc encoding[G], cp *Checkpoint) (core.Snapshot[G], error) {
+	var snap core.Snapshot[G]
+	if cp.Model != run.Spec.Model {
+		return snap, fmt.Errorf("solver: checkpoint is for model %q, run is %q", cp.Model, run.Spec.Model)
+	}
+	if cp.Encoding != run.Encoding {
+		return snap, fmt.Errorf("solver: checkpoint encoding %q, run resolved %q", cp.Encoding, run.Encoding)
+	}
+	if len(cp.Pop) == 0 || len(cp.Pop) != len(cp.Objs) {
+		return snap, fmt.Errorf("solver: checkpoint population %d with %d objectives", len(cp.Pop), len(cp.Objs))
+	}
+	if cp.Best == nil {
+		return snap, fmt.Errorf("solver: checkpoint has no incumbent")
+	}
+	if cp.Generation < 0 || cp.Evaluations < 0 {
+		return snap, fmt.Errorf("solver: checkpoint counters out of range")
+	}
+	snap.Pop = make([]core.Individual[G], len(cp.Pop))
+	for i := range cp.Pop {
+		g, err := enc.unpack(cp.Pop[i])
+		if err != nil {
+			return core.Snapshot[G]{}, fmt.Errorf("solver: checkpoint genome %d: %w", i, err)
+		}
+		if math.IsNaN(cp.Objs[i]) {
+			return core.Snapshot[G]{}, fmt.Errorf("solver: checkpoint objective %d is NaN", i)
+		}
+		snap.Pop[i] = core.Individual[G]{Genome: g, Obj: cp.Objs[i]}
+	}
+	bg, err := enc.unpack(*cp.Best)
+	if err != nil {
+		return core.Snapshot[G]{}, fmt.Errorf("solver: checkpoint incumbent: %w", err)
+	}
+	if math.IsNaN(cp.BestObjective) {
+		return core.Snapshot[G]{}, fmt.Errorf("solver: checkpoint incumbent objective is NaN")
+	}
+	snap.Best = core.Individual[G]{Genome: bg, Obj: cp.BestObjective}
+	snap.HasBest = true
+	snap.Generation = cp.Generation
+	snap.Evaluations = cp.Evaluations
+	snap.Stagnation = cp.Stagnation
+	snap.RNG = cp.RNG
+	snap.Shards = cp.Shards
+	return snap, nil
+}
+
+// Per-encoding genome validation. Each check mirrors the invariant the
+// encoding's operators maintain, so anything they could have produced
+// round-trips and anything else is rejected.
+
+// validatePerm: a permutation of [0, n).
+func validatePerm(g []int, n int) error {
+	if len(g) != n {
+		return fmt.Errorf("perm genome has %d entries, want %d", len(g), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range g {
+		if v < 0 || v >= n || seen[v] {
+			return fmt.Errorf("perm genome is not a permutation of [0,%d)", n)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// validateOpSeq: an operation sequence with repetition — job j appears
+// exactly len(Jobs[j].Ops) times.
+func validateOpSeq(g []int, in *shop.Instance) error {
+	if len(g) != in.TotalOps() {
+		return fmt.Errorf("seq genome has %d entries, want %d", len(g), in.TotalOps())
+	}
+	counts := make([]int, in.NumJobs())
+	for _, v := range g {
+		if v < 0 || v >= len(counts) {
+			return fmt.Errorf("seq genome references job %d of %d", v, len(counts))
+		}
+		counts[v]++
+	}
+	for j, c := range counts {
+		if c != len(in.Jobs[j].Ops) {
+			return fmt.Errorf("seq genome has %d ops for job %d, want %d", c, j, len(in.Jobs[j].Ops))
+		}
+	}
+	return nil
+}
+
+// validateKeys: one finite key per operation.
+func validateKeys(g []float64, n int) error {
+	if len(g) != n {
+		return fmt.Errorf("keys genome has %d keys, want %d", len(g), n)
+	}
+	for i, k := range g {
+		if math.IsNaN(k) || math.IsInf(k, 0) {
+			return fmt.Errorf("keys genome key %d is not finite", i)
+		}
+	}
+	return nil
+}
+
+// validateAssign: one eligible-machine index per flattened operation.
+func validateAssign(a []int, in *shop.Instance) error {
+	if len(a) != in.TotalOps() {
+		return fmt.Errorf("assign chromosome has %d entries, want %d", len(a), in.TotalOps())
+	}
+	i := 0
+	for _, j := range in.Jobs {
+		for _, op := range j.Ops {
+			if a[i] < 0 || a[i] >= len(op.Times) {
+				return fmt.Errorf("assign chromosome op %d selects machine slot %d of %d", i, a[i], len(op.Times))
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+func cloneIntsWire(g []int) []int {
+	if g == nil {
+		return nil
+	}
+	return append([]int(nil), g...)
+}
+
+// seqPackers builds the pack/unpack pair of the []int family; perm selects
+// the permutation invariant, everything else the with-repetition one.
+func seqPackers(run *Run) (func([]int) Genome, func(Genome) ([]int, error)) {
+	in, perm := run.Instance, run.Encoding == EncPerm
+	pack := func(g []int) Genome { return Genome{Seq: cloneIntsWire(g)} }
+	unpack := func(w Genome) ([]int, error) {
+		if w.Keys != nil || w.Assign != nil {
+			return nil, fmt.Errorf("genome carries fields of another encoding")
+		}
+		if perm {
+			if err := validatePerm(w.Seq, in.NumJobs()); err != nil {
+				return nil, err
+			}
+		} else if err := validateOpSeq(w.Seq, in); err != nil {
+			return nil, err
+		}
+		return cloneIntsWire(w.Seq), nil
+	}
+	return pack, unpack
+}
+
+// keysPackers builds the pack/unpack pair of the random-keys family.
+func keysPackers(run *Run) (func([]float64) Genome, func(Genome) ([]float64, error)) {
+	n := run.Instance.TotalOps()
+	pack := func(g []float64) Genome { return Genome{Keys: append([]float64(nil), g...)} }
+	unpack := func(w Genome) ([]float64, error) {
+		if w.Seq != nil || w.Assign != nil {
+			return nil, fmt.Errorf("genome carries fields of another encoding")
+		}
+		if err := validateKeys(w.Keys, n); err != nil {
+			return nil, err
+		}
+		return append([]float64(nil), w.Keys...), nil
+	}
+	return pack, unpack
+}
+
+// flexPackers builds the pack/unpack pair of the two-chromosome family.
+func flexPackers(run *Run) (func(shopga.FlexGenome) Genome, func(Genome) (shopga.FlexGenome, error)) {
+	in := run.Instance
+	pack := func(g shopga.FlexGenome) Genome {
+		return Genome{Assign: cloneIntsWire(g.Assign), Seq: cloneIntsWire(g.Seq)}
+	}
+	unpack := func(w Genome) (shopga.FlexGenome, error) {
+		if w.Keys != nil {
+			return shopga.FlexGenome{}, fmt.Errorf("genome carries fields of another encoding")
+		}
+		if err := validateAssign(w.Assign, in); err != nil {
+			return shopga.FlexGenome{}, err
+		}
+		if err := validateOpSeq(w.Seq, in); err != nil {
+			return shopga.FlexGenome{}, err
+		}
+		return shopga.FlexGenome{Assign: cloneIntsWire(w.Assign), Seq: cloneIntsWire(w.Seq)}, nil
+	}
+	return pack, unpack
+}

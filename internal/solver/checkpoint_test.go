@@ -1,0 +1,353 @@
+package solver
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectCheckpoints runs a spec with the given cadence and returns the
+// final result plus every checkpoint, in order.
+func collectCheckpoints(t *testing.T, spec Spec, every int, resume *Checkpoint) (*Result, []*Checkpoint) {
+	t.Helper()
+	var cps []*Checkpoint
+	res, err := SolveWithCheckpoints(context.Background(), spec, CheckpointOptions{
+		Every:  every,
+		Save:   func(cp *Checkpoint) { cps = append(cps, cp) },
+		Resume: resume,
+	})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	return res, cps
+}
+
+// normalizeCp zeroes the fields legitimately differing between a cold run
+// and its resumed replay (wall time; event numbering is service-level).
+func normalizeCp(cp *Checkpoint) *Checkpoint {
+	c := *cp
+	c.ElapsedMS = 0
+	c.EventSeq = 0
+	return &c
+}
+
+// testCheckpointResumeBitIdentical: a run resumed from the gen-10 snapshot
+// retraces the uninterrupted run exactly — same later checkpoints, same
+// final result.
+func testCheckpointResumeBitIdentical(t *testing.T, spec Spec) {
+	t.Helper()
+	cold, coldCps := collectCheckpoints(t, spec, 10, nil)
+	if len(coldCps) < 2 {
+		t.Fatalf("expected >= 2 checkpoints, got %d", len(coldCps))
+	}
+	if coldCps[0].Generation != 10 {
+		t.Fatalf("first checkpoint at gen %d, want 10", coldCps[0].Generation)
+	}
+
+	warm, warmCps := collectCheckpoints(t, spec, 10, coldCps[0])
+	if warm.BestObjective != cold.BestObjective ||
+		warm.Generations != cold.Generations ||
+		warm.Evaluations != cold.Evaluations {
+		t.Fatalf("resumed result diverged: got (%v, %d gens, %d evals), want (%v, %d, %d)",
+			warm.BestObjective, warm.Generations, warm.Evaluations,
+			cold.BestObjective, cold.Generations, cold.Evaluations)
+	}
+	if warm.Schedule == nil || warm.Schedule.Validate() != nil {
+		t.Fatal("resumed run produced no valid schedule")
+	}
+	// The resumed run re-emits the checkpoints after gen 10; each must be
+	// bit-identical to the cold run's (modulo wall time).
+	if len(warmCps) != len(coldCps)-1 {
+		t.Fatalf("resumed run saved %d checkpoints, want %d", len(warmCps), len(coldCps)-1)
+	}
+	for i, w := range warmCps {
+		c := coldCps[i+1]
+		if !reflect.DeepEqual(normalizeCp(w), normalizeCp(c)) {
+			t.Fatalf("checkpoint at gen %d differs between cold and resumed run", c.Generation)
+		}
+	}
+	// Checkpoints survive a JSON round trip losslessly (the store holds
+	// exactly these bytes).
+	data, err := json.Marshal(coldCps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt Checkpoint
+	if err := json.Unmarshal(data, &rt); err != nil {
+		t.Fatal(err)
+	}
+	res2, _ := collectCheckpoints(t, spec, 10, &rt)
+	if res2.BestObjective != cold.BestObjective || res2.Evaluations != cold.Evaluations {
+		t.Fatal("resume from JSON-round-tripped checkpoint diverged")
+	}
+}
+
+func ckSpec(model, enc string, problem ProblemSpec) Spec {
+	return Spec{
+		Problem:  problem,
+		Model:    model,
+		Encoding: enc,
+		Params:   Params{Pop: 20},
+		Budget:   Budget{Generations: 30},
+		Seed:     7,
+	}
+}
+
+func TestCheckpointResumeSerialPerm(t *testing.T) {
+	testCheckpointResumeBitIdentical(t, ckSpec("serial", EncPerm, ProblemSpec{Kind: "flow", Jobs: 6, Machines: 4}))
+}
+
+func TestCheckpointResumeSerialKeys(t *testing.T) {
+	testCheckpointResumeBitIdentical(t, ckSpec("serial", EncKeys, ProblemSpec{Instance: "ft06"}))
+}
+
+func TestCheckpointResumeMasterSlaveSeq(t *testing.T) {
+	testCheckpointResumeBitIdentical(t, ckSpec("ms", EncSeq, ProblemSpec{Instance: "ft06"}))
+}
+
+func TestCheckpointResumeMasterSlaveFlex(t *testing.T) {
+	testCheckpointResumeBitIdentical(t, ckSpec("ms", EncFlex, ProblemSpec{Kind: "fjs", Jobs: 5, Machines: 4}))
+}
+
+// A resumed ms run may use a different worker count: the shard substreams
+// in the checkpoint depend only on the population.
+func TestCheckpointResumeAcrossWorkerCounts(t *testing.T) {
+	spec := ckSpec("ms", EncSeq, ProblemSpec{Instance: "ft06"})
+	spec.Params.Workers = 1
+	cold, cps := collectCheckpoints(t, spec, 10, nil)
+
+	spec.Params.Workers = 4
+	warm, _ := collectCheckpoints(t, spec, 10, cps[0])
+	if warm.BestObjective != cold.BestObjective || warm.Evaluations != cold.Evaluations {
+		t.Fatal("worker-count change broke checkpoint resume")
+	}
+}
+
+func TestCheckpointResumeRejectsUnsupportedModel(t *testing.T) {
+	spec := ckSpec("serial", EncSeq, ProblemSpec{Instance: "ft06"})
+	_, cps := collectCheckpoints(t, spec, 10, nil)
+	island := spec
+	island.Model = "island"
+	if _, err := SolveWithCheckpoints(context.Background(), island, CheckpointOptions{Resume: cps[0]}); err == nil {
+		t.Fatal("island accepted a resume checkpoint")
+	}
+	// Saving on an unsupported model is silently skipped, not an error.
+	var saved int
+	if _, err := SolveWithCheckpoints(context.Background(), island, CheckpointOptions{
+		Every: 5, Save: func(*Checkpoint) { saved++ },
+	}); err != nil {
+		t.Fatalf("island with save-only options: %v", err)
+	}
+	if saved != 0 {
+		t.Fatalf("island saved %d checkpoints", saved)
+	}
+}
+
+// Corrupt-but-checksum-valid checkpoints are rejected by semantic
+// validation with an error (which the daemon downgrades to a cold start),
+// never a panic.
+func TestCheckpointResumeValidation(t *testing.T) {
+	spec := ckSpec("serial", EncSeq, ProblemSpec{Instance: "ft06"})
+	_, cps := collectCheckpoints(t, spec, 10, nil)
+	base := cps[0]
+
+	corrupt := func(name string, mutate func(*Checkpoint)) {
+		data, _ := json.Marshal(base)
+		var cp Checkpoint
+		if err := json.Unmarshal(data, &cp); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&cp)
+		if _, err := SolveWithCheckpoints(context.Background(), spec, CheckpointOptions{Resume: &cp}); err == nil {
+			t.Errorf("%s: corrupt checkpoint accepted", name)
+		}
+	}
+	corrupt("wrong model", func(cp *Checkpoint) { cp.Model = "ms" })
+	corrupt("wrong encoding", func(cp *Checkpoint) { cp.Encoding = EncKeys })
+	corrupt("no incumbent", func(cp *Checkpoint) { cp.Best = nil })
+	corrupt("objs truncated", func(cp *Checkpoint) { cp.Objs = cp.Objs[:len(cp.Objs)-1] })
+	corrupt("NaN objective", func(cp *Checkpoint) { cp.Objs[0] = math.NaN() })
+	corrupt("negative counters", func(cp *Checkpoint) { cp.Evaluations = -1 })
+	corrupt("out-of-range gene", func(cp *Checkpoint) { cp.Pop[0].Seq[0] = 99 })
+	corrupt("foreign field", func(cp *Checkpoint) { cp.Pop[0].Keys = []float64{0.5} })
+	corrupt("truncated genome", func(cp *Checkpoint) { cp.Pop[0].Seq = cp.Pop[0].Seq[:3] })
+
+	// Population size mismatch vs spec.Params.Pop surfaces via the
+	// engine's Restore shape check.
+	small := spec
+	small.Params.Pop = 10
+	if _, err := SolveWithCheckpoints(context.Background(), small, CheckpointOptions{Resume: base}); err == nil {
+		t.Error("population size mismatch accepted")
+	}
+
+	// Perm validation: duplicate entry.
+	pspec := ckSpec("serial", EncPerm, ProblemSpec{Kind: "flow", Jobs: 6, Machines: 4})
+	_, pcps := collectCheckpoints(t, pspec, 10, nil)
+	data, _ := json.Marshal(pcps[0])
+	var pcp Checkpoint
+	if err := json.Unmarshal(data, &pcp); err != nil {
+		t.Fatal(err)
+	}
+	pcp.Pop[0].Seq[0] = pcp.Pop[0].Seq[1]
+	if _, err := SolveWithCheckpoints(context.Background(), pspec, CheckpointOptions{Resume: &pcp}); err == nil ||
+		!strings.Contains(err.Error(), "permutation") {
+		t.Errorf("duplicate perm entry: %v", err)
+	}
+}
+
+// The service wires checkpointing per job: snapshots carry the job's event
+// sequence, epoch models never checkpoint, and a resumed job under a new
+// service finishes with the original's exact result while continuing its
+// event numbering.
+func TestServiceCheckpointsAndResumes(t *testing.T) {
+	var mu sync.Mutex
+	byJob := map[string][]*Checkpoint{}
+	svc := &Service{
+		CheckpointEvery: 10,
+		OnCheckpoint: func(id string, cp *Checkpoint) {
+			mu.Lock()
+			byJob[id] = append(byJob[id], cp)
+			mu.Unlock()
+		},
+	}
+	defer svc.Close()
+	spec := ckSpec("ms", EncSeq, ProblemSpec{Instance: "ft06"})
+	j, err := svc.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := j.Await(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	island := spec
+	island.Model = "island"
+	ij, err := svc.Submit(context.Background(), island)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ij.Await(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	cps := byJob[j.ID()]
+	islandCps := len(byJob[ij.ID()])
+	mu.Unlock()
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints recorded for ms job")
+	}
+	if islandCps != 0 {
+		t.Fatalf("island job recorded %d checkpoints", islandCps)
+	}
+	for _, cp := range cps {
+		if cp.EventSeq <= 0 {
+			t.Fatal("checkpoint missing event sequence stamp")
+		}
+	}
+
+	// Restart story: a fresh service resumes the job under its old ID.
+	svc2 := &Service{}
+	defer svc2.Close()
+	j2, err := svc2.SubmitOpts(context.Background(), spec, SubmitOptions{
+		ID:        j.ID(),
+		Resume:    cps[0],
+		Submitted: time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := j2.Await(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.BestObjective != cold.BestObjective || warm.Evaluations != cold.Evaluations {
+		t.Fatal("service-level resume diverged from original run")
+	}
+	if j2.ID() != j.ID() {
+		t.Fatalf("resumed job ID %q, want %q", j2.ID(), j.ID())
+	}
+	if got := j2.Status().Submitted; !got.Equal(time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Fatalf("submission time not backdated: %v", got)
+	}
+	// Event numbering continued past the checkpoint's sequence.
+	for ev := range j2.Events() {
+		if ev.Seq <= cps[0].EventSeq {
+			t.Fatalf("resumed job emitted seq %d <= checkpoint seq %d", ev.Seq, cps[0].EventSeq)
+		}
+	}
+	// A generated ID must skip the explicitly taken one.
+	j3, err := svc2.Submit(context.Background(), ckSpec("serial", EncSeq, ProblemSpec{Instance: "ft06"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID() == j.ID() {
+		t.Fatal("generated ID collided with restored ID")
+	}
+}
+
+func TestSubmitOptsRejectsResumeForEpochModel(t *testing.T) {
+	svc := &Service{}
+	defer svc.Close()
+	spec := ckSpec("island", EncSeq, ProblemSpec{Instance: "ft06"})
+	if _, err := svc.SubmitOpts(context.Background(), spec, SubmitOptions{Resume: &Checkpoint{}}); err == nil {
+		t.Fatal("island resume accepted")
+	}
+}
+
+func TestRestoreTerminal(t *testing.T) {
+	svc := &Service{}
+	defer svc.Close()
+	spec := ckSpec("serial", EncSeq, ProblemSpec{Instance: "ft06"})
+	res := &Result{Model: "serial", Instance: "ft06", BestObjective: 58, Generations: 30, Evaluations: 620}
+	sub := time.Date(2026, 8, 6, 10, 0, 0, 0, time.UTC)
+	j, err := svc.RestoreTerminal("j000007", spec, JobDone, res, "", sub, sub, sub.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RestoreTerminal("j000007", spec, JobDone, res, "", sub, sub, sub); err == nil {
+		t.Fatal("duplicate restore accepted")
+	}
+	if _, err := svc.RestoreTerminal("j000008", spec, JobRunning, nil, "", sub, sub, sub); err == nil {
+		t.Fatal("non-terminal restore accepted")
+	}
+
+	got, ok := svc.Get("j000007")
+	if !ok || got != j {
+		t.Fatal("restored job not retrievable")
+	}
+	st := j.Status()
+	if st.State != JobDone || st.BestObjective != 58 || st.Generation != 30 {
+		t.Fatalf("restored status: %+v", st)
+	}
+	// Await returns immediately; the replay ring serves the done event.
+	r, err := j.Await(context.Background())
+	if err != nil || r != res {
+		t.Fatalf("await on restored job: %v, %v", r, err)
+	}
+	var evs []Event
+	for ev := range j.Events() {
+		evs = append(evs, ev)
+	}
+	if len(evs) != 1 || evs[0].Type != EventDone || evs[0].Result != res {
+		t.Fatalf("restored replay ring: %+v", evs)
+	}
+	// A failed restore carries its error.
+	fj, err := svc.RestoreTerminal("j000009", spec, JobFailed, nil, "model exploded", sub, sub, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, jerr := fj.Result(); jerr == nil || jerr.Error() != "model exploded" {
+		t.Fatalf("restored failure error: %v", jerr)
+	}
+	// Terminal restores are removable like any finished job.
+	if !svc.Remove("j000007") {
+		t.Fatal("restored job not removable")
+	}
+}

@@ -18,12 +18,16 @@ const (
 )
 
 // encoding bundles everything a model needs for one genome family: the
-// bridge problem, the default operators, and the genome->schedule decoder
-// (which must agree with the problem's evaluation).
+// bridge problem, the default operators, the genome->schedule decoder
+// (which must agree with the problem's evaluation), and the checkpoint
+// pack/unpack pair (unpack validates against the instance — see
+// checkpoint.go).
 type encoding[G any] struct {
 	problem  core.Problem[G]
 	ops      core.Operators[G]
 	schedule func(G) *shop.Schedule
+	pack     func(G) Genome
+	unpack   func(Genome) (G, error)
 }
 
 // resolveEncoding picks the default encoding for the instance kind or
@@ -69,6 +73,7 @@ func openRule(name string) (decode.OpenRule, error) {
 // for everything else).
 func seqEncoding(run *Run) (encoding[[]int], error) {
 	in, obj := run.Instance, run.Objective
+	pack, unpack := seqPackers(run)
 	switch {
 	case run.Encoding == EncPerm:
 		prob := shopga.FlowShopProblem(in, obj)
@@ -79,6 +84,7 @@ func seqEncoding(run *Run) (encoding[[]int], error) {
 			problem:  prob,
 			ops:      shopga.PermOps(),
 			schedule: func(g []int) *shop.Schedule { return decode.FlowShop(in, g) },
+			pack:     pack, unpack: unpack,
 		}, nil
 	case in.Kind == shop.OpenShop:
 		rule, err := openRule(run.Spec.Params.Rule)
@@ -89,6 +95,7 @@ func seqEncoding(run *Run) (encoding[[]int], error) {
 			problem:  shopga.OpenShopProblem(in, rule, obj),
 			ops:      shopga.SeqOps(in),
 			schedule: func(g []int) *shop.Schedule { return decode.OpenShop(in, g, rule) },
+			pack:     pack, unpack: unpack,
 		}, nil
 	case in.Kind.Flexible():
 		// Sequence-only search over flexible shops: machines are fixed by
@@ -98,12 +105,14 @@ func seqEncoding(run *Run) (encoding[[]int], error) {
 			problem:  shopga.FixedAssignmentProblem(in, assign, obj),
 			ops:      shopga.SeqOps(in),
 			schedule: func(g []int) *shop.Schedule { return decode.Flexible(in, assign, g, nil) },
+			pack:     pack, unpack: unpack,
 		}, nil
 	default:
 		return encoding[[]int]{
 			problem:  shopga.JobShopProblem(in, obj),
 			ops:      shopga.SeqOps(in),
 			schedule: func(g []int) *shop.Schedule { return decode.JobShop(in, g) },
+			pack:     pack, unpack: unpack,
 		}, nil
 	}
 }
@@ -112,21 +121,25 @@ func seqEncoding(run *Run) (encoding[[]int], error) {
 // Giffler-Thompson active schedule builder.
 func keysEncoding(run *Run) (encoding[[]float64], error) {
 	in, obj := run.Instance, run.Objective
+	pack, unpack := keysPackers(run)
 	return encoding[[]float64]{
 		problem:  shopga.GTProblem(in, obj),
 		ops:      shopga.KeysOps(),
 		schedule: func(g []float64) *shop.Schedule { return decode.GifflerThompson(in, g) },
+		pack:     pack, unpack: unpack,
 	}, nil
 }
 
 // flexEncoding builds the two-chromosome flexible shop encoding.
 func flexEncoding(run *Run) (encoding[shopga.FlexGenome], error) {
 	in, obj := run.Instance, run.Objective
+	pack, unpack := flexPackers(run)
 	return encoding[shopga.FlexGenome]{
 		problem: shopga.FlexibleProblem(in, obj),
 		ops:     shopga.FlexOps(in),
 		schedule: func(g shopga.FlexGenome) *shop.Schedule {
 			return decode.Flexible(in, g.Assign, g.Seq, nil)
 		},
+		pack: pack, unpack: unpack,
 	}, nil
 }

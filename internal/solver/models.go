@@ -3,6 +3,7 @@ package solver
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/agents"
 	"repro/internal/cellular"
@@ -193,12 +194,58 @@ func coreResult[G any](enc encoding[G], res core.Result[G]) *Result {
 	return out
 }
 
+// runEngine is the shared body of the engine-driven models (serial, ms):
+// build the engine, optionally warm-start it from a checkpoint, run, and
+// convert the result. It is also where the checkpoint seam materialises:
+// with saving configured, the per-generation hook snapshots the engine
+// every ck.every generations. The engine is built fresh even when
+// resuming — core.New's construction draws and initial evaluations are
+// then overwritten wholesale by Restore, whose RNG states make the
+// resumed trajectory bit-identical to the uninterrupted one.
+func runEngine[G any](run *Run, enc encoding[G], workers int) (*Result, error) {
+	cfg := engineConfig(run, enc)
+	cfg.Workers = workers
+	genHook := run.genHook()
+	cfg.OnGeneration = genHook
+	var eng *core.Engine[G]
+	if ck := run.ck; ck.active() {
+		var baseElapsed int64
+		if ck.resume != nil {
+			baseElapsed = ck.resume.ElapsedMS
+		}
+		start := time.Now()
+		every, save := ck.every, ck.save
+		// eng is captured before assignment: the engine only invokes the
+		// hook from Step, after New returned.
+		cfg.OnGeneration = func(gs core.GenStats) {
+			if genHook != nil {
+				genHook(gs)
+			}
+			if gs.Generation%every == 0 {
+				cp := packCheckpoint(run, enc, eng.Snapshot())
+				cp.ElapsedMS = baseElapsed + time.Since(start).Milliseconds()
+				save(cp)
+			}
+		}
+	}
+	eng = core.New(enc.problem, run.RNG, cfg)
+	defer eng.Close()
+	if ck := run.ck; ck != nil && ck.resume != nil {
+		snap, err := unpackSnapshot(run, enc, ck.resume)
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.Restore(snap); err != nil {
+			return nil, err
+		}
+	}
+	res := eng.Run()
+	return coreResult(enc, res), nil
+}
+
 // runSerial is the panmictic Table II GA.
 func runSerial[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, error) {
-	cfg := engineConfig(run, enc)
-	cfg.OnGeneration = run.genHook()
-	res := core.New(enc.problem, run.RNG, cfg).Run()
-	return coreResult(enc, res), nil
+	return runEngine(run, enc, 0)
 }
 
 // runMasterSlave is Table III evolved into the engine's sharded generation
@@ -214,13 +261,7 @@ func runMasterSlave[G any](_ context.Context, run *Run, enc encoding[G]) (*Resul
 	if workers <= 0 {
 		workers = 4
 	}
-	cfg := engineConfig(run, enc)
-	cfg.OnGeneration = run.genHook()
-	cfg.Workers = workers
-	eng := core.New(enc.problem, run.RNG, cfg)
-	defer eng.Close()
-	res := eng.Run()
-	return coreResult(enc, res), nil
+	return runEngine(run, enc, workers)
 }
 
 // runIsland is Table V: the coarse-grained multi-deme model.

@@ -76,6 +76,15 @@ type Service struct {
 	// progress. Long runs age their oldest events out of the ring.
 	EventHistory int
 
+	// CheckpointEvery and OnCheckpoint wire the durability seam: with both
+	// set, every job whose model supports checkpointing (SupportsCheckpoint)
+	// snapshots its engine every CheckpointEvery generations and hands the
+	// snapshot — stamped with the job's event sequence — to OnCheckpoint,
+	// synchronously from the run loop. OnCheckpoint implementations persist
+	// it (the daemon appends to its job store) and must not block long.
+	CheckpointEvery int
+	OnCheckpoint    func(jobID string, cp *Checkpoint)
+
 	mu       sync.Mutex
 	init     bool
 	sem      chan struct{}
@@ -118,8 +127,32 @@ func (s *Service) initLocked() {
 // free. Cancelling ctx cancels the job (pass context.Background() to
 // detach the job's lifetime from the submission context).
 func (s *Service) Submit(ctx context.Context, spec Spec) (*Job, error) {
+	return s.SubmitOpts(ctx, spec, SubmitOptions{})
+}
+
+// SubmitOptions are the recovery-oriented extras of SubmitOpts; the zero
+// value makes SubmitOpts identical to Submit.
+type SubmitOptions struct {
+	// ID requests a specific job ID instead of a generated one, so a
+	// daemon re-submitting persisted jobs after a restart keeps their
+	// published identities. An ID already in use is an error.
+	ID string
+	// Resume warm-starts the job from a checkpoint (the model must support
+	// checkpointing; see SupportsCheckpoint). The job's event numbering
+	// continues from the checkpoint's EventSeq.
+	Resume *Checkpoint
+	// Submitted backdates the job's submission time to the original one
+	// (zero: now).
+	Submitted time.Time
+}
+
+// SubmitOpts is Submit with recovery options.
+func (s *Service) SubmitOpts(ctx context.Context, spec Spec, opts SubmitOptions) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Resume != nil && !SupportsCheckpoint(spec.Model) {
+		return nil, fmt.Errorf("solver: model %q cannot resume from a checkpoint", spec.Model)
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -134,23 +167,96 @@ func (s *Service) Submit(ctx context.Context, spec Spec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, ErrBusy
 	}
-	s.seq++
+	id := opts.ID
+	if id == "" {
+		// Generated IDs skip over explicit ones a recovery already took.
+		for {
+			s.seq++
+			id = fmt.Sprintf("j%06d", s.seq)
+			if _, taken := s.jobs[id]; !taken {
+				break
+			}
+		}
+	} else if _, taken := s.jobs[id]; taken {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("solver: job ID %q already in use", id)
+	}
+	submitted := opts.Submitted
+	if submitted.IsZero() {
+		submitted = time.Now()
+	}
 	jctx, cancel := context.WithCancel(ctx)
 	j := &Job{
-		id:        fmt.Sprintf("j%06d", s.seq),
+		id:        id,
 		spec:      spec,
 		svc:       s,
 		ctx:       jctx,
 		cancel:    cancel,
 		state:     JobPending,
-		submitted: time.Now(),
+		submitted: submitted,
 		done:      make(chan struct{}),
+		resume:    opts.Resume,
+	}
+	if opts.Resume != nil {
+		j.seq = opts.Resume.EventSeq
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
 	s.active++
 	s.mu.Unlock()
 	go s.runJob(j)
+	return j, nil
+}
+
+// RestoreTerminal registers an already-finished job from persisted state,
+// so a restarted daemon keeps serving results and event streams of jobs
+// that completed before the restart. The job is terminal on arrival: it
+// holds no concurrency slot, its done channel is closed, and its replay
+// ring carries a synthesized done event. The state must be terminal and
+// the ID unused.
+func (s *Service) RestoreTerminal(id string, spec Spec, state JobState, res *Result, errMsg string, submitted, started, finished time.Time) (*Job, error) {
+	if !state.Terminal() {
+		return nil, fmt.Errorf("solver: RestoreTerminal with non-terminal state %q", state)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.initLocked()
+	if _, taken := s.jobs[id]; taken {
+		return nil, fmt.Errorf("solver: job ID %q already in use", id)
+	}
+	jctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := &Job{
+		id:        id,
+		spec:      spec,
+		svc:       s,
+		ctx:       jctx,
+		cancel:    cancel,
+		state:     state,
+		submitted: submitted,
+		started:   started,
+		finished:  finished,
+		result:    res,
+		done:      make(chan struct{}),
+	}
+	if errMsg != "" {
+		j.err = errors.New(errMsg)
+	}
+	if res != nil {
+		j.gen = res.Generations
+		j.evals = res.Evaluations
+		j.best, j.hasBest = res.BestObjective, true
+	}
+	j.mu.Lock()
+	ev := Event{Type: EventDone, Generation: j.gen, Evaluations: j.evals, Result: res, Error: errMsg}
+	if j.hasBest {
+		ev.BestObjective = j.best
+	}
+	j.recordLocked(ev)
+	j.mu.Unlock()
+	close(j.done)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
 	return j, nil
 }
 
@@ -175,7 +281,19 @@ func (s *Service) runJob(j *Job) {
 	if s.noEvents {
 		sink = nil
 	}
-	res, err := solve(j.ctx, j.spec, sink)
+	var ck *ckptSeam
+	if j.resume != nil || (s.OnCheckpoint != nil && s.CheckpointEvery > 0 && SupportsCheckpoint(j.spec.Model)) {
+		ck = &ckptSeam{resume: j.resume}
+		if s.OnCheckpoint != nil && s.CheckpointEvery > 0 {
+			onCk := s.OnCheckpoint
+			ck.every = s.CheckpointEvery
+			ck.save = func(cp *Checkpoint) {
+				cp.EventSeq = j.curSeq()
+				onCk(j.id, cp)
+			}
+		}
+	}
+	res, err := solve(j.ctx, j.spec, sink, ck)
 	j.finish(res, err)
 }
 
@@ -279,6 +397,8 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
+	// resume, when set, warm-starts the run (see SubmitOptions.Resume).
+	resume *Checkpoint
 
 	mu        sync.Mutex
 	state     JobState
@@ -357,6 +477,14 @@ func (j *Job) Await(ctx context.Context) (*Result, error) {
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// curSeq returns the job's current event sequence number (checkpoints are
+// stamped with it so a resumed job continues its numbering).
+func (j *Job) curSeq() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
 
 // Cancel requests cancellation. A pending job fails with context.Canceled;
 // a running job stops at its next generation boundary and keeps its

@@ -214,6 +214,10 @@ func TestServiceConcurrencyBound(t *testing.T) {
 	if res, err := a.Await(context.Background()); err != nil || !res.Canceled {
 		t.Fatalf("cancelled job: res %v err %v", res, err)
 	}
+	// Wait for b to take the freed slot before cancelling: a cancel that
+	// lands while b is still pending fails the job with context.Canceled
+	// instead of stopping a running solve with a partial result.
+	waitRunning(t, b)
 	b.Cancel()
 	if _, err := b.Await(context.Background()); err != nil {
 		t.Fatalf("second job: %v", err)

@@ -194,6 +194,11 @@ type Run struct {
 	emit     func(Event)
 	lastBest float64
 	hasBest  bool
+
+	// ck, when non-nil, is the checkpoint seam of the engine-driven models
+	// (see checkpoint.go): periodic resumable snapshots out, an optional
+	// warm start in.
+	ck *ckptSeam
 }
 
 // Stopped reports whether the run's context has been cancelled; models
@@ -311,14 +316,24 @@ func (r *Run) termination() core.Termination {
 // Solve is the blocking form; Service.Submit is the job-oriented one with
 // streaming progress, and Pool the batch layer over it.
 func Solve(ctx context.Context, spec Spec) (*Result, error) {
-	return solve(ctx, spec, nil)
+	return solve(ctx, spec, nil, nil)
 }
 
-// solve is Solve with the progress seam: emit, when non-nil, receives the
-// run's typed events (the Service wires a Job's fan-out here).
-func solve(ctx context.Context, spec Spec, emit func(Event)) (*Result, error) {
+// solve is Solve with the progress and durability seams: emit, when
+// non-nil, receives the run's typed events (the Service wires a Job's
+// fan-out here); ck, when non-nil, threads checkpointing into the
+// engine-driven models (the Service and SolveWithCheckpoints wire it).
+func solve(ctx context.Context, spec Spec, emit func(Event), ck *ckptSeam) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if ck != nil {
+		if ck.resume != nil && !SupportsCheckpoint(spec.Model) {
+			return nil, fmt.Errorf("solver: model %q cannot resume from a checkpoint", spec.Model)
+		}
+		if !ck.active() && ck.resume == nil {
+			ck = nil
+		}
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -356,6 +371,7 @@ func solve(ctx context.Context, spec Spec, emit func(Event)) (*Result, error) {
 		Encoding:  enc,
 		RNG:       rng.New(spec.Seed),
 		emit:      emit,
+		ck:        ck,
 		stop: func() bool {
 			select {
 			case <-ctx.Done():
