@@ -78,12 +78,13 @@ func runSuite(ctx context.Context, args []string, stdout io.Writer) error {
 	models := fs.String("models", "", "override the profile's models (comma-separated)")
 	poolWorkers := fs.Int("pool-workers", 0, "solver pool workers (0: GOMAXPROCS; 1 for calm wall clocks)")
 	parallelStep := fs.Int("parallel-step", 0, "measure sharded engine-step scaling at this worker count (0: off)")
+	fed := fs.Int("federation", 0, "measure the distributed island federation on a loopback fleet of this many nodes (0: off)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile after the sweep to this file")
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
-	opts := bench.Options{Profile: *profile, Seeds: *seeds, PoolWorkers: *poolWorkers, ParallelStep: *parallelStep}
+	opts := bench.Options{Profile: *profile, Seeds: *seeds, PoolWorkers: *poolWorkers, ParallelStep: *parallelStep, Federation: *fed}
 	if *models != "" {
 		opts.Models = strings.Split(*models, ",")
 	}
@@ -124,6 +125,11 @@ func printReport(w io.Writer, r *bench.Report) {
 	if p := r.Parallel; p != nil {
 		fmt.Fprintf(w, "parallel-step %s pop=%d: 1 worker %.0f ns/step, %d workers %.0f ns/step (%.2fx on %d CPUs)\n",
 			p.Instance, p.Pop, p.StepNsOneWorker, p.Workers, p.StepNsWorkers, p.Speedup, p.CPUs)
+	}
+	if f := r.Federation; f != nil {
+		fmt.Fprintf(w, "federation %s fleet=%d islands=%d: single best %.0f (%.0f ms), federated best %.0f (%.0f ms, %.2fx overhead, %d migrants, replayed=%v)\n",
+			f.Instance, f.Fleet, f.Islands, f.BestSingle, f.WallMSSingle,
+			f.BestFederated, f.WallMSFederated, f.OverheadRatio, f.MigrantsSent, f.Replayed)
 	}
 }
 

@@ -6,6 +6,14 @@
 //
 //	schedserver -addr :8410 -max-concurrent 8 -max-wall-ms 60000
 //
+// With -peers, daemons form a static federation fleet: a Spec submitted
+// with params.federate to any node fans its islands out across the fleet
+// and the nodes exchange migrant elites each migration epoch (see
+// internal/federation):
+//
+//	schedserver -addr :8410 -self http://10.0.0.1:8410 \
+//	  -peers http://10.0.0.1:8410,http://10.0.0.2:8410
+//
 //	curl -s localhost:8410/v1/models
 //	curl -s -X POST localhost:8410/v1/jobs -d '{"problem":{"instance":"ft10"},"model":"island"}'
 //	curl -s localhost:8410/v1/jobs/j000001
@@ -25,9 +33,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/federation"
 	"repro/internal/jobstore"
 	"repro/internal/serve"
 )
@@ -57,6 +67,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		storeDir      = fs.String("store-dir", "", "job store directory for durable jobs (empty: in-memory only)")
 		ckptEvery     = fs.Int("checkpoint-every", 0, "checkpoint cadence in generations for durable jobs (0: default 20, <0: records only)")
 		eventHistory  = fs.Int("event-history", 0, "per-job SSE replay ring size (0: default 256)")
+		peers         = fs.String("peers", "", "comma-separated federation fleet base URLs, self included (empty: no federation)")
+		self          = fs.String("self", "", "this node's base URL as it appears in -peers (default: http://<addr>)")
+		epochTimeout  = fs.Int64("fed-epoch-timeout-ms", 5000, "migration-epoch barrier wait before degrading a peer, in milliseconds")
 	)
 	switch err := fs.Parse(args); {
 	case err == nil:
@@ -96,7 +109,38 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "schedserver listening on http://%s\n", ln.Addr())
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *peers != "" {
+		fleet := strings.Split(*peers, ",")
+		for i := range fleet {
+			fleet[i] = strings.TrimSpace(fleet[i])
+		}
+		me := *self
+		if me == "" {
+			me = "http://" + ln.Addr().String()
+		}
+		node, err := federation.New(federation.Config{
+			Self:         me,
+			Peers:        fleet,
+			Service:      srv.Service(),
+			EpochTimeout: time.Duration(*epochTimeout) * time.Millisecond,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(stdout, "schedserver: "+format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		srv.SetFederation(node)
+		// The federation endpoints compose in front of the main API.
+		root := http.NewServeMux()
+		root.Handle("/v1/federation/", node.Handler())
+		root.Handle("/", handler)
+		handler = root
+		fmt.Fprintf(stdout, "schedserver federated: rank %d of %d peers\n", node.Rank(), len(node.Peers()))
+	}
+
+	httpSrv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 

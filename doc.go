@@ -40,6 +40,19 @@
 // Last-Event-ID. A SIGKILL-mid-job e2e plus a fault-injection suite
 // (jobstore.FaultStore) pin the recovery paths.
 //
+// internal/federation scales the island model across machines: daemons
+// started with the same -peers list form a static, coordinator-less
+// fleet (rank = index in the sorted list), a Spec submitted with
+// params.federate to any node fans its demes across the fleet, and the
+// nodes exchange migrant elites each migration epoch over
+// POST /v1/federation/migrants — packed genomes re-validated on
+// arrival, injected at epoch barriers in sender-rank order, per-rank
+// seeds derived via rng.SplitN, so a healthy federated run is
+// replayable by seed. A peer missing a barrier is degraded (skipped
+// thereafter, surfaced as a peer_degraded event and a counter on
+// GET /v1/stats, the Prometheus endpoint) while the submitting node
+// always reduces a best-of-fleet Result with per-node provenance.
+//
 // Evaluation — the hot path of every parallel model — is a three-rung
 // ladder in internal/decode: schedule-building oracle decoders (reference
 // semantics, final results), allocation-free makespan kernels decoding

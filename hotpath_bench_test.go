@@ -249,10 +249,16 @@ func pairedRatio(reps int, a, b func()) float64 {
 
 // TestBatchKernelSpeedup ratchets the batch rung against the scalar kernels
 // on the BENCH_hotpath workloads: the 4-wide lockstep sweeps must hold
-// >= 1.5x on the flow shop row and >= 1.2x on the 15x10 job shop row
-// (measured margins ~1.55x and ~1.35x). Measurement is paired (kernel and
-// batch timings interleaved, best-of-reps minima) so host frequency drift
-// cannot fake or mask a regression, with best-of-3 attempts on top.
+// >= 1.2x on both the flow shop row and the 15x10 job shop row (measured
+// ~1.3-1.6x and ~1.3-1.45x). Measurement is paired (kernel and batch
+// timings interleaved, best-of-reps minima) so host frequency drift
+// cannot fake or mask a regression, with best-of-3 attempts on top. The
+// thresholds sit well below the measured ratios because binary layout
+// alone moves the scalar kernel's tight loop ~10% between builds (linking
+// unrelated code into the test binary shifted flow from ~1.6x to ~1.45x
+// with decode's sources untouched) and single runs on a 1-CPU container
+// scatter another ~10%; a thinner margin gates link order and host noise,
+// not the kernels — a real batch regression reads ~1.0x.
 func TestBatchKernelSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-sensitive; skipped in -short mode")
@@ -281,7 +287,7 @@ func TestBatchKernelSpeedup(t *testing.T) {
 		kernel    func()
 		batch     func()
 	}{
-		{"flowshop-20x5", 1.5,
+		{"flowshop-20x5", 1.2,
 			func() {
 				for i := 0; i < iters; i++ {
 					sink += decode.FlowShopMakespanWith(fs, perms[i%batchN], sf)

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/federation"
+	"repro/internal/serve"
+	"repro/internal/solver"
+)
+
+// FederationRun measures the distributed island federation against the
+// same workload run single-process: an in-process loopback fleet (real
+// HTTP listeners, real epoch barriers, no network distance) runs one
+// federated job, and the identical spec runs unfederated. Quality figures
+// are deterministic; wall-clock rows are host-dependent and informational
+// — on loopback the ratio isolates the protocol overhead of the epoch
+// barriers (serialisation, HTTP round trips, barrier waits), the floor of
+// what a real fleet pays.
+type FederationRun struct {
+	Instance    string `json:"instance"`
+	Fleet       int    `json:"fleet"` // nodes in the loopback fleet
+	Islands     int    `json:"islands"`
+	Generations int    `json:"generations"`
+
+	// BestSingle / BestFederated are the final best objectives of the
+	// unfederated and federated runs (same seed; they legitimately differ
+	// — sharding changes the RNG decomposition, not the algorithm).
+	BestSingle    float64 `json:"best_single"`
+	BestFederated float64 `json:"best_federated"`
+	// Replayed reports that a second federated invocation reproduced
+	// BestFederated exactly — the determinism contract, measured.
+	Replayed bool `json:"replayed"`
+
+	WallMSSingle    float64 `json:"wall_ms_single"`
+	WallMSFederated float64 `json:"wall_ms_federated"`
+	// OverheadRatio is WallMSFederated / WallMSSingle.
+	OverheadRatio float64 `json:"overhead_ratio"`
+
+	// MigrantsSent totals the migrants shipped over the wire across the
+	// fleet during the first federated run.
+	MigrantsSent int64 `json:"migrants_sent"`
+}
+
+// MeasureFederation runs the federation measurement on a registry
+// instance: fleet loopback nodes, the given island count and generation
+// budget (<= 0 selects 40). The federated job runs twice to certify
+// replayability.
+func MeasureFederation(instance string, fleet, islands, generations int) (*FederationRun, error) {
+	if fleet < 2 {
+		return nil, fmt.Errorf("bench: federation needs fleet >= 2, got %d", fleet)
+	}
+	if islands < fleet {
+		islands = 2 * fleet
+	}
+	if generations <= 0 {
+		generations = 40
+	}
+	spec := solver.Spec{
+		Problem: solver.ProblemSpec{Instance: instance},
+		Model:   "island",
+		Params:  solver.Params{Pop: 16 * islands, Islands: islands, Interval: 2, Migrants: 1},
+		Budget:  solver.Budget{Generations: generations},
+		Seed:    1,
+	}
+
+	// The unfederated baseline.
+	start := time.Now()
+	single, err := solver.Solve(context.Background(), spec)
+	if err != nil {
+		return nil, err
+	}
+	singleWall := time.Since(start)
+
+	nodes, cleanup, err := loopbackFleet(fleet)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	fedSpec := spec
+	fedSpec.Params.Federate = true
+	runFed := func() (*solver.Result, time.Duration, error) {
+		start := time.Now()
+		job, err := nodes[0].SubmitFederated(context.Background(), fedSpec)
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := job.Await(context.Background())
+		return res, time.Since(start), err
+	}
+	fed1, fedWall, err := runFed()
+	if err != nil {
+		return nil, err
+	}
+	var sent int64
+	for _, n := range nodes {
+		sent += n.Counters().MigrantsSent
+	}
+	fed2, _, err := runFed()
+	if err != nil {
+		return nil, err
+	}
+
+	fr := &FederationRun{
+		Instance: instance, Fleet: fleet, Islands: islands, Generations: generations,
+		BestSingle:      single.BestObjective,
+		BestFederated:   fed1.BestObjective,
+		Replayed:        fed1.BestObjective == fed2.BestObjective,
+		WallMSSingle:    float64(singleWall.Nanoseconds()) / 1e6,
+		WallMSFederated: float64(fedWall.Nanoseconds()) / 1e6,
+		MigrantsSent:    sent,
+	}
+	if fr.WallMSSingle > 0 {
+		fr.OverheadRatio = fr.WallMSFederated / fr.WallMSSingle
+	}
+	return fr, nil
+}
+
+// loopbackFleet builds size federated schedserver nodes on loopback
+// listeners. Addresses must exist before the nodes (the peer list is the
+// fleet), so each listener starts behind a handler slot the finished node
+// is stored into.
+func loopbackFleet(size int) ([]*federation.Node, func(), error) {
+	handlers := make([]atomic.Pointer[http.Handler], size)
+	servers := make([]*httptest.Server, 0, size)
+	urls := make([]string, size)
+	cleanup := func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+	}
+	for i := 0; i < size; i++ {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if h := handlers[i].Load(); h != nil {
+				(*h).ServeHTTP(w, r)
+				return
+			}
+			http.Error(w, "node not ready", http.StatusServiceUnavailable)
+		}))
+		servers = append(servers, ts)
+		urls[i] = ts.URL
+	}
+	nodes := make([]*federation.Node, size)
+	for i := 0; i < size; i++ {
+		srv, err := serve.New(serve.Config{})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		node, err := federation.New(federation.Config{
+			Self: urls[i], Peers: urls, Service: srv.Service(),
+		})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		srv.SetFederation(node)
+		root := http.NewServeMux()
+		root.Handle("/v1/federation/", node.Handler())
+		root.Handle("/", srv.Handler())
+		var h http.Handler = root
+		handlers[i].Store(&h)
+		nodes[i] = node
+	}
+	return nodes, cleanup, nil
+}

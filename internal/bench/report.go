@@ -66,6 +66,11 @@ type Report struct {
 	// (Options.ParallelStep). Wall-clock like MeanWallMS, so diff ignores
 	// it.
 	Parallel *ParallelStep `json:"parallel,omitempty"`
+
+	// Federation is the optional distributed-island measurement
+	// (Options.Federation): a loopback fleet vs the same workload
+	// single-process. Wall-clock rows are informational; diff ignores it.
+	Federation *FederationRun `json:"federation,omitempty"`
 }
 
 // Find returns the entry for an (instance, model) cell.

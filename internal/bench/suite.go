@@ -24,6 +24,12 @@ type Options struct {
 	// workload) to the report as Report.Parallel; values below 2 are
 	// rejected by MeasureParallelStep.
 	ParallelStep int
+	// Federation != 0 appends the distributed-island measurement (a
+	// loopback fleet of Federation nodes vs the same workload
+	// single-process, on the profile's first job shop workload) to the
+	// report as Report.Federation; values below 2 are rejected by
+	// MeasureFederation.
+	Federation int
 }
 
 // Run executes the named catalogue profile; see RunProfile.
@@ -59,6 +65,9 @@ func RunProfile(ctx context.Context, prof Profile, opts Options) (*Report, error
 	// a finished sweep at the end.
 	if opts.ParallelStep != 0 && opts.ParallelStep < 2 {
 		return nil, fmt.Errorf("bench: parallel-step needs workers >= 2, got %d", opts.ParallelStep)
+	}
+	if opts.Federation != 0 && opts.Federation < 2 {
+		return nil, fmt.Errorf("bench: federation needs fleet >= 2, got %d", opts.Federation)
 	}
 
 	// One flat spec batch in deterministic order: workload-major, then
@@ -141,15 +150,21 @@ func RunProfile(ctx context.Context, prof Profile, opts Options) (*Report, error
 		}
 		report.Parallel = ps
 	}
+	if opts.Federation != 0 {
+		instance, _ := firstJobShopWorkload(prof)
+		fr, err := MeasureFederation(instance, opts.Federation, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		report.Federation = fr
+	}
 	return report, nil
 }
 
-// parallelStepForProfile measures the sharded step scaling on the
-// profile's first job shop workload (falling back to ft06 when the
-// profile has none).
-func parallelStepForProfile(prof Profile, workers int) (*ParallelStep, error) {
-	instance := "ft06"
-	pop := 64
+// firstJobShopWorkload picks the profile's first job shop instance (and
+// its population), falling back to ft06.
+func firstJobShopWorkload(prof Profile) (instance string, pop int) {
+	instance, pop = "ft06", 64
 	for _, w := range prof.Workloads {
 		in, err := solver.BuildInstance(solver.ProblemSpec{Instance: w.Instance})
 		if err != nil {
@@ -160,8 +175,16 @@ func parallelStepForProfile(prof Profile, workers int) (*ParallelStep, error) {
 			if w.Pop > 0 {
 				pop = w.Pop
 			}
-			break
+			return
 		}
 	}
+	return
+}
+
+// parallelStepForProfile measures the sharded step scaling on the
+// profile's first job shop workload (falling back to ft06 when the
+// profile has none).
+func parallelStepForProfile(prof Profile, workers int) (*ParallelStep, error) {
+	instance, pop := firstJobShopWorkload(prof)
 	return MeasureParallelStep(instance, pop, workers, 0)
 }

@@ -1,0 +1,528 @@
+// Package federation promotes the island model across process and machine
+// boundaries: schedserver instances form a static fleet, a job submitted
+// to any node fans its demes out over the peers, and the nodes exchange
+// migrant elites over the wire at every migration epoch — the survey's
+// coarse-grained taxonomy at horizontal scale, and the architecture of
+// the dual heterogeneous island GA (arXiv:1903.10722), where islands
+// cooperate purely through elite exchange.
+//
+// Topology. The fleet is coordinator-less: every node is configured with
+// the same -peers list, the list is sorted, and a node's rank is its
+// index in the sorted list. A federated job is sharded over the first
+// min(fleet, islands) ranks; shard rank r always runs on sorted peer r,
+// so every node derives the same placement from the same list.
+//
+// Determinism. Each shard derives its RNG from the job seed split
+// FedNodes ways at its rank (the same rng.SplitN discipline the sharded
+// engine pipeline uses), migrant batches are applied at epoch barriers
+// in sender-rank order, and the barrier blocks until every live peer's
+// batch arrived — so a federated run over a healthy fleet is replayable:
+// the same fleet shape and seed reproduce the same incumbent trajectory.
+//
+// Degradation. Migration is an accelerator, not a correctness
+// dependency. A peer that misses an epoch barrier (crash, partition,
+// timeout) is skipped and never waited for again in that run; the skip
+// surfaces as a typed peer_degraded event and a counter, pushes to it
+// stop, and the run terminates normally on the demes that remain. The
+// submitting node always owns the terminal Result: a best-of-fleet
+// reduction with per-node provenance, degraded peers marked.
+package federation
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/solver"
+)
+
+// Bounds on what the migrant inbox accepts; they protect the daemon from
+// hostile or runaway peers, sitting far above anything a real fleet ships.
+const (
+	// MaxBatchMigrants bounds the migrants in one POSTed batch.
+	MaxBatchMigrants = 4096
+	// MaxBatchBytes bounds the POST /v1/federation/migrants body.
+	MaxBatchBytes = 8 << 20
+	// epochWindow bounds how far ahead of the local barrier a buffered
+	// batch may run; beyond it the sender has long since degraded us.
+	epochWindow = 16
+	// maxPendingBatches bounds batches buffered for keys whose shard has
+	// not started yet (the peer submitted and raced ahead).
+	maxPendingBatches = 512
+)
+
+// Config parameterises a Node.
+type Config struct {
+	// Self is this node's advertised base URL (e.g. "http://10.0.0.1:8410");
+	// it must appear in Peers.
+	Self string
+	// Peers is the full static fleet, Self included, in any order; ranks
+	// are derived from the sorted list, identically on every node.
+	Peers []string
+	// Service is the node's job service. New registers itself as the
+	// service's migrant exchange.
+	Service *solver.Service
+	// EpochTimeout bounds how long an epoch barrier waits for a peer's
+	// batch before degrading it (default 5s). Must comfortably exceed the
+	// fleet's slowest epoch compute time, or healthy peers degrade and
+	// determinism is lost.
+	EpochTimeout time.Duration
+	// PushTimeout bounds one migrant push attempt (default 2s).
+	PushTimeout time.Duration
+	// MaxRetries and RetryBackoff configure the typed client's transient
+	// retry policy for pushes and shard submissions (defaults: client's).
+	MaxRetries   int
+	RetryBackoff time.Duration
+	// NewClient overrides client construction (tests inject doctored
+	// transports). Default: a client.Client with the settings above.
+	NewClient func(base string) *client.Client
+	// Logf receives degradation and transport diagnostics (default silent).
+	Logf func(format string, args ...any)
+}
+
+// Node is one member of the fleet. It implements solver.MigrantExchange
+// (the shard-side epoch barrier) and serve.Federation (the submit-side
+// fan-out and the stats hook), and serves the federation endpoints via
+// Handler.
+type Node struct {
+	cfg     Config
+	peers   []string // sorted, self included
+	rank    int      // index of Self in peers
+	svc     *solver.Service
+	clients []*client.Client // by rank; nil at self
+	logf    func(format string, args ...any)
+
+	mu       sync.Mutex
+	runs     map[string]*run
+	pending  map[string][]*serve.MigrantBatch
+	pendingN int
+
+	keySeq atomic.Int64
+
+	// Monotonic counters (see serve.FederationCounters). Accepted counts
+	// migrants handed to a barrier's run; rejected counts the subset the
+	// solver's per-encoding validation then dropped.
+	sent     atomic.Int64
+	accepted atomic.Int64
+	rejected atomic.Int64
+	timeouts atomic.Int64
+	shards   atomic.Int64
+}
+
+// run is the exchange state of one live shard: the inbox of peer batches
+// keyed epoch → sender rank, the barrier's notification channel, and the
+// per-run degradation and completion sets.
+type run struct {
+	rank  int
+	nodes int
+
+	mu       sync.Mutex
+	notify   chan struct{} // closed and replaced on every delivery
+	epoch    int           // the barrier currently (or next) waited on
+	batches  map[int]map[int]*serve.MigrantBatch
+	finished map[int]bool // ranks whose sender declared Done
+	degraded map[int]bool // ranks that missed a barrier; never waited again
+}
+
+// New builds the node, derives its rank from the sorted peer list and
+// registers it as cfg.Service's migrant exchange.
+func New(cfg Config) (*Node, error) {
+	if cfg.Service == nil {
+		return nil, fmt.Errorf("federation: Config.Service is required")
+	}
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("federation: Config.Self is required")
+	}
+	if cfg.EpochTimeout <= 0 {
+		cfg.EpochTimeout = 5 * time.Second
+	}
+	if cfg.PushTimeout <= 0 {
+		cfg.PushTimeout = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	peers := append([]string(nil), cfg.Peers...)
+	sort.Strings(peers)
+	// Dedup (a repeated address would split one node over two ranks).
+	peers = dedup(peers)
+	rank := -1
+	for i, p := range peers {
+		if p == cfg.Self {
+			rank = i
+		}
+	}
+	if rank < 0 {
+		return nil, fmt.Errorf("federation: Self %q not in Peers %v", cfg.Self, peers)
+	}
+	n := &Node{
+		cfg:     cfg,
+		peers:   peers,
+		rank:    rank,
+		svc:     cfg.Service,
+		clients: make([]*client.Client, len(peers)),
+		logf:    cfg.Logf,
+		runs:    map[string]*run{},
+		pending: map[string][]*serve.MigrantBatch{},
+	}
+	newClient := cfg.NewClient
+	if newClient == nil {
+		newClient = func(base string) *client.Client {
+			return &client.Client{
+				BaseURL:        base,
+				MaxRetries:     cfg.MaxRetries,
+				RetryBackoff:   cfg.RetryBackoff,
+				RequestTimeout: cfg.PushTimeout,
+			}
+		}
+	}
+	for i, p := range peers {
+		if i != rank {
+			n.clients[i] = newClient(p)
+		}
+	}
+	n.svc.Exchange = n
+	return n, nil
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Self returns this node's advertised address.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// Rank returns this node's rank in the sorted fleet.
+func (n *Node) Rank() int { return n.rank }
+
+// Peers returns the sorted fleet, self included.
+func (n *Node) Peers() []string { return append([]string(nil), n.peers...) }
+
+// Counters snapshots the federation counters.
+func (n *Node) Counters() serve.FederationCounters {
+	return serve.FederationCounters{
+		MigrantsSent:     n.sent.Load(),
+		MigrantsAccepted: n.accepted.Load(),
+		MigrantsRejected: n.rejected.Load(),
+		PeerTimeouts:     n.timeouts.Load(),
+		Shards:           n.shards.Load(),
+	}
+}
+
+// StatsText implements serve.Federation.
+func (n *Node) StatsText() string {
+	return serve.FederationStatsText(len(n.peers), n.Counters())
+}
+
+// Handler serves the federation endpoints; cmd/schedserver composes it in
+// front of the main API handler.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/federation/migrants", n.handleMigrants)
+	mux.HandleFunc("GET /v1/federation/info", n.handleInfo)
+	return mux
+}
+
+// handleMigrants: POST /v1/federation/migrants — one peer's elites for
+// one epoch. Shape-validated here (bounds, rank range); genome validation
+// happens at injection, through the solver's per-encoding validators.
+func (n *Node) handleMigrants(w http.ResponseWriter, r *http.Request) {
+	var batch serve.MigrantBatch
+	body := http.MaxBytesReader(w, r.Body, MaxBatchBytes)
+	if err := json.NewDecoder(body).Decode(&batch); err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorBody{Error: "parsing batch: " + err.Error()})
+		return
+	}
+	if err := n.checkBatch(&batch); err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorBody{Error: err.Error()})
+		return
+	}
+	n.deliver(&batch)
+	writeJSON(w, http.StatusAccepted, struct{}{})
+}
+
+func (n *Node) checkBatch(b *serve.MigrantBatch) error {
+	switch {
+	case b.Key == "" || len(b.Key) > 200:
+		return fmt.Errorf("federation: batch key missing or too long")
+	case b.Epoch < 0:
+		return fmt.Errorf("federation: batch epoch %d is negative", b.Epoch)
+	case b.From < 0 || b.From >= len(n.peers):
+		return fmt.Errorf("federation: batch sender rank %d outside fleet of %d", b.From, len(n.peers))
+	case b.From == n.rank:
+		return fmt.Errorf("federation: batch sender rank %d is this node", b.From)
+	case len(b.Migrants) > MaxBatchMigrants:
+		return fmt.Errorf("federation: batch carries %d migrants, cap %d", len(b.Migrants), MaxBatchMigrants)
+	}
+	return nil
+}
+
+// handleInfo: GET /v1/federation/info.
+func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, serve.FederationInfo{
+		Self:     n.cfg.Self,
+		Peers:    n.Peers(),
+		Rank:     n.rank,
+		Counters: n.Counters(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// deliver routes an inbound batch to its run's inbox, or buffers it when
+// the local shard has not started yet.
+func (n *Node) deliver(b *serve.MigrantBatch) {
+	n.mu.Lock()
+	st := n.runs[b.Key]
+	if st == nil {
+		// The peer raced ahead of our shard's start; hold the batch. The
+		// buffer also collects strays for keys that already finished here
+		// (late Done notices, post-finish pushes), so at capacity we evict
+		// some other key's strays first — a genuine race is milliseconds
+		// old, a stray can be arbitrarily stale.
+		if n.pendingN >= maxPendingBatches {
+			for k, bs := range n.pending {
+				if k != b.Key {
+					delete(n.pending, k)
+					n.pendingN -= len(bs)
+					break
+				}
+			}
+		}
+		if n.pendingN >= maxPendingBatches {
+			n.mu.Unlock()
+			n.logf("federation: pending inbox full, dropping batch %s/%d from %d", b.Key, b.Epoch, b.From)
+			return
+		}
+		n.pending[b.Key] = append(n.pending[b.Key], b)
+		n.pendingN++
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	st.deliver(b)
+}
+
+// deliver stores one batch in the run's inbox and wakes the barrier.
+// At-most-one batch per (epoch, sender) — redelivery (client retries)
+// overwrites, which is idempotent because batches are immutable.
+func (st *run) deliver(b *serve.MigrantBatch) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if b.Done {
+		st.finished[b.From] = true
+	}
+	// Reject stale (already collected) and absurdly-early epochs.
+	if b.Epoch >= st.epoch && b.Epoch < st.epoch+epochWindow && len(b.Migrants) > 0 {
+		em := st.batches[b.Epoch]
+		if em == nil {
+			em = map[int]*serve.MigrantBatch{}
+			st.batches[b.Epoch] = em
+		}
+		em[b.From] = b
+	}
+	close(st.notify)
+	st.notify = make(chan struct{})
+}
+
+// ShardStarted implements solver.MigrantExchange: register the run's
+// inbox and adopt any batches that arrived before the shard started.
+func (n *Node) ShardStarted(key string, rank, nodes int) {
+	st := &run{
+		rank: rank, nodes: nodes,
+		notify:   make(chan struct{}),
+		batches:  map[int]map[int]*serve.MigrantBatch{},
+		finished: map[int]bool{},
+		degraded: map[int]bool{},
+	}
+	n.mu.Lock()
+	n.runs[key] = st
+	early := n.pending[key]
+	delete(n.pending, key)
+	n.pendingN -= len(early)
+	n.mu.Unlock()
+	for _, b := range early {
+		st.deliver(b)
+	}
+	n.shards.Add(1)
+}
+
+// MigrantRejected implements solver.MigrantExchange.
+func (n *Node) MigrantRejected(string) { n.rejected.Add(1) }
+
+// ShardFinished implements solver.MigrantExchange: tell the peers not to
+// wait for this shard at any further barrier, then drop the inbox.
+func (n *Node) ShardFinished(key string) {
+	n.mu.Lock()
+	st := n.runs[key]
+	delete(n.runs, key)
+	n.mu.Unlock()
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	epoch := st.epoch
+	degraded := make(map[int]bool, len(st.degraded))
+	for r := range st.degraded {
+		degraded[r] = true
+	}
+	st.mu.Unlock()
+	for _, r := range n.activePeers(st.nodes) {
+		if degraded[r] {
+			continue
+		}
+		go n.push(r, serve.MigrantBatch{Key: key, Epoch: epoch, From: st.rank, Done: true})
+	}
+}
+
+// activePeers lists the fleet ranks participating in a run of the given
+// size, excluding self.
+func (n *Node) activePeers(nodes int) []int {
+	var out []int
+	for r := 0; r < nodes && r < len(n.peers); r++ {
+		if r != n.rank {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// push ships one batch to one peer with the retrying client, bounded by
+// PushTimeout per attempt.
+func (n *Node) push(rank int, b serve.MigrantBatch) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PushTimeout*time.Duration(n.clientRetries()+1)*2)
+	defer cancel()
+	if err := n.clients[rank].PushMigrants(ctx, b); err != nil {
+		n.logf("federation: push %s/%d to %s: %v", b.Key, b.Epoch, n.peers[rank], err)
+		return
+	}
+	n.sent.Add(int64(len(b.Migrants)))
+}
+
+func (n *Node) clientRetries() int {
+	if n.cfg.MaxRetries != 0 {
+		if n.cfg.MaxRetries < 0 {
+			return 0
+		}
+		return n.cfg.MaxRetries
+	}
+	return 3
+}
+
+// ExchangeMigrants implements solver.MigrantExchange: one epoch barrier.
+// Ship the local elites to every live peer, wait (bounded) for each live
+// peer's batch for this epoch, degrade the ones that miss it, and return
+// the arrived migrants in sender-rank order.
+func (n *Node) ExchangeMigrants(ctx context.Context, key string, epoch int, out []solver.Migrant) solver.ExchangeReport {
+	n.mu.Lock()
+	st := n.runs[key]
+	n.mu.Unlock()
+	if st == nil {
+		return solver.ExchangeReport{}
+	}
+
+	st.mu.Lock()
+	st.epoch = epoch
+	waiting := make([]int, 0, st.nodes)
+	for _, r := range n.activePeers(st.nodes) {
+		if !st.degraded[r] {
+			waiting = append(waiting, r)
+		}
+	}
+	st.mu.Unlock()
+
+	// Ship our elites asynchronously: the barrier depends on the peers'
+	// pushes, not our own, and a dead peer must not serialise retries
+	// into the epoch.
+	for _, r := range waiting {
+		go n.push(r, serve.MigrantBatch{Key: key, Epoch: epoch, From: st.rank, Migrants: out})
+	}
+
+	deadline := time.NewTimer(n.cfg.EpochTimeout)
+	defer deadline.Stop()
+	var report solver.ExchangeReport
+	for {
+		st.mu.Lock()
+		missing := missingRanks(st, epoch, waiting)
+		notify := st.notify
+		st.mu.Unlock()
+		if len(missing) == 0 {
+			break
+		}
+		select {
+		case <-notify:
+		case <-deadline.C:
+			st.mu.Lock()
+			for _, r := range missingRanks(st, epoch, waiting) {
+				st.degraded[r] = true
+				n.timeouts.Add(1)
+				report.Degraded = append(report.Degraded, n.peers[r])
+				n.logf("federation: %s epoch %d: peer %s missed the barrier, degraded", key, epoch, n.peers[r])
+			}
+			st.mu.Unlock()
+		case <-ctx.Done():
+			// Cancellation mid-barrier: return what arrived; the run is
+			// stopping anyway.
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+
+	// Collect in sender-rank order — the injection order every node must
+	// agree on for the run to be replayable.
+	st.mu.Lock()
+	em := st.batches[epoch]
+	ranks := make([]int, 0, len(em))
+	for r := range em {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		report.In = append(report.In, em[r].Migrants...)
+	}
+	// Drop this epoch and anything staler; redeliveries are stale now.
+	for e := range st.batches {
+		if e <= epoch {
+			delete(st.batches, e)
+		}
+	}
+	st.epoch = epoch + 1
+	st.mu.Unlock()
+	n.accepted.Add(int64(len(report.In)))
+	return report
+}
+
+// missingRanks lists the waited-on ranks whose epoch batch has not
+// arrived and whose sender has neither finished nor been degraded.
+// Callers hold st.mu.
+func missingRanks(st *run, epoch int, waiting []int) []int {
+	var out []int
+	for _, r := range waiting {
+		if st.degraded[r] || st.finished[r] {
+			continue
+		}
+		if em := st.batches[epoch]; em != nil && em[r] != nil {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

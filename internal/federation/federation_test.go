@@ -1,0 +1,321 @@
+package federation_test
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/federation"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/solver"
+)
+
+// fleetNode is one in-process fleet member: a full serve.Server with its
+// federation node composed in front, reachable over a real HTTP listener.
+type fleetNode struct {
+	Srv  *serve.Server
+	Node *federation.Node
+	URL  string
+}
+
+// newFleet spins size federated daemons on httptest listeners. Listener
+// addresses must be known before the nodes exist (the peer list is the
+// fleet), so each listener starts behind a swappable handler that the
+// finished node is stored into.
+func newFleet(t *testing.T, size int, fcfg federation.Config) []*fleetNode {
+	t.Helper()
+	handlers := make([]atomic.Pointer[http.Handler], size)
+	urls := make([]string, size)
+	for i := 0; i < size; i++ {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h := handlers[i].Load()
+			if h == nil {
+				http.Error(w, "node not ready", http.StatusServiceUnavailable)
+				return
+			}
+			(*h).ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	fleet := make([]*fleetNode, size)
+	for i := 0; i < size; i++ {
+		srv, err := serve.New(serve.Config{})
+		if err != nil {
+			t.Fatalf("serve.New: %v", err)
+		}
+		cfg := fcfg
+		cfg.Self = urls[i]
+		cfg.Peers = urls
+		cfg.Service = srv.Service()
+		node, err := federation.New(cfg)
+		if err != nil {
+			t.Fatalf("federation.New: %v", err)
+		}
+		srv.SetFederation(node)
+		root := http.NewServeMux()
+		root.Handle("/v1/federation/", node.Handler())
+		root.Handle("/", srv.Handler())
+		var h http.Handler = root
+		handlers[i].Store(&h)
+		fleet[i] = &fleetNode{Srv: srv, Node: node, URL: urls[i]}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = srv.Drain(ctx)
+		})
+	}
+	return fleet
+}
+
+func fedSpec(seed uint64) solver.Spec {
+	return solver.Spec{
+		Problem: solver.ProblemSpec{Instance: "ft06"},
+		Model:   "island",
+		Seed:    seed,
+		Params: solver.Params{
+			Federate: true,
+			Islands:  4,
+			Pop:      40,
+			Interval: 2,
+			Migrants: 1,
+		},
+		Budget: solver.Budget{Generations: 24},
+	}
+}
+
+// TestFederatedDeterminism is the issue's acceptance test: a two-node
+// fleet with a fixed seed reproduces the same final best objective across
+// two invocations, with demes running (and migrants flowing) on both
+// nodes.
+func TestFederatedDeterminism(t *testing.T) {
+	fleet := newFleet(t, 2, federation.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	runOnce := func() *solver.Result {
+		t.Helper()
+		job, err := fleet[0].Node.SubmitFederated(ctx, fedSpec(7))
+		if err != nil {
+			t.Fatalf("SubmitFederated: %v", err)
+		}
+		res, err := job.Await(ctx)
+		if err != nil {
+			t.Fatalf("Await: %v", err)
+		}
+		return res
+	}
+
+	r1 := runOnce()
+	r2 := runOnce()
+
+	if r1.BestObjective != r2.BestObjective {
+		t.Errorf("federated run not replayable: best %v then %v", r1.BestObjective, r2.BestObjective)
+	}
+	if len(r1.Nodes) != 2 {
+		t.Fatalf("Nodes provenance: got %d entries, want 2: %+v", len(r1.Nodes), r1.Nodes)
+	}
+	for _, nr := range r1.Nodes {
+		if nr.Degraded {
+			t.Errorf("healthy fleet: node %s (rank %d) marked degraded", nr.Node, nr.Rank)
+		}
+		if nr.Evaluations <= 0 || nr.BestObjective <= 0 {
+			t.Errorf("node %s provenance empty: %+v", nr.Node, nr)
+		}
+	}
+	if r1.Schedule == nil {
+		t.Error("owner result lacks a schedule")
+	} else if err := r1.Schedule.Validate(); err != nil {
+		t.Errorf("owner schedule invalid: %v", err)
+	}
+	if r1.Reference != 55 {
+		t.Errorf("ft06 reference %v, want 55", r1.Reference)
+	}
+	if sum := r1.Nodes[0].Evaluations + r1.Nodes[1].Evaluations; r1.Evaluations != sum {
+		t.Errorf("owner evaluations %d, want sum of shards %d", r1.Evaluations, sum)
+	}
+	for i, fn := range fleet {
+		c := fn.Node.Counters()
+		if c.Shards < 2 { // two invocations, one shard each
+			t.Errorf("node %d ran %d shards, want >= 2", i, c.Shards)
+		}
+		if c.MigrantsSent == 0 || c.MigrantsAccepted == 0 {
+			t.Errorf("node %d exchanged no migrants: %+v", i, c)
+		}
+		if c.MigrantsRejected != 0 || c.PeerTimeouts != 0 {
+			t.Errorf("healthy fleet: node %d counters %+v", i, c)
+		}
+	}
+}
+
+// TestFederatedDegradedPeer: one live node fleeted with a dead address.
+// The remote shard never starts and the live node's epoch barriers time
+// out once, degrade the peer, and the run still terminates with a valid,
+// reference-gapped Result carrying the degradation in its provenance and
+// a typed peer_degraded event in the owner's stream.
+func TestFederatedDegradedPeer(t *testing.T) {
+	// A listener that is closed again: connection refused, immediately.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	handlers := [1]atomic.Pointer[http.Handler]{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := handlers[0].Load(); h != nil {
+			(*h).ServeHTTP(w, r)
+			return
+		}
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	srv, err := serve.New(serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := federation.New(federation.Config{
+		Self:         ts.URL,
+		Peers:        []string{ts.URL, dead},
+		Service:      srv.Service(),
+		EpochTimeout: 150 * time.Millisecond,
+		PushTimeout:  100 * time.Millisecond,
+		MaxRetries:   -1,
+		RetryBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetFederation(node)
+	root := http.NewServeMux()
+	root.Handle("/v1/federation/", node.Handler())
+	root.Handle("/", srv.Handler())
+	var h http.Handler = root
+	handlers[0].Store(&h)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	job, err := node.SubmitFederated(ctx, fedSpec(11))
+	if err != nil {
+		t.Fatalf("SubmitFederated: %v", err)
+	}
+	res, err := job.Await(ctx)
+	if err != nil {
+		t.Fatalf("Await: %v", err)
+	}
+	if res.BestObjective <= 0 || res.Schedule == nil {
+		t.Fatalf("degraded run result invalid: best %v, schedule %v", res.BestObjective, res.Schedule != nil)
+	}
+	if res.Reference != 55 || res.Gap < 0 {
+		t.Errorf("degraded run reference/gap: %v/%v", res.Reference, res.Gap)
+	}
+	if len(res.Nodes) != 2 {
+		t.Fatalf("Nodes provenance: %+v", res.Nodes)
+	}
+	for _, nr := range res.Nodes {
+		wantDegraded := nr.Node == dead
+		if nr.Degraded != wantDegraded {
+			t.Errorf("node %s degraded=%v, want %v", nr.Node, nr.Degraded, wantDegraded)
+		}
+	}
+	if c := node.Counters(); c.PeerTimeouts == 0 {
+		t.Errorf("no peer timeout recorded: %+v", c)
+	}
+	sawDegraded := false
+	for ev := range job.Events() {
+		if ev.Type == solver.EventPeerDegraded {
+			sawDegraded = true
+			if ev.Peer != dead {
+				t.Errorf("peer_degraded names %q, want %q", ev.Peer, dead)
+			}
+		}
+	}
+	if !sawDegraded {
+		t.Error("owner stream carries no peer_degraded event")
+	}
+}
+
+// TestFederationEndpoints drives the HTTP surface through the typed
+// client: fleet info, Prometheus stats with the federation block, and the
+// migrant inbox's shape validation.
+func TestFederationEndpoints(t *testing.T) {
+	fleet := newFleet(t, 2, federation.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := &client.Client{BaseURL: fleet[0].URL}
+
+	info, err := c.FederationInfo(ctx)
+	if err != nil {
+		t.Fatalf("FederationInfo: %v", err)
+	}
+	if info.Self != fleet[0].URL || len(info.Peers) != 2 || info.Rank != fleet[0].Node.Rank() {
+		t.Errorf("federation info %+v", info)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	for _, want := range []string{
+		"schedserver_jobs{state=\"running\"}",
+		"schedserver_queue_depth",
+		"schedserver_evaluations_total",
+		"schedserver_replay_ring_drops_total",
+		"schedserver_federation_peers 2",
+		"schedserver_federation_migrants_sent_total",
+		"schedserver_federation_peer_timeouts_total",
+	} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("stats missing %q:\n%s", want, stats)
+		}
+	}
+
+	// A batch from an out-of-fleet rank is rejected at the door.
+	err = c.PushMigrants(ctx, serve.MigrantBatch{Key: "k", Epoch: 0, From: 9})
+	if err == nil {
+		t.Error("push with rank 9 accepted, want 400")
+	}
+	// A well-formed batch for a not-yet-started key is buffered (202).
+	if err := c.PushMigrants(ctx, serve.MigrantBatch{
+		Key: "early", Epoch: 0, From: 1 - fleet[0].Node.Rank(),
+		Migrants: []solver.Migrant{{Genome: solver.Genome{Seq: []int{0}}, Obj: 1}},
+	}); err != nil {
+		t.Errorf("push for unknown key: %v", err)
+	}
+}
+
+// TestFederatedSingleNode: a fleet of one degrades to a plain local
+// island run — no shard coordinates, no provenance, no waiting.
+func TestFederatedSingleNode(t *testing.T) {
+	fleet := newFleet(t, 1, federation.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	job, err := fleet[0].Node.SubmitFederated(ctx, fedSpec(3))
+	if err != nil {
+		t.Fatalf("SubmitFederated: %v", err)
+	}
+	res, err := job.Await(ctx)
+	if err != nil {
+		t.Fatalf("Await: %v", err)
+	}
+	if res.BestObjective <= 0 || res.Schedule == nil {
+		t.Fatalf("single-node federated result invalid: %+v", res)
+	}
+	if len(res.Nodes) != 0 || res.BestGenome != nil {
+		t.Errorf("single-node run carries federation artifacts: nodes %v, genome %v", res.Nodes, res.BestGenome)
+	}
+}

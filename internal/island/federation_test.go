@@ -1,0 +1,94 @@
+package island
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// TestExchangeHook: the federation seam. The hook sees every epoch with a
+// clone of each island's best, its returned genomes are injected
+// round-robin from island 0, the injections surface in the epoch stats as
+// remote (From: -1) edges, and an injected optimum actually takes over.
+func TestExchangeHook(t *testing.T) {
+	const n = 12
+	perfect := make([]int, n)
+	for i := range perfect {
+		perfect[i] = i
+	}
+
+	cfg := baseConfig(n)
+	var epochs []int
+	var stats []EpochStats
+	cfg.Exchange = func(epoch int, elites []core.Individual[[]int]) [][]int {
+		epochs = append(epochs, epoch)
+		if len(elites) != cfg.Islands {
+			t.Fatalf("epoch %d: %d elites, want %d", epoch, len(elites), cfg.Islands)
+		}
+		for i, e := range elites {
+			if len(e.Genome) != n || e.Obj <= 0 {
+				t.Fatalf("epoch %d: elite %d malformed: %+v", epoch, i, e)
+			}
+		}
+		if epoch == 1 {
+			// Three foreign migrants, one of them the optimum.
+			return [][]int{append([]int(nil), perfect...), elites[0].Genome, elites[1].Genome}
+		}
+		return nil
+	}
+	cfg.OnEpoch = func(es EpochStats) { stats = append(stats, es) }
+
+	res := New(rng.New(42), cfg).Run()
+
+	if len(epochs) == 0 {
+		t.Fatal("exchange hook never called")
+	}
+	for i, e := range epochs {
+		if e != i {
+			t.Fatalf("exchange epochs %v, want consecutive from 0", epochs)
+		}
+	}
+	if res.Best.Obj != 1 {
+		t.Errorf("best %v after injecting the optimum, want 1", res.Best.Obj)
+	}
+	// Epoch 1's stats carry the remote injections: 3 migrants round-robin
+	// over 4 islands = islands 0, 1, 2 with one each, marked From: -1.
+	var remote []Exchange
+	for _, es := range stats {
+		if es.Epoch != 1 {
+			continue
+		}
+		for _, x := range es.Exchanges {
+			if x.From == -1 {
+				remote = append(remote, x)
+			}
+		}
+	}
+	if len(remote) != 3 {
+		t.Fatalf("epoch 1 remote edges %+v, want 3", remote)
+	}
+	for i, x := range remote {
+		if x.To != i || x.Count != 1 {
+			t.Errorf("remote edge %d = %+v, want {To: %d, Count: 1}", i, x, i)
+		}
+	}
+}
+
+// TestExchangeHookDeterminism: a fixed hook return sequence leaves the
+// run bit-reproducible — the seam itself adds no nondeterminism.
+func TestExchangeHookDeterminism(t *testing.T) {
+	run := func() float64 {
+		cfg := baseConfig(14)
+		cfg.Exchange = func(epoch int, elites []core.Individual[[]int]) [][]int {
+			if epoch%2 == 1 {
+				return [][]int{elites[len(elites)-1].Genome}
+			}
+			return nil
+		}
+		return New(rng.New(7), cfg).Run().Best.Obj
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("exchange-hook run not reproducible: %v vs %v", a, b)
+	}
+}

@@ -83,6 +83,15 @@ type TwoLevel struct {
 	LN int
 }
 
+// Exchange records one directed edge of a migration epoch: Count migrants
+// moved from island From to island To. Remote injections (Config.Exchange)
+// are recorded with From = -1.
+type Exchange struct {
+	From  int
+	To    int
+	Count int
+}
+
 // EpochStats records the state after one migration epoch.
 type EpochStats struct {
 	Epoch       int
@@ -90,6 +99,9 @@ type EpochStats struct {
 	BestObj     float64
 	MeanBestObj float64 // mean of per-island bests
 	Islands     int
+	// Exchanges lists the epoch's migrant movements, one entry per
+	// (from, to) pair that shipped at least one migrant.
+	Exchanges []Exchange
 }
 
 // Config parameterises the island model.
@@ -137,6 +149,18 @@ type Config[G any] struct {
 	// model's own goroutine, between epochs, so it never races the island
 	// goroutines.
 	OnEpoch func(EpochStats)
+
+	// Exchange, when set, extends each migration epoch beyond the process
+	// boundary: after the local topology exchange it receives the epoch
+	// number and a clone of each island's best individual (island order)
+	// and returns foreign genomes to absorb. Returned genomes are injected
+	// in order, round-robin over the islands starting at island 0, using
+	// the configured replacement policy — so for a fixed sequence of
+	// returned genomes the injection is deterministic. It runs on the
+	// model's own goroutine, between epochs. This is the federation seam:
+	// the caller serialises the elites, ships them to peers, and returns
+	// whatever migrants arrived for this epoch.
+	Exchange func(epoch int, elites []core.Individual[G]) []G
 
 	Target    float64 // optional global early stop on best objective
 	TargetSet bool
@@ -287,11 +311,12 @@ func (m *Model[G]) stepAll() {
 
 // migrate performs one synchronous exchange over the topology: emigrants
 // are snapshotted from every island first, then injected, so the exchange
-// is simultaneous and order-independent.
-func (m *Model[G]) migrate(epoch int) {
+// is simultaneous and order-independent. It returns the epoch's directed
+// shipment tally for EpochStats.
+func (m *Model[G]) migrate(epoch int) []Exchange {
 	n := len(m.engines)
 	if n < 2 {
-		return
+		return nil
 	}
 	type shipment struct {
 		to     int
@@ -299,6 +324,7 @@ func (m *Model[G]) migrate(epoch int) {
 		from   int
 	}
 	var ships []shipment
+	var edges []Exchange
 	for i, e := range m.engines {
 		targets := m.cfg.Topology.Targets(i, n, epoch, m.rng)
 		if len(targets) == 0 {
@@ -310,11 +336,44 @@ func (m *Model[G]) migrate(epoch int) {
 				g := e.Problem().Clone(e.Population()[idx].Genome)
 				ships = append(ships, shipment{to: t, genome: g, from: i})
 			}
+			edges = append(edges, Exchange{From: i, To: t, Count: m.cfg.Migrants})
 		}
 	}
 	for _, s := range ships {
 		m.inject(m.engines[s.to], s.genome)
 	}
+	return edges
+}
+
+// exchange runs the external Exchange hook: ships a clone of each island's
+// best and injects whatever came back, round-robin over the islands in
+// order. Returns the injection tally (From = -1 marks remote origin).
+func (m *Model[G]) exchange(epoch int) []Exchange {
+	if m.cfg.Exchange == nil {
+		return nil
+	}
+	elites := make([]core.Individual[G], len(m.engines))
+	for i, e := range m.engines {
+		b := e.Best()
+		elites[i] = core.Individual[G]{Genome: e.Problem().Clone(b.Genome), Obj: b.Obj}
+	}
+	in := m.cfg.Exchange(epoch, elites)
+	if len(in) == 0 {
+		return nil
+	}
+	counts := make([]int, len(m.engines))
+	for j, g := range in {
+		to := j % len(m.engines)
+		m.inject(m.engines[to], g)
+		counts[to]++
+	}
+	var edges []Exchange
+	for to, c := range counts {
+		if c > 0 {
+			edges = append(edges, Exchange{From: -1, To: to, Count: c})
+		}
+	}
+	return edges
 }
 
 // pickEmigrant returns the population index of the k-th emigrant: the k-th
@@ -405,7 +464,7 @@ func (m *Model[G]) stagnated(e *core.Engine[G], mc *MergeConfig[G]) bool {
 	return float64(closePairs) > mc.PairFrac*float64(pairs)
 }
 
-func (m *Model[G]) record(epoch int) {
+func (m *Model[G]) record(epoch int, edges []Exchange) {
 	best := m.Best()
 	var sum float64
 	for _, e := range m.engines {
@@ -417,6 +476,7 @@ func (m *Model[G]) record(epoch int) {
 		BestObj:     best.Obj,
 		MeanBestObj: sum / float64(len(m.engines)),
 		Islands:     len(m.engines),
+		Exchanges:   edges,
 	}
 	m.history = append(m.history, es)
 	if m.cfg.OnEpoch != nil {
@@ -430,7 +490,8 @@ func (m *Model[G]) Run() Result[G] {
 	epoch := 0
 	for ; epoch < m.cfg.Epochs && !m.done(); epoch++ {
 		m.stepAll()
-		m.migrate(epoch)
+		edges := m.migrate(epoch)
+		edges = append(edges, m.exchange(epoch)...)
 		if tl := m.cfg.TwoLevel; tl != nil {
 			if (epoch+1)%(tl.LN/tl.GN) == 0 {
 				m.broadcastBest()
@@ -439,7 +500,7 @@ func (m *Model[G]) Run() Result[G] {
 		if m.cfg.Merge != nil {
 			m.maybeMerge()
 		}
-		m.record(epoch)
+		m.record(epoch, edges)
 	}
 	res := Result[G]{
 		Best:        m.Best(),

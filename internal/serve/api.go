@@ -10,10 +10,21 @@
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/models           registered GA models
 //	GET    /v1/instances        benchmark registry
+//	GET    /v1/stats            operational counters, Prometheus text
 //	GET    /healthz             liveness + job counts
+//
+// A federated daemon (cmd/schedserver -peers) additionally serves the
+// internal/federation endpoints, composed in front of this handler:
+//
+//	POST   /v1/federation/migrants  one node's elites for one epoch
+//	GET    /v1/federation/info      fleet shape + federation counters
 package serve
 
-import "repro/internal/solver"
+import (
+	"context"
+
+	"repro/internal/solver"
+)
 
 // JobInfo is the wire form of one job: its status snapshot, the spec as
 // submitted, and — once terminal — the result (schedules stay in-process;
@@ -63,4 +74,52 @@ type Health struct {
 type ErrorBody struct {
 	Error  string              `json:"error"`
 	Fields []solver.FieldError `json:"fields,omitempty"`
+}
+
+// Federation is the hook a federation layer (internal/federation)
+// registers on the server with SetFederation. The interface points this
+// way round — serve defining it, federation implementing it — because the
+// typed client imports serve, and the federation layer is built on the
+// client; serve importing federation would be a cycle.
+type Federation interface {
+	// SubmitFederated fans a Params.Federate spec out across the fleet
+	// and returns the owner job that tracks the whole federated run (its
+	// terminal Result is the best-of-fleet reduction).
+	SubmitFederated(ctx context.Context, spec solver.Spec) (*solver.Job, error)
+	// StatsText returns the federation's counters as Prometheus text
+	// exposition lines (appended to GET /v1/stats).
+	StatsText() string
+}
+
+// MigrantBatch is the POST /v1/federation/migrants payload: one node's
+// elites for one migration epoch of one federated job. Epochs are
+// barriers: the receiver holds the batch until its own shard reaches
+// Epoch, then injects the migrants in sender-rank order. Done marks the
+// sender's final word on Key — its shard finished, peers must not wait
+// for it at later barriers.
+type MigrantBatch struct {
+	Key      string           `json:"key"`
+	Epoch    int              `json:"epoch"`
+	From     int              `json:"from"` // sender's shard rank
+	Done     bool             `json:"done,omitempty"`
+	Migrants []solver.Migrant `json:"migrants,omitempty"`
+}
+
+// FederationCounters are the federation's monotonic counters, exposed on
+// /v1/federation/info and as Prometheus text on /v1/stats.
+type FederationCounters struct {
+	MigrantsSent     int64 `json:"migrants_sent"`
+	MigrantsAccepted int64 `json:"migrants_accepted"`
+	MigrantsRejected int64 `json:"migrants_rejected"`
+	PeerTimeouts     int64 `json:"peer_timeouts"`
+	Shards           int64 `json:"shards_total"`
+}
+
+// FederationInfo is the GET /v1/federation/info payload: the fleet as
+// this node sees it.
+type FederationInfo struct {
+	Self     string             `json:"self"`
+	Peers    []string           `json:"peers"` // sorted fleet, self included
+	Rank     int                `json:"rank"`  // this node's index in Peers
+	Counters FederationCounters `json:"counters"`
 }

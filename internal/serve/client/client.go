@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -270,6 +271,48 @@ func (c *Client) Instances(ctx context.Context) ([]serve.InstanceInfo, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// PushMigrants posts one epoch's migrant batch to the peer's federation
+// inbox. The request is idempotent by construction — the receiver keeps
+// at most one batch per (key, epoch, sender) — so transient failures
+// retry with the standard backoff (the header marks it retry-safe for
+// the POST retry gate).
+func (c *Client) PushMigrants(ctx context.Context, batch serve.MigrantBatch) error {
+	hdr := http.Header{}
+	hdr.Set("Idempotency-Key", fmt.Sprintf("mig-%s-%d-%d", batch.Key, batch.Epoch, batch.From))
+	return c.doHeaders(ctx, http.MethodPost, "/v1/federation/migrants", hdr, batch, nil)
+}
+
+// FederationInfo fetches the peer's view of the fleet (shape, rank and
+// federation counters). A node without federation configured returns 404.
+func (c *Client) FederationInfo(ctx context.Context) (*serve.FederationInfo, error) {
+	var info serve.FederationInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/federation/info", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Stats fetches the server's operational counters as Prometheus text.
+func (c *Client) Stats(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeAPIError(resp)
+	}
+	var b strings.Builder
+	if _, err := io.Copy(&b, resp.Body); err != nil {
+		return "", err
+	}
+	return b.String(), nil
 }
 
 // Events opens the job's SSE stream and returns a channel of decoded

@@ -1,0 +1,130 @@
+package serve_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/solver"
+)
+
+// islandSpec is a fast island job with enough epochs to produce several
+// migration events.
+func islandSpec(seed uint64) solver.Spec {
+	return solver.Spec{
+		Problem: solver.ProblemSpec{Kind: "job", Jobs: 6, Machines: 4, Seed: 42},
+		Model:   "island",
+		Params:  solver.Params{Pop: 24, Islands: 4, Interval: 2, Migrants: 1},
+		Budget:  solver.Budget{Generations: 20},
+		Seed:    seed,
+	}
+}
+
+// TestStatsEndpoint: GET /v1/stats serves Prometheus text with the job
+// and throughput counters; without a federation layer the federation
+// block is absent.
+func TestStatsEndpoint(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{})
+	ctx := testCtx(t)
+
+	job, err := c.Submit(ctx, islandSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Await(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE schedserver_jobs gauge",
+		"schedserver_jobs{state=\"done\"} 1",
+		"schedserver_queue_depth 0",
+		"# TYPE schedserver_evaluations_total counter",
+		"schedserver_evals_per_second",
+		"schedserver_replay_ring_drops_total 0",
+	} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("stats missing %q:\n%s", want, stats)
+		}
+	}
+	if strings.Contains(stats, "schedserver_federation") {
+		t.Error("unfederated server exposes federation metrics")
+	}
+	// Evaluations were actually counted from the finished job's events.
+	if strings.Contains(stats, "schedserver_evaluations_total 0\n") {
+		t.Error("evaluations counter stayed zero across a finished job")
+	}
+}
+
+// TestEventsReconnectAcrossMigrationEpoch: severing the SSE stream right
+// before a migration epoch boundary and resuming with Last-Event-ID
+// replays the migration event exactly once, payload intact — the epoch's
+// exchange breakdown survives the reconnect.
+func TestEventsReconnectAcrossMigrationEpoch(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{})
+	ctx := testCtx(t)
+
+	job, err := c.Submit(ctx, islandSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.Events(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []solver.Event
+	for ev := range events {
+		all = append(all, ev)
+	}
+
+	// Pick a migration event away from the stream's ends and "disconnect"
+	// just before it.
+	migIdx := -1
+	for i, ev := range all {
+		if ev.Type == solver.EventMigration && i > 0 && i < len(all)-1 {
+			migIdx = i
+			break
+		}
+	}
+	if migIdx < 0 {
+		t.Fatalf("no migration event in stream of %d events", len(all))
+	}
+	cut := all[migIdx-1].Seq
+
+	replay, err := c.EventsFrom(ctx, job.ID, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []solver.Event
+	for ev := range replay {
+		got = append(got, ev)
+	}
+
+	// The replay is exactly the original tail: same events, same order, no
+	// duplicates, no gaps.
+	want := all[migIdx:]
+	if len(got) != len(want) {
+		t.Fatalf("replay after seq %d: %d events, want %d", cut, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Seq != want[i].Seq || got[i].Type != want[i].Type {
+			t.Fatalf("replay[%d] = %v/%d, want %v/%d", i, got[i].Type, got[i].Seq, want[i].Type, want[i].Seq)
+		}
+	}
+	// The boundary migration event crossed the reconnect with its payload.
+	mig := got[0]
+	if mig.Type != solver.EventMigration {
+		t.Fatalf("first replayed event %v, want migration", mig.Type)
+	}
+	if mig.Migrants <= 0 || len(mig.Exchanges) == 0 || mig.BestObjective <= 0 {
+		t.Errorf("migration payload lost across reconnect: %+v", mig)
+	}
+	orig := all[migIdx]
+	if mig.Migrants != orig.Migrants || len(mig.Exchanges) != len(orig.Exchanges) {
+		t.Errorf("migration payload differs across reconnect: %+v vs %+v", mig, orig)
+	}
+}

@@ -59,6 +59,12 @@ type Server struct {
 	store jobstore.Store
 	stop  chan struct{} // closed by Drain: unblocks event streams
 
+	// fed, when set (SetFederation), routes Params.Federate submissions
+	// through the federation layer and extends /v1/stats with its
+	// counters. Nil means no fleet: Federate specs run locally — the
+	// degenerate federation of one node.
+	fed Federation
+
 	// watchers tracks the per-job goroutines writing terminal records;
 	// Drain flushes them so the store is consistent before exit.
 	watchers sync.WaitGroup
@@ -124,6 +130,11 @@ func New(cfg Config) (*Server, error) {
 
 // Service exposes the backing job service (tests, embedding).
 func (s *Server) Service() *solver.Service { return s.svc }
+
+// SetFederation registers the federation layer (see Federation). Call
+// before serving traffic; a nil hook leaves Federate specs running
+// locally.
+func (s *Server) SetFederation(f Federation) { s.fed = f }
 
 // Drain gracefully stops the server's job service: no new submissions,
 // in-flight jobs run to completion until ctx expires, then they are
@@ -288,6 +299,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/instances", s.handleInstances)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -406,8 +418,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // two concurrent retries of the same keyed request cannot both miss the
 // map.
 func (s *Server) submitKeyed(spec solver.Spec, key string) (job *solver.Job, existed bool, err error) {
+	// A Federate spec routes through the federation layer when one is
+	// registered; without a fleet it runs as a plain local job (the
+	// degenerate federation of one node).
+	submit := func() (*solver.Job, error) {
+		if spec.Params.Federate && s.fed != nil {
+			return s.fed.SubmitFederated(context.Background(), spec)
+		}
+		return s.svc.Submit(context.Background(), spec)
+	}
 	if key == "" {
-		job, err = s.svc.Submit(context.Background(), spec)
+		job, err = submit()
 		return job, false, err
 	}
 	s.idemMu.Lock()
@@ -419,7 +440,7 @@ func (s *Server) submitKeyed(spec solver.Spec, key string) (job *solver.Job, exi
 		// The deduped job was pruned; the key is free again.
 		delete(s.idem, key)
 	}
-	job, err = s.svc.Submit(context.Background(), spec)
+	job, err = submit()
 	if err == nil {
 		s.idem[key] = job.ID()
 	}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/solver"
+)
+
+// handleStats: GET /v1/stats — the service's operational counters in
+// Prometheus text exposition format (version 0.0.4), plus the federation
+// layer's counters when one is registered. Gauges for instantaneous
+// state (jobs by state, queue depth), counters for monotonic totals
+// (evaluations, replay-ring drops).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.svc.Stats()
+	var b strings.Builder
+	b.WriteString("# HELP schedserver_jobs Jobs by lifecycle state.\n")
+	b.WriteString("# TYPE schedserver_jobs gauge\n")
+	for _, state := range []solver.JobState{
+		solver.JobPending, solver.JobRunning, solver.JobDone, solver.JobCanceled, solver.JobFailed,
+	} {
+		fmt.Fprintf(&b, "schedserver_jobs{state=%q} %d\n", string(state), st.Jobs[state])
+	}
+	b.WriteString("# HELP schedserver_queue_depth Pending jobs awaiting a worker slot.\n")
+	b.WriteString("# TYPE schedserver_queue_depth gauge\n")
+	fmt.Fprintf(&b, "schedserver_queue_depth %d\n", st.QueueDepth)
+	b.WriteString("# HELP schedserver_evaluations_total Fitness evaluations observed across all jobs.\n")
+	b.WriteString("# TYPE schedserver_evaluations_total counter\n")
+	fmt.Fprintf(&b, "schedserver_evaluations_total %d\n", st.Evaluations)
+	b.WriteString("# HELP schedserver_evals_per_second Lifetime average evaluation rate.\n")
+	b.WriteString("# TYPE schedserver_evals_per_second gauge\n")
+	fmt.Fprintf(&b, "schedserver_evals_per_second %g\n", st.EvalsPerSec)
+	b.WriteString("# HELP schedserver_replay_ring_drops_total Events aged out of per-job SSE replay rings.\n")
+	b.WriteString("# TYPE schedserver_replay_ring_drops_total counter\n")
+	fmt.Fprintf(&b, "schedserver_replay_ring_drops_total %d\n", st.RingDrops)
+	if s.fed != nil {
+		b.WriteString(s.fed.StatsText())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// FederationStatsText renders federation counters as Prometheus text —
+// shared by the federation layer's StatsText implementation so the
+// metric names live next to the serve-side metrics they extend.
+func FederationStatsText(peers int, c FederationCounters) string {
+	var b strings.Builder
+	b.WriteString("# HELP schedserver_federation_peers Fleet size, self included.\n")
+	b.WriteString("# TYPE schedserver_federation_peers gauge\n")
+	fmt.Fprintf(&b, "schedserver_federation_peers %d\n", peers)
+	b.WriteString("# HELP schedserver_federation_shards_total Federated shard runs executed on this node.\n")
+	b.WriteString("# TYPE schedserver_federation_shards_total counter\n")
+	fmt.Fprintf(&b, "schedserver_federation_shards_total %d\n", c.Shards)
+	b.WriteString("# HELP schedserver_federation_migrants_sent_total Migrants shipped to peers.\n")
+	b.WriteString("# TYPE schedserver_federation_migrants_sent_total counter\n")
+	fmt.Fprintf(&b, "schedserver_federation_migrants_sent_total %d\n", c.MigrantsSent)
+	b.WriteString("# HELP schedserver_federation_migrants_accepted_total Inbound migrants accepted.\n")
+	b.WriteString("# TYPE schedserver_federation_migrants_accepted_total counter\n")
+	fmt.Fprintf(&b, "schedserver_federation_migrants_accepted_total %d\n", c.MigrantsAccepted)
+	b.WriteString("# HELP schedserver_federation_migrants_rejected_total Inbound migrants dropped by validation.\n")
+	b.WriteString("# TYPE schedserver_federation_migrants_rejected_total counter\n")
+	fmt.Fprintf(&b, "schedserver_federation_migrants_rejected_total %d\n", c.MigrantsRejected)
+	b.WriteString("# HELP schedserver_federation_peer_timeouts_total Epoch barriers a peer missed.\n")
+	b.WriteString("# TYPE schedserver_federation_peer_timeouts_total counter\n")
+	fmt.Fprintf(&b, "schedserver_federation_peer_timeouts_total %d\n", c.PeerTimeouts)
+	return b.String()
+}

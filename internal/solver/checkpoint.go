@@ -81,7 +81,7 @@ type CheckpointOptions struct {
 // skipped for models that do not support checkpointing; resuming from one
 // is an error.
 func SolveWithCheckpoints(ctx context.Context, spec Spec, opts CheckpointOptions) (*Result, error) {
-	return solve(ctx, spec, nil, &ckptSeam{every: opts.Every, save: opts.Save, resume: opts.Resume})
+	return solve(ctx, spec, nil, &ckptSeam{every: opts.Every, save: opts.Save, resume: opts.Resume}, nil)
 }
 
 // ValidateCheckpoint checks a decoded checkpoint against the spec it is

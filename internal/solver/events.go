@@ -17,8 +17,16 @@ const (
 	EventImproved EventType = "improved"
 	// EventMigration marks a migration epoch boundary of the island,
 	// hybrid, agents and qga models (emitted after the exchange, in
-	// addition to the epoch's Generation/Improved report).
+	// addition to the epoch's Generation/Improved report). It carries the
+	// epoch's exchange details: total migrants moved, the per-edge
+	// source/target breakdown and the incumbent objective.
 	EventMigration EventType = "migration"
+	// EventPeerDegraded reports a federation peer that missed a migration
+	// epoch barrier (timed out or unreachable): the run continued without
+	// its migrants. Peer carries the peer's address, Epoch the barrier it
+	// missed. Migration is an accelerator, not a correctness dependency,
+	// so the event is informational — the run still terminates normally.
+	EventPeerDegraded EventType = "peer_degraded"
 	// EventDone is the terminal event: the job finished, was cancelled
 	// (Result.Canceled) or failed (Error set). It is always the last event
 	// on a subscription channel before it closes.
@@ -41,6 +49,16 @@ type Event struct {
 	Islands       int     `json:"islands,omitempty"` // surviving islands (migration events)
 	Evaluations   int64   `json:"evaluations,omitempty"`
 	BestObjective float64 `json:"best_objective,omitempty"`
+
+	// Migrants and Exchanges detail migration events: the total migrants
+	// moved this epoch and the per-edge source/target breakdown. A From of
+	// -1 marks migrants injected by a remote federation peer.
+	Migrants  int             `json:"migrants,omitempty"`
+	Exchanges []MigrationEdge `json:"exchanges,omitempty"`
+
+	// Peer is set on peer_degraded events: the base URL of the federation
+	// peer that missed the epoch barrier.
+	Peer string `json:"peer,omitempty"`
 
 	// Model and Instance are set on started events.
 	Model    string `json:"model,omitempty"`
@@ -71,14 +89,40 @@ func (r *Run) observe(gen int, evals int64, best float64) {
 	r.emit(Event{Type: typ, Generation: gen, Evaluations: evals, BestObjective: best})
 }
 
+// MigrationEdge is one directed migrant movement of a migration event:
+// Count migrants moved from deme From to deme To. A From of -1 marks
+// migrants injected by a remote federation peer.
+type MigrationEdge struct {
+	From  int `json:"from"`
+	To    int `json:"to"`
+	Count int `json:"count"`
+}
+
 // observeEpoch reports one migration epoch of the epoch-structured models:
-// a progress sample (generation/improved) followed by the migration mark.
-func (r *Run) observeEpoch(epoch, gen, islands int, best float64) {
+// a progress sample (generation/improved) followed by the migration mark
+// carrying the epoch's exchange breakdown (nil for models that do not
+// report per-edge detail).
+func (r *Run) observeEpoch(epoch, gen, islands int, best float64, edges []MigrationEdge) {
 	if r.emit == nil {
 		return
 	}
 	r.observe(gen, 0, best)
-	r.emit(Event{Type: EventMigration, Epoch: epoch, Generation: gen, Islands: islands, BestObjective: best})
+	total := 0
+	for _, e := range edges {
+		total += e.Count
+	}
+	r.emit(Event{
+		Type: EventMigration, Epoch: epoch, Generation: gen, Islands: islands,
+		BestObjective: best, Migrants: total, Exchanges: edges,
+	})
+}
+
+// observeDegraded surfaces a skipped federation peer as a typed event.
+func (r *Run) observeDegraded(peer string, epoch int) {
+	if r.emit == nil {
+		return
+	}
+	r.emit(Event{Type: EventPeerDegraded, Peer: peer, Epoch: epoch})
 }
 
 // genHook adapts observe to the engine's OnGeneration seam; nil when the

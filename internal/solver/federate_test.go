@@ -1,0 +1,224 @@
+package solver
+
+import (
+	"context"
+	"testing"
+)
+
+// TestStallGenerations: the spec-level stall terminator stops an
+// engine-driven run well before its generation cap once the incumbent
+// stops improving, and an explicit Budget.Stagnation wins over it.
+func TestStallGenerations(t *testing.T) {
+	spec := smallSpec("serial")
+	spec.Budget = Budget{Generations: 5000}
+	spec.StallGenerations = 10
+
+	res, err := Solve(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations >= 5000 {
+		t.Errorf("ran %d generations, stall after 10 stagnant should stop far earlier", res.Generations)
+	}
+	if res.Schedule == nil || res.BestObjective <= 0 {
+		t.Fatalf("stalled run result invalid: %+v", res)
+	}
+
+	// Explicit stagnation wins over the sugar.
+	n := Spec{StallGenerations: 10, Budget: Budget{Stagnation: 3}}.normalized()
+	if n.Budget.Stagnation != 3 {
+		t.Errorf("explicit stagnation overridden: %d", n.Budget.Stagnation)
+	}
+	n = Spec{StallGenerations: 25}.normalized()
+	if n.Budget.Stagnation != 25 {
+		t.Errorf("stall sugar not applied: %+v", n.Budget)
+	}
+	// The sugar alone is a termination criterion: no generation-cap
+	// default must be forced on top of it beyond the structural one.
+	if n.Budget.Generations == DefaultGenerations {
+		t.Errorf("stall-only budget still got the default generation cap")
+	}
+}
+
+// TestStallGenerationsConvergence: on a real instance the engine-driven
+// models converge and then stall out long before the cap.
+func TestStallGenerationsConvergence(t *testing.T) {
+	for _, model := range []string{"serial", "ms"} {
+		spec := Spec{
+			Problem:          ProblemSpec{Instance: "ft06"},
+			Model:            model,
+			Params:           Params{Pop: 60},
+			Budget:           Budget{Generations: 4000},
+			StallGenerations: 12,
+			Seed:             5,
+		}
+		res, err := Solve(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Generations >= 4000 {
+			t.Errorf("%s run exhausted the %d-generation cap despite stall_generations", model, res.Generations)
+		}
+	}
+}
+
+// TestMigrationEventPayload: migration events carry the per-edge
+// provenance (source island, target island, migrant count), the summed
+// migrant count, and the incumbent objective.
+func TestMigrationEventPayload(t *testing.T) {
+	spec := smallSpec("island")
+	spec.Params.Islands = 4
+	spec.Params.Interval = 2
+	spec.Params.Migrants = 2
+
+	var migrations []Event
+	_, err := solve(context.Background(), spec, func(ev Event) {
+		if ev.Type == EventMigration {
+			migrations = append(migrations, ev)
+		}
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(migrations) == 0 {
+		t.Fatal("no migration events")
+	}
+	for _, ev := range migrations {
+		if ev.BestObjective <= 0 {
+			t.Errorf("migration event lacks incumbent objective: %+v", ev)
+		}
+		if len(ev.Exchanges) == 0 {
+			t.Fatalf("migration event lacks exchange edges: %+v", ev)
+		}
+		sum := 0
+		for _, x := range ev.Exchanges {
+			if x.From < 0 || x.From >= 4 || x.To < 0 || x.To >= 4 || x.From == x.To {
+				t.Errorf("bad local edge %+v", x)
+			}
+			if x.Count != spec.Params.Migrants {
+				t.Errorf("edge count %d, want %d", x.Count, spec.Params.Migrants)
+			}
+			sum += x.Count
+		}
+		if ev.Migrants != sum {
+			t.Errorf("event migrants %d, want sum of edges %d", ev.Migrants, sum)
+		}
+	}
+}
+
+// TestValidateFederationFields: the federation coordinates validate as a
+// unit — island-only, in-range, key-coupled.
+func TestValidateFederationFields(t *testing.T) {
+	base := func() Spec { return smallSpec("island") }
+
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		path   string
+	}{
+		{"federate non-island", func(s *Spec) { s.Model = "serial"; s.Params.Federate = true }, "params.federate"},
+		{"fed_nodes range", func(s *Spec) { s.Params.FedNodes = MaxDemes + 1; s.Params.FedKey = "k" }, "params.fed_nodes"},
+		{"fed_rank negative", func(s *Spec) { s.Params.FedNodes = 2; s.Params.FedKey = "k"; s.Params.FedRank = -1 }, "params.fed_rank"},
+		{"fed_rank beyond nodes", func(s *Spec) { s.Params.FedNodes = 2; s.Params.FedKey = "k"; s.Params.FedRank = 2 }, "params.fed_rank"},
+		{"fed_key without nodes", func(s *Spec) { s.Params.FedKey = "k" }, "params.fed_key"},
+		{"fed_nodes without key", func(s *Spec) { s.Params.FedNodes = 2 }, "params.fed_nodes"},
+		{"federate with shard key", func(s *Spec) { s.Params.Federate = true; s.Params.FedNodes = 2; s.Params.FedKey = "k" }, "params.federate"},
+		{"stall negative", func(s *Spec) { s.StallGenerations = -1 }, "stall_generations"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("spec validated, want error on %s", tc.path)
+			}
+			verr, ok := err.(*ValidationError)
+			if !ok {
+				t.Fatalf("error type %T: %v", err, err)
+			}
+			found := false
+			for _, f := range verr.Fields {
+				if f.Path == tc.path {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no error at %s: %v", tc.path, err)
+			}
+		})
+	}
+
+	// The valid shard and owner shapes pass.
+	ok := base()
+	ok.Params.Federate = true
+	if err := ok.Validate(); err != nil {
+		t.Errorf("owner spec rejected: %v", err)
+	}
+	ok = base()
+	ok.Params.FedKey, ok.Params.FedNodes, ok.Params.FedRank = "f0-1", 3, 2
+	if err := ok.Validate(); err != nil {
+		t.Errorf("shard spec rejected: %v", err)
+	}
+	ok = base()
+	ok.StallGenerations = 50
+	if err := ok.Validate(); err != nil {
+		t.Errorf("stall spec rejected: %v", err)
+	}
+}
+
+// TestReconstructSchedule: a packed genome round-trips into a validated
+// schedule with the objective it claimed, and a damaged one is rejected.
+func TestReconstructSchedule(t *testing.T) {
+	spec := smallSpec("island")
+	res, err := Solve(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-solve shard-style to obtain the packed genome: a federated shard
+	// with the same seed and no fleet is the same run.
+	shard := spec
+	shard.Params.FedKey, shard.Params.FedNodes, shard.Params.FedRank = "k", 1, 0
+	var got *Result
+	got, err = solve(context.Background(), shard, nil, nil, nopExchange{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BestGenome == nil {
+		t.Fatal("shard run did not pack its best genome")
+	}
+	sched, obj, err := ReconstructSchedule(spec, *got.BestGenome)
+	if err != nil {
+		t.Fatalf("ReconstructSchedule: %v", err)
+	}
+	if obj != got.BestObjective {
+		t.Errorf("reconstructed objective %v, want %v", obj, got.BestObjective)
+	}
+	if err := sched.Validate(); err != nil {
+		t.Errorf("reconstructed schedule invalid: %v", err)
+	}
+	if res.BestObjective != got.BestObjective {
+		t.Errorf("fleetless shard diverged from plain solve: %v vs %v", got.BestObjective, res.BestObjective)
+	}
+
+	// A damaged genome must be rejected, not decoded blind.
+	bad := *got.BestGenome
+	bad.Seq = append([]int(nil), bad.Seq...)
+	if len(bad.Seq) > 0 {
+		bad.Seq[0] = -99
+	}
+	if _, _, err := ReconstructSchedule(spec, bad); err == nil {
+		t.Error("damaged genome reconstructed without error")
+	}
+}
+
+// nopExchange satisfies MigrantExchange with no fleet behind it.
+type nopExchange struct{}
+
+func (nopExchange) ShardStarted(string, int, int) {}
+func (nopExchange) ExchangeMigrants(_ context.Context, _ string, _ int, _ []Migrant) ExchangeReport {
+	return ExchangeReport{}
+}
+func (nopExchange) MigrantRejected(string) {}
+func (nopExchange) ShardFinished(string)   {}

@@ -264,8 +264,13 @@ func runMasterSlave[G any](_ context.Context, run *Run, enc encoding[G]) (*Resul
 	return runEngine(run, enc, workers)
 }
 
-// runIsland is Table V: the coarse-grained multi-deme model.
-func runIsland[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, error) {
+// runIsland is Table V: the coarse-grained multi-deme model. When the
+// spec carries federation shard coordinates and the run has an exchange,
+// each migration epoch extends across the node boundary: local elites are
+// packed onto the wire, inbound migrants are unpacked through the same
+// per-encoding validators as checkpoints (damaged migrants are rejected,
+// never decoded blind) and injected in peer-rank order.
+func runIsland[G any](ctx context.Context, run *Run, enc encoding[G]) (*Result, error) {
 	n := islandCount(run, 4)
 	iv := interval(run, 5)
 	topo, err := topologyByName(run.Spec.Params.Topology)
@@ -288,7 +293,33 @@ func runIsland[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, er
 	}
 	if run.emit != nil {
 		icfg.OnEpoch = func(es island.EpochStats) {
-			run.observeEpoch(es.Epoch, es.Generation, es.Islands, es.BestObj)
+			run.observeEpoch(es.Epoch, es.Generation, es.Islands, es.BestObj, migrationEdges(es.Exchanges))
+		}
+	}
+	fed := run.exchange != nil && run.Spec.Params.FedKey != ""
+	if fed {
+		ex, key := run.exchange, run.Spec.Params.FedKey
+		ex.ShardStarted(key, run.Spec.Params.FedRank, run.Spec.Params.FedNodes)
+		defer ex.ShardFinished(key)
+		icfg.Exchange = func(epoch int, elites []core.Individual[G]) []G {
+			out := make([]Migrant, len(elites))
+			for i, e := range elites {
+				out[i] = Migrant{Genome: enc.pack(e.Genome), Obj: e.Obj}
+			}
+			rep := ex.ExchangeMigrants(ctx, key, epoch, out)
+			for _, p := range rep.Degraded {
+				run.observeDegraded(p, epoch)
+			}
+			gs := make([]G, 0, len(rep.In))
+			for _, mg := range rep.In {
+				g, uerr := enc.unpack(mg.Genome)
+				if uerr != nil {
+					ex.MigrantRejected(key)
+					continue
+				}
+				gs = append(gs, g)
+			}
+			return gs
 		}
 	}
 	res := island.New(run.RNG, icfg).Run()
@@ -298,12 +329,29 @@ func runIsland[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, er
 		Generations:   res.Generations,
 		Schedule:      enc.schedule(res.Best.Genome),
 	}
+	if fed {
+		bg := enc.pack(res.Best.Genome)
+		out.BestGenome = &bg
+	}
 	if run.Spec.Trace {
 		for _, es := range res.History {
 			out.Trace = append(out.Trace, TracePoint{Generation: es.Generation, BestObj: es.BestObj})
 		}
 	}
 	return out, nil
+}
+
+// migrationEdges converts the island model's exchange tally to the event
+// wire form.
+func migrationEdges(xs []island.Exchange) []MigrationEdge {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := make([]MigrationEdge, len(xs))
+	for i, x := range xs {
+		out[i] = MigrationEdge{From: x.From, To: x.To, Count: x.Count}
+	}
+	return out
 }
 
 // runCellular is Table IV: the fine-grained torus model.
@@ -384,7 +432,7 @@ func runHybrid[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, er
 	}
 	if run.emit != nil {
 		hcfg.OnEpoch = func(epoch int, best float64) {
-			run.observeEpoch(epoch, (epoch+1)*iv, grids, best)
+			run.observeEpoch(epoch, (epoch+1)*iv, grids, best, nil)
 		}
 	}
 	res := hybrid.NewRingOfTorus(enc.problem, run.RNG, hcfg).Run()
@@ -413,7 +461,7 @@ func runAgents[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, er
 	}
 	if run.emit != nil {
 		acfg.OnEpoch = func(epoch int, best float64) {
-			run.observeEpoch(epoch, (epoch+1)*iv, n, best)
+			run.observeEpoch(epoch, (epoch+1)*iv, n, best, nil)
 		}
 	}
 	res := agents.Run(enc.problem, run.RNG, acfg)
@@ -468,7 +516,7 @@ func (qgaModel) Solve(_ context.Context, run *Run) (*Result, error) {
 	}
 	if run.emit != nil {
 		qcfg.OnEpoch = func(epoch int, best float64) {
-			run.observeEpoch(epoch, (epoch+1)*iv, n, best)
+			run.observeEpoch(epoch, (epoch+1)*iv, n, best, nil)
 		}
 	}
 	res := qga.StarPQGA(st, run.RNG, n, iv, ep, qcfg)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -85,6 +86,11 @@ type Service struct {
 	CheckpointEvery int
 	OnCheckpoint    func(jobID string, cp *Checkpoint)
 
+	// Exchange, when set, is the federation seam threaded into every run:
+	// island shard jobs (Params.FedKey set) ship elites through it at each
+	// migration epoch. Jobs without shard coordinates never touch it.
+	Exchange MigrantExchange
+
 	mu       sync.Mutex
 	init     bool
 	sem      chan struct{}
@@ -93,6 +99,14 @@ type Service struct {
 	seq      int64
 	active   int
 	draining bool
+	started  time.Time
+
+	// Monotonic service counters for the stats endpoint: evaluations
+	// observed across all jobs (updated by deltas as jobs progress and
+	// finish, so pruning a job never decreases it) and replay-ring
+	// evictions. Atomics: jobs bump them under their own locks, not s.mu.
+	totalEvals atomic.Int64
+	ringDrops  atomic.Int64
 
 	// noEvents drops the per-generation progress plumbing entirely: runs
 	// solve with a nil event sink, so the engines keep their no-observer
@@ -119,6 +133,7 @@ func (s *Service) initLocked() {
 	}
 	s.sem = make(chan struct{}, workers)
 	s.jobs = make(map[string]*Job)
+	s.started = time.Now()
 	s.init = true
 }
 
@@ -148,6 +163,28 @@ type SubmitOptions struct {
 
 // SubmitOpts is Submit with recovery options.
 func (s *Service) SubmitOpts(ctx context.Context, spec Spec, opts SubmitOptions) (*Job, error) {
+	return s.submit(ctx, spec, opts, nil)
+}
+
+// SubmitRunner enqueues a job whose body is the supplied runner instead of
+// a model solve. The runner executes under the job's context with the
+// job's event sink (nil when the service suppresses events), and its
+// outcome finishes the job exactly like a solve would — status, events,
+// cancellation and Await all behave identically. Runner jobs do not
+// occupy a worker slot: they are expected to orchestrate other jobs, not
+// compute, and holding a slot while waiting on a job that needs one would
+// deadlock a single-slot service. The federation layer uses it for the
+// owner job that fans a federated spec out across the fleet and reduces
+// the shard results.
+func (s *Service) SubmitRunner(ctx context.Context, spec Spec, runner func(ctx context.Context, emit func(Event)) (*Result, error)) (*Job, error) {
+	if runner == nil {
+		return nil, fmt.Errorf("solver: SubmitRunner requires a runner")
+	}
+	return s.submit(ctx, spec, SubmitOptions{}, runner)
+}
+
+// submit is the shared body of SubmitOpts and SubmitRunner.
+func (s *Service) submit(ctx context.Context, spec Spec, opts SubmitOptions, runner func(ctx context.Context, emit func(Event)) (*Result, error)) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -196,6 +233,7 @@ func (s *Service) SubmitOpts(ctx context.Context, spec Spec, opts SubmitOptions)
 		submitted: submitted,
 		done:      make(chan struct{}),
 		resume:    opts.Resume,
+		runner:    runner,
 	}
 	if opts.Resume != nil {
 		j.seq = opts.Resume.EventSeq
@@ -263,13 +301,17 @@ func (s *Service) RestoreTerminal(id string, spec Spec, state JobState, res *Res
 // runJob waits for a slot, runs the solve with the job as its event sink,
 // and finishes the job.
 func (s *Service) runJob(j *Job) {
-	select {
-	case <-j.ctx.Done():
-		j.finish(nil, j.ctx.Err())
-		return
-	case s.sem <- struct{}{}:
+	// Runner jobs orchestrate other jobs instead of computing; they skip
+	// the worker-slot semaphore (see SubmitRunner).
+	if j.runner == nil {
+		select {
+		case <-j.ctx.Done():
+			j.finish(nil, j.ctx.Err())
+			return
+		case s.sem <- struct{}{}:
+		}
+		defer func() { <-s.sem }()
 	}
-	defer func() { <-s.sem }()
 	// A cancellation that raced the slot acquisition still fails fast, so
 	// a cancelled batch never starts queued work.
 	if err := j.ctx.Err(); err != nil {
@@ -280,6 +322,11 @@ func (s *Service) runJob(j *Job) {
 	sink := j.emit
 	if s.noEvents {
 		sink = nil
+	}
+	if j.runner != nil {
+		res, err := j.runner(j.ctx, sink)
+		j.finish(res, err)
+		return
 	}
 	var ck *ckptSeam
 	if j.resume != nil || (s.OnCheckpoint != nil && s.CheckpointEvery > 0 && SupportsCheckpoint(j.spec.Model)) {
@@ -293,8 +340,46 @@ func (s *Service) runJob(j *Job) {
 			}
 		}
 	}
-	res, err := solve(j.ctx, j.spec, sink, ck)
+	res, err := solve(j.ctx, j.spec, sink, ck, s.Exchange)
 	j.finish(res, err)
+}
+
+// ServiceStats is a point-in-time snapshot of the service's operational
+// counters — the feed of the daemon's /v1/stats endpoint. Evaluations and
+// RingDrops are monotonic over the service's lifetime (pruning finished
+// jobs never decreases them); the job counts are instantaneous.
+type ServiceStats struct {
+	Jobs        map[JobState]int `json:"jobs"`
+	QueueDepth  int              `json:"queue_depth"` // pending jobs awaiting a slot
+	Evaluations int64            `json:"evaluations_total"`
+	EvalsPerSec float64          `json:"evals_per_sec"` // lifetime average
+	RingDrops   int64            `json:"replay_ring_drops_total"`
+	UptimeSec   float64          `json:"uptime_sec"`
+}
+
+// Stats snapshots the service's counters.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	s.initLocked()
+	jobs := make([]*Job, len(s.order))
+	copy(jobs, s.order)
+	started := s.started
+	s.mu.Unlock()
+
+	st := ServiceStats{Jobs: map[JobState]int{
+		JobPending: 0, JobRunning: 0, JobDone: 0, JobCanceled: 0, JobFailed: 0,
+	}}
+	for _, j := range jobs {
+		st.Jobs[j.Status().State]++
+	}
+	st.QueueDepth = st.Jobs[JobPending]
+	st.Evaluations = s.totalEvals.Load()
+	st.RingDrops = s.ringDrops.Load()
+	st.UptimeSec = time.Since(started).Seconds()
+	if st.UptimeSec > 0 {
+		st.EvalsPerSec = float64(st.Evaluations) / st.UptimeSec
+	}
+	return st
 }
 
 // Get returns a submitted job by ID.
@@ -399,6 +484,9 @@ type Job struct {
 	done   chan struct{}
 	// resume, when set, warm-starts the run (see SubmitOptions.Resume).
 	resume *Checkpoint
+	// runner, when set, replaces the model solve as the job's body (see
+	// SubmitRunner).
+	runner func(ctx context.Context, emit func(Event)) (*Result, error)
 
 	mu        sync.Mutex
 	state     JobState
@@ -531,6 +619,7 @@ func (j *Job) recordLocked(ev Event) {
 	j.hist = append(j.hist, ev)
 	if len(j.hist) > max {
 		j.hist = j.hist[1:]
+		j.svc.ringDrops.Add(1)
 	}
 	for _, ch := range j.subs {
 		sendDropOldest(ch, ev)
@@ -557,6 +646,7 @@ func (j *Job) emit(ev Event) {
 		j.gen = ev.Generation
 	}
 	if ev.Evaluations > j.evals {
+		j.svc.totalEvals.Add(ev.Evaluations - j.evals)
 		j.evals = ev.Evaluations
 	}
 	if ev.Type == EventImproved {
@@ -586,6 +676,9 @@ func (j *Job) finish(res *Result, err error) {
 	j.finished = time.Now()
 	if res != nil {
 		j.gen = res.Generations
+		if res.Evaluations > j.evals {
+			j.svc.totalEvals.Add(res.Evaluations - j.evals)
+		}
 		j.evals = res.Evaluations
 		j.best, j.hasBest = res.BestObjective, true
 	}

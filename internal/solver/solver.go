@@ -82,6 +82,24 @@ type Params struct {
 	Scenarios int     `json:"scenarios,omitempty"` // qga sampled scenarios (default 6)
 	Sigma     float64 `json:"sigma,omitempty"`     // qga processing-time deviation (default 0.1)
 	Bits      int     `json:"bits,omitempty"`      // qga bits per priority (default 4)
+
+	// Federate requests fan-out across the serving node's federation
+	// fleet: the islands (and population) are split over the peers and
+	// elites are exchanged over the wire each migration epoch. Island
+	// model only. A node with no federation configured runs the job
+	// locally — the degenerate fleet of one.
+	Federate bool `json:"federate,omitempty"`
+
+	// FedKey, FedNodes and FedRank are the shard coordinates the
+	// federation layer stamps on the per-node shard jobs it distributes;
+	// user submissions leave them zero. FedKey identifies the federated
+	// job fleet-wide, FedNodes is the active fleet size and FedRank this
+	// shard's rank in [0, FedNodes). A shard derives its RNG from the job
+	// seed split FedNodes ways at rank FedRank, so the fleet's streams
+	// are disjoint and the run is replayable for a fixed fleet shape.
+	FedKey   string `json:"fed_key,omitempty"`
+	FedNodes int    `json:"fed_nodes,omitempty"`
+	FedRank  int    `json:"fed_rank,omitempty"`
 }
 
 // DefaultGenerations is the generation budget an all-zero Budget gets;
@@ -125,6 +143,13 @@ type Spec struct {
 	// Seed is the GA master seed (default 1). Pool derives per-run seeds
 	// for Specs left at 0.
 	Seed uint64 `json:"seed,omitempty"`
+	// StallGenerations stops the run after this many consecutive
+	// generations without a new incumbent — convergence-based termination
+	// next to the hard budgets. It is sugar for Budget.Stagnation (which
+	// wins when both are set) and shares its scope: honored exactly by
+	// the engine-driven models (serial, ms), ignored by the
+	// epoch-structured ones.
+	StallGenerations int `json:"stall_generations,omitempty"`
 	// Trace records the convergence trace in the Result (off by default:
 	// it costs per-generation statistics).
 	Trace bool `json:"trace,omitempty"`
@@ -165,6 +190,16 @@ type Result struct {
 	Gap   float64      `json:"gap"`
 	Trace []TracePoint `json:"trace,omitempty"`
 
+	// BestGenome is the packed wire form of the winning chromosome, set
+	// only by federated shard runs (Params.FedKey): Schedule does not
+	// cross HTTP, so the owner node rebuilds the fleet winner's schedule
+	// from this via ReconstructSchedule.
+	BestGenome *Genome `json:"best_genome,omitempty"`
+
+	// Nodes is the per-node provenance of a federated Result: one entry
+	// per fleet node, set by the owner's best-of-fleet reduction.
+	Nodes []NodeResult `json:"nodes,omitempty"`
+
 	// Schedule is the decoded best schedule. It is reconstructed from the
 	// winning genome and validated against Table I before Solve returns.
 	Schedule *shop.Schedule `json:"-"`
@@ -199,6 +234,11 @@ type Run struct {
 	// (see checkpoint.go): periodic resumable snapshots out, an optional
 	// warm start in.
 	ck *ckptSeam
+
+	// exchange, when non-nil, is the federation seam (see federate.go):
+	// the island runner ships elites through it at every migration epoch
+	// when the spec carries shard coordinates.
+	exchange MigrantExchange
 }
 
 // Stopped reports whether the run's context has been cancelled; models
@@ -274,6 +314,11 @@ func (s Spec) normalized() Spec {
 		s.Params.Pop = 80
 	}
 	b := &s.Budget
+	// StallGenerations is sugar for Budget.Stagnation; an explicit
+	// Stagnation wins.
+	if s.StallGenerations > 0 && b.Stagnation <= 0 {
+		b.Stagnation = s.StallGenerations
+	}
 	if b.Generations <= 0 && b.Evaluations <= 0 && b.Stagnation <= 0 &&
 		!b.TargetSet && b.WallMillis <= 0 {
 		b.Generations = DefaultGenerations
@@ -316,14 +361,16 @@ func (r *Run) termination() core.Termination {
 // Solve is the blocking form; Service.Submit is the job-oriented one with
 // streaming progress, and Pool the batch layer over it.
 func Solve(ctx context.Context, spec Spec) (*Result, error) {
-	return solve(ctx, spec, nil, nil)
+	return solve(ctx, spec, nil, nil, nil)
 }
 
-// solve is Solve with the progress and durability seams: emit, when
-// non-nil, receives the run's typed events (the Service wires a Job's
-// fan-out here); ck, when non-nil, threads checkpointing into the
-// engine-driven models (the Service and SolveWithCheckpoints wire it).
-func solve(ctx context.Context, spec Spec, emit func(Event), ck *ckptSeam) (*Result, error) {
+// solve is Solve with the progress, durability and federation seams:
+// emit, when non-nil, receives the run's typed events (the Service wires
+// a Job's fan-out here); ck, when non-nil, threads checkpointing into the
+// engine-driven models (the Service and SolveWithCheckpoints wire it);
+// ex, when non-nil, is the migrant exchange shard runs ship elites
+// through (the Service wires its Exchange here).
+func solve(ctx context.Context, spec Spec, emit func(Event), ck *ckptSeam, ex MigrantExchange) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -364,14 +411,23 @@ func solve(ctx context.Context, spec Spec, emit func(Event), ck *ckptSeam) (*Res
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(w)*time.Millisecond)
 		defer cancel()
 	}
+	// A federated shard draws its RNG from the job seed split FedNodes
+	// ways at its rank — the PR 5 substream discipline lifted to the
+	// fleet: every node's streams are disjoint, and a federated run is
+	// replayable for a fixed fleet shape and seed.
+	r := rng.New(spec.Seed)
+	if n := spec.Params.FedNodes; n > 1 {
+		r = r.SplitN(n)[spec.Params.FedRank]
+	}
 	run := &Run{
 		Spec:      spec,
 		Instance:  in,
 		Objective: obj,
 		Encoding:  enc,
-		RNG:       rng.New(spec.Seed),
+		RNG:       r,
 		emit:      emit,
 		ck:        ck,
+		exchange:  ex,
 		stop: func() bool {
 			select {
 			case <-ctx.Done():

@@ -202,6 +202,31 @@ func (s Spec) Validate() error {
 		add("params.bits", "bits %d out of range [0, 30]", pr.Bits)
 	}
 
+	// Federation: Federate requests fan-out (island model only); the
+	// shard coordinates must be a consistent triple when present.
+	if pr.Federate && s.Model != "" && s.Model != "island" {
+		add("params.federate", "federation applies to the island model only, got %q", s.Model)
+	}
+	if pr.FedNodes < 0 || pr.FedNodes > MaxDemes {
+		add("params.fed_nodes", "fed_nodes %d out of range [0, %d]", pr.FedNodes, MaxDemes)
+	}
+	if pr.FedRank < 0 || (pr.FedNodes > 0 && pr.FedRank >= pr.FedNodes) {
+		add("params.fed_rank", "fed_rank %d outside [0, %d)", pr.FedRank, pr.FedNodes)
+	}
+	if pr.FedKey != "" {
+		if pr.FedNodes <= 0 {
+			add("params.fed_key", "fed_key set without fed_nodes")
+		}
+		if len(pr.FedKey) > 200 {
+			add("params.fed_key", "fed_key longer than 200 bytes")
+		}
+	} else if pr.FedNodes > 0 {
+		add("params.fed_nodes", "fed_nodes set without fed_key")
+	}
+	if pr.Federate && pr.FedKey != "" {
+		add("params.federate", "federate and shard coordinates are mutually exclusive")
+	}
+
 	// Budget.
 	b := s.Budget
 	if b.Generations < 0 {
@@ -218,6 +243,9 @@ func (s Spec) Validate() error {
 	}
 	if math.IsNaN(b.Target) || math.IsInf(b.Target, 0) {
 		add("budget.target", "target %v must be finite", b.Target)
+	}
+	if s.StallGenerations < 0 {
+		add("stall_generations", "stall_generations %d is negative", s.StallGenerations)
 	}
 
 	// Model-specific constraints that are statically checkable.
