@@ -30,10 +30,13 @@ package federation
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,6 +107,11 @@ type Node struct {
 	pending  map[string][]*serve.MigrantBatch
 	pendingN int
 
+	// nonce makes run keys unique per process incarnation: peers keep
+	// their idempotency maps and pending batches in memory across this
+	// node's restart, so a restarted owner reusing "f<rank>-<seq>" would
+	// be deduped to a previous run's shard jobs and adopt its strays.
+	nonce  string
 	keySeq atomic.Int64
 
 	// Monotonic counters (see serve.FederationCounters). Accepted counts
@@ -171,6 +179,7 @@ func New(cfg Config) (*Node, error) {
 		logf:    cfg.Logf,
 		runs:    map[string]*run{},
 		pending: map[string][]*serve.MigrantBatch{},
+		nonce:   newNonce(),
 	}
 	newClient := cfg.NewClient
 	if newClient == nil {
@@ -190,6 +199,17 @@ func New(cfg Config) (*Node, error) {
 	}
 	n.svc.Exchange = n
 	return n, nil
+}
+
+// newNonce returns a short random hex string identifying this process
+// incarnation; it is folded into every run key (see Node.nonce).
+func newNonce() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Nothing secret here — fall back to a time-derived value.
+		return strconv.FormatInt(time.Now().UnixNano(), 36)
+	}
+	return hex.EncodeToString(b[:])
 }
 
 func dedup(sorted []string) []string {
@@ -326,11 +346,20 @@ func (n *Node) deliver(b *serve.MigrantBatch) {
 func (st *run) deliver(b *serve.MigrantBatch) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	// checkBatch bounds From by the fleet, but this run may span fewer
+	// nodes — a rank outside the run must not inject into it.
+	if b.From >= st.nodes {
+		return
+	}
 	if b.Done {
 		st.finished[b.From] = true
 	}
-	// Reject stale (already collected) and absurdly-early epochs.
-	if b.Epoch >= st.epoch && b.Epoch < st.epoch+epochWindow && len(b.Migrants) > 0 {
+	// Reject stale (already collected) and absurdly-early epochs, and
+	// senders the run has degraded: a degraded peer does not know it was
+	// dropped and keeps pushing, but the barrier no longer waits for it,
+	// so whether its batch lands is a timing race — injecting it would
+	// make the run nondeterministic.
+	if !st.degraded[b.From] && b.Epoch >= st.epoch && b.Epoch < st.epoch+epochWindow && len(b.Migrants) > 0 {
 		em := st.batches[b.Epoch]
 		if em == nil {
 			em = map[int]*serve.MigrantBatch{}
@@ -487,12 +516,18 @@ func (n *Node) ExchangeMigrants(ctx context.Context, key string, epoch int, out 
 	}
 
 	// Collect in sender-rank order — the injection order every node must
-	// agree on for the run to be replayable.
+	// agree on for the run to be replayable. Only ranks the barrier
+	// actually waited on are injected: a sender degraded at this barrier
+	// (or earlier, with its batch buffered out of order before the
+	// degradation) raced the timeout, and injecting it would be
+	// nondeterministic.
 	st.mu.Lock()
 	em := st.batches[epoch]
 	ranks := make([]int, 0, len(em))
 	for r := range em {
-		ranks = append(ranks, r)
+		if !st.degraded[r] && r < st.nodes {
+			ranks = append(ranks, r)
+		}
 	}
 	sort.Ints(ranks)
 	for _, r := range ranks {

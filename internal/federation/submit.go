@@ -51,7 +51,10 @@ func (n *Node) SubmitFederated(ctx context.Context, spec solver.Spec) (*solver.J
 		return n.svc.Submit(ctx, local)
 	}
 
-	key := "f" + strconv.Itoa(n.rank) + "-" + strconv.FormatInt(n.keySeq.Add(1), 10)
+	// The run key carries the owner rank, a per-incarnation nonce, and a
+	// sequence number: peers dedupe shard submissions and buffer batches
+	// by key in memory, so keys must not repeat across owner restarts.
+	key := "f" + strconv.Itoa(n.rank) + "-" + n.nonce + "-" + strconv.FormatInt(n.keySeq.Add(1), 10)
 	shards, err := n.shardSpecs(spec, key, islands, nodes)
 	if err != nil {
 		return nil, err
@@ -244,13 +247,14 @@ func (n *Node) runShard(ctx context.Context, rank int, shard solver.Spec, emit f
 	if err != nil {
 		return nil, err
 	}
-	info, err = c.Await(ctx, info.ID)
+	id := info.ID // Await returns (nil, err) on error; keep the ID for cancellation
+	info, err = c.Await(ctx, id)
 	if err != nil {
 		// Cancellation propagates best-effort; the peer's shard must not
 		// run on after the owner is gone.
 		if ctx.Err() != nil {
 			cctx, cancel := context.WithTimeout(context.Background(), n.cfg.PushTimeout)
-			_, _ = c.Cancel(cctx, info.ID)
+			_, _ = c.Cancel(cctx, id)
 			cancel()
 		}
 		return nil, err
