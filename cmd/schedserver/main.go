@@ -70,6 +70,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		peers         = fs.String("peers", "", "comma-separated federation fleet base URLs, self included (empty: no federation)")
 		self          = fs.String("self", "", "this node's base URL as it appears in -peers (default: http://<addr>)")
 		epochTimeout  = fs.Int64("fed-epoch-timeout-ms", 5000, "migration-epoch barrier wait before degrading a peer, in milliseconds")
+		fedFailover   = fs.Bool("fed-failover", false, "resume shards lost to a dead fleet node from their last epoch checkpoint on a surviving node")
+		probeMS       = fs.Int64("fed-probe-interval-ms", 500, "delay between health probes of a silent peer before declaring it dead")
 	)
 	switch err := fs.Parse(args); {
 	case err == nil:
@@ -120,10 +122,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			me = "http://" + ln.Addr().String()
 		}
 		node, err := federation.New(federation.Config{
-			Self:         me,
-			Peers:        fleet,
-			Service:      srv.Service(),
-			EpochTimeout: time.Duration(*epochTimeout) * time.Millisecond,
+			Self:            me,
+			Peers:           fleet,
+			Service:         srv.Service(),
+			EpochTimeout:    time.Duration(*epochTimeout) * time.Millisecond,
+			FailoverEnabled: *fedFailover,
+			ProbeInterval:   time.Duration(*probeMS) * time.Millisecond,
 			Logf: func(format string, a ...any) {
 				fmt.Fprintf(stdout, "schedserver: "+format+"\n", a...)
 			},

@@ -28,9 +28,11 @@
 // Jobs are durable when the daemon runs with a store directory: the
 // crash-safe internal/jobstore persists per-job records with atomic
 // renames and CRC-checksummed checkpoint frames (torn or corrupt frames
-// are quarantined, never fatal), the engine-driven models snapshot their
-// full state — population, incumbent, counters and every RNG stream —
-// through solver.SolveWithCheckpoints / Service.OnCheckpoint, and a
+// are quarantined, never fatal), the checkpointable models snapshot
+// their full state — flat population for serial/ms, a per-deme layout
+// (population, objectives, incumbent, RNG stream, epoch counter) for
+// the epoch models island/hybrid — through solver.SolveWithCheckpoints
+// / Service.OnCheckpoint, and a
 // restarted daemon replays the store: terminal jobs served from disk,
 // in-flight jobs resumed bit-identically from their newest checkpoint
 // with the wall budget they had left (cold restart is the validated
@@ -51,7 +53,12 @@
 // replayable by seed. A peer missing a barrier is degraded (skipped
 // thereafter, surfaced as a peer_degraded event and a counter on
 // GET /v1/stats, the Prometheus endpoint) while the submitting node
-// always reduces a best-of-fleet Result with per-node provenance.
+// always reduces a best-of-fleet Result with per-node provenance. With
+// -fed-failover, degradation is the fallback, not the first response:
+// shards piggyback their newest epoch checkpoint on owner-bound migrant
+// batches, and a shard lost with its node is health-probed, then
+// resumed warm from that checkpoint on the least-loaded survivor, the
+// rebinding broadcast fleet-wide so barriers wait for it again.
 //
 // Evaluation — the hot path of every parallel model — is a three-rung
 // ladder in internal/decode: schedule-building oracle decoders (reference

@@ -25,6 +25,7 @@
 package cellular
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/core"
@@ -387,6 +388,60 @@ func (m *Model[G]) VirtualSerial() float64 { return m.virtualSerial }
 
 // Best returns a copy of the best individual found so far.
 func (m *Model[G]) Best() core.Individual[G] { return m.cloneInd(m.best) }
+
+// Snapshot captures the model's complete evolution state. Together with the
+// configuration, a snapshot determines every future generation: the grid,
+// the incumbent, the counters, and the seed that derives each cell's
+// per-generation stream. The returned snapshot shares nothing with the
+// model.
+func (m *Model[G]) Snapshot() Snapshot[G] {
+	cells := make([]core.Individual[G], len(m.cells))
+	for i, c := range m.cells {
+		cells[i] = m.cloneInd(c)
+	}
+	return Snapshot[G]{
+		Cells:       cells,
+		Best:        m.cloneInd(m.best),
+		Generation:  m.gen,
+		Evaluations: m.evals,
+		Seed:        m.seed,
+	}
+}
+
+// Snapshot is the state captured by Model.Snapshot. The Fit of each
+// individual is not trusted across restores — Restore recomputes it from
+// Obj under the configured fitness, so a snapshot cannot smuggle in an
+// inconsistent selection pressure.
+type Snapshot[G any] struct {
+	Cells       []core.Individual[G]
+	Best        core.Individual[G]
+	Generation  int
+	Evaluations int64
+	Seed        uint64
+}
+
+// Restore overwrites the model's evolution state with the snapshot's. The
+// snapshot must match the configured grid (Width*Height cells); counters
+// must be non-negative. Genomes are deep-copied in, so the snapshot stays
+// valid after the model advances.
+func (m *Model[G]) Restore(s Snapshot[G]) error {
+	if got, want := len(s.Cells), m.cfg.Width*m.cfg.Height; got != want {
+		return fmt.Errorf("cellular: snapshot has %d cells, grid wants %d", got, want)
+	}
+	if s.Generation < 0 || s.Evaluations < 0 {
+		return fmt.Errorf("cellular: snapshot counters negative (gen=%d evals=%d)", s.Generation, s.Evaluations)
+	}
+	cells := make([]core.Individual[G], len(s.Cells))
+	for i, c := range s.Cells {
+		cells[i] = core.Individual[G]{Genome: m.prob.Clone(c.Genome), Obj: c.Obj, Fit: m.cfg.Fitness(c.Obj)}
+	}
+	m.cells = cells
+	m.best = core.Individual[G]{Genome: m.prob.Clone(s.Best.Genome), Obj: s.Best.Obj, Fit: m.cfg.Fitness(s.Best.Obj)}
+	m.gen = s.Generation
+	m.evals = s.Evaluations
+	m.seed = s.Seed
+	return nil
+}
 
 // Run executes the configured number of generations (stopping early at the
 // target) and reports the result.

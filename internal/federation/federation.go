@@ -9,8 +9,11 @@
 // Topology. The fleet is coordinator-less: every node is configured with
 // the same -peers list, the list is sorted, and a node's rank is its
 // index in the sorted list. A federated job is sharded over the first
-// min(fleet, islands) ranks; shard rank r always runs on sorted peer r,
-// so every node derives the same placement from the same list.
+// min(fleet, islands) ranks; shard rank r starts on sorted peer r, so
+// every node derives the same placement from the same list. A failover
+// (below) can rebind a shard rank onto a different node mid-run; the
+// rebinding is broadcast so every survivor routes the rank's batches to
+// its new host.
 //
 // Determinism. Each shard derives its RNG from the job seed split
 // FedNodes ways at its rank (the same rng.SplitN discipline the sharded
@@ -18,6 +21,9 @@
 // in sender-rank order, and the barrier blocks until every live peer's
 // batch arrived — so a federated run over a healthy fleet is replayable:
 // the same fleet shape and seed reproduce the same incumbent trajectory.
+// A run that needed a failover is not bit-replayable (the resumed shard
+// rejoins mid-stream); its determinism guarantee is traded for the
+// stronger result guarantee below.
 //
 // Degradation. Migration is an accelerator, not a correctness
 // dependency. A peer that misses an epoch barrier (crash, partition,
@@ -26,6 +32,21 @@
 // stop, and the run terminates normally on the demes that remain. The
 // submitting node always owns the terminal Result: a best-of-fleet
 // reduction with per-node provenance, degraded peers marked.
+//
+// Failover. With Config.FailoverEnabled, degradation is the fallback,
+// not the first response. Every shard piggybacks its newest epoch
+// checkpoint (per-deme population, RNG streams, epoch counter) on the
+// migrant batch pushed to the owner's node, which tracks the latest
+// checkpoint per shard rank. When a shard's job dies with its node, the
+// owner health-probes the peer (bounded retries); if the peer is
+// confirmed dead and a checkpoint exists, the owner resubmits the shard
+// — resumed warm from that checkpoint — onto the least-loaded surviving
+// node, and broadcasts the rebinding so the survivors clear the rank's
+// degradation and re-route its batches. The resumed shard replays its
+// checkpointed epochs without waiting at barriers the fleet has already
+// passed (fast-forward), then rejoins the exchange. Only a shard that
+// never checkpointed (died during epoch 0), a peer that is merely slow
+// (probe succeeds), or a failed resubmission falls back to degradation.
 package federation
 
 import (
@@ -37,6 +58,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,7 +73,11 @@ import (
 const (
 	// MaxBatchMigrants bounds the migrants in one POSTed batch.
 	MaxBatchMigrants = 4096
-	// MaxBatchBytes bounds the POST /v1/federation/migrants body.
+	// MaxBatchBytes bounds the POST /v1/federation/migrants and
+	// /v1/federation/resubmit bodies. A piggybacked checkpoint rides
+	// inside this cap; a shard population too large to fit simply loses
+	// failover coverage (push fails, owner keeps no checkpoint) and falls
+	// back to degradation.
 	MaxBatchBytes = 8 << 20
 	// epochWindow bounds how far ahead of the local barrier a buffered
 	// batch may run; beyond it the sender has long since degraded us.
@@ -75,7 +101,8 @@ type Config struct {
 	// EpochTimeout bounds how long an epoch barrier waits for a peer's
 	// batch before degrading it (default 5s). Must comfortably exceed the
 	// fleet's slowest epoch compute time, or healthy peers degrade and
-	// determinism is lost.
+	// determinism is lost. A spec overrides it per job via
+	// params.fed_epoch_timeout_ms.
 	EpochTimeout time.Duration
 	// PushTimeout bounds one migrant push attempt (default 2s).
 	PushTimeout time.Duration
@@ -83,6 +110,15 @@ type Config struct {
 	// retry policy for pushes and shard submissions (defaults: client's).
 	MaxRetries   int
 	RetryBackoff time.Duration
+	// FailoverEnabled turns on shard failover: lost shards are resumed
+	// from their last piggybacked checkpoint on a surviving node instead
+	// of being degraded (see the package doc's Failover paragraph).
+	FailoverEnabled bool
+	// ProbeRetries bounds the health probes of a silent peer before it is
+	// declared dead (default 3).
+	ProbeRetries int
+	// ProbeInterval is the delay between health probes (default 500ms).
+	ProbeInterval time.Duration
 	// NewClient overrides client construction (tests inject doctored
 	// transports). Default: a client.Client with the settings above.
 	NewClient func(base string) *client.Client
@@ -102,10 +138,24 @@ type Node struct {
 	clients []*client.Client // by rank; nil at self
 	logf    func(format string, args ...any)
 
-	mu       sync.Mutex
-	runs     map[string]*run
-	pending  map[string][]*serve.MigrantBatch
-	pendingN int
+	mu sync.Mutex
+	// runs is keyed (run key, shard rank): after a failover two shards of
+	// one key may be co-hosted on one node.
+	runs map[string]map[int]*run
+	// routes maps a shard rank to the fleet rank currently hosting it,
+	// for keys this node participates in; absent means identity (shard r
+	// on node r). Rebind broadcasts populate it.
+	routes map[string]map[int]int
+	// owned marks keys whose owner job runs here; ckpts tracks, for owned
+	// keys only, the newest piggybacked checkpoint per shard rank.
+	owned map[string]bool
+	ckpts map[string]map[int]*solver.Checkpoint
+	// fastFwd pre-registers the fleet epoch a resubmitted shard should
+	// fast-forward to; consumed by ShardStarted.
+	fastFwd    map[string]map[int]int
+	pending    map[string][]*serve.MigrantBatch
+	pendingN   int
+	dropLogged bool // inbox-overflow drops log once per process, count always
 
 	// nonce makes run keys unique per process incarnation: peers keep
 	// their idempotency maps and pending batches in memory across this
@@ -117,26 +167,33 @@ type Node struct {
 	// Monotonic counters (see serve.FederationCounters). Accepted counts
 	// migrants handed to a barrier's run; rejected counts the subset the
 	// solver's per-encoding validation then dropped.
-	sent     atomic.Int64
-	accepted atomic.Int64
-	rejected atomic.Int64
-	timeouts atomic.Int64
-	shards   atomic.Int64
+	sent         atomic.Int64
+	accepted     atomic.Int64
+	rejected     atomic.Int64
+	timeouts     atomic.Int64
+	shards       atomic.Int64
+	failovers    atomic.Int64
+	inboxDropped atomic.Int64
 }
 
 // run is the exchange state of one live shard: the inbox of peer batches
 // keyed epoch → sender rank, the barrier's notification channel, and the
 // per-run degradation and completion sets.
 type run struct {
-	rank  int
-	nodes int
+	rank         int
+	nodes        int
+	epochTimeout time.Duration
 
-	mu       sync.Mutex
-	notify   chan struct{} // closed and replaced on every delivery
-	epoch    int           // the barrier currently (or next) waited on
-	batches  map[int]map[int]*serve.MigrantBatch
-	finished map[int]bool // ranks whose sender declared Done
-	degraded map[int]bool // ranks that missed a barrier; never waited again
+	mu     sync.Mutex
+	notify chan struct{} // closed and replaced on every delivery
+	epoch  int           // the barrier currently (or next) waited on
+	// fastForward: barriers below it collect without waiting — a
+	// failover-resumed shard replaying epochs the fleet already passed
+	// must not stall an epochTimeout per replayed epoch.
+	fastForward int
+	batches     map[int]map[int]*serve.MigrantBatch
+	finished    map[int]bool // ranks whose sender declared Done
+	degraded    map[int]bool // ranks that missed a barrier; never waited again
 }
 
 // New builds the node, derives its rank from the sorted peer list and
@@ -153,6 +210,12 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.PushTimeout <= 0 {
 		cfg.PushTimeout = 2 * time.Second
+	}
+	if cfg.ProbeRetries <= 0 {
+		cfg.ProbeRetries = 3
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -177,7 +240,11 @@ func New(cfg Config) (*Node, error) {
 		svc:     cfg.Service,
 		clients: make([]*client.Client, len(peers)),
 		logf:    cfg.Logf,
-		runs:    map[string]*run{},
+		runs:    map[string]map[int]*run{},
+		routes:  map[string]map[int]int{},
+		owned:   map[string]bool{},
+		ckpts:   map[string]map[int]*solver.Checkpoint{},
+		fastFwd: map[string]map[int]int{},
 		pending: map[string][]*serve.MigrantBatch{},
 		nonce:   newNonce(),
 	}
@@ -222,6 +289,26 @@ func dedup(sorted []string) []string {
 	return out
 }
 
+// ownerRank parses the owner's fleet rank out of a run key
+// ("f<rank>-<nonce>-<seq>", see SubmitFederated); -1 if the key does not
+// carry one. Keys are fleet-generated, so within a healthy fleet the
+// parse always succeeds; a foreign key simply gets no checkpoint
+// tracking.
+func ownerRank(key string) int {
+	if len(key) < 2 || key[0] != 'f' {
+		return -1
+	}
+	i := strings.IndexByte(key, '-')
+	if i < 0 {
+		return -1
+	}
+	r, err := strconv.Atoi(key[1:i])
+	if err != nil || r < 0 {
+		return -1
+	}
+	return r
+}
+
 // Self returns this node's advertised address.
 func (n *Node) Self() string { return n.cfg.Self }
 
@@ -239,6 +326,8 @@ func (n *Node) Counters() serve.FederationCounters {
 		MigrantsRejected: n.rejected.Load(),
 		PeerTimeouts:     n.timeouts.Load(),
 		Shards:           n.shards.Load(),
+		Failovers:        n.failovers.Load(),
+		InboxDropped:     n.inboxDropped.Load(),
 	}
 }
 
@@ -247,12 +336,21 @@ func (n *Node) StatsText() string {
 	return serve.FederationStatsText(len(n.peers), n.Counters())
 }
 
+// activeJobs is this node's pending+running job count — the load signal
+// failover target selection compares across survivors.
+func (n *Node) activeJobs() int {
+	st := n.svc.Stats()
+	return st.Jobs[solver.JobPending] + st.Jobs[solver.JobRunning]
+}
+
 // Handler serves the federation endpoints; cmd/schedserver composes it in
 // front of the main API handler.
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/federation/migrants", n.handleMigrants)
 	mux.HandleFunc("GET /v1/federation/info", n.handleInfo)
+	mux.HandleFunc("POST /v1/federation/rebind", n.handleRebind)
+	mux.HandleFunc("POST /v1/federation/resubmit", n.handleResubmit)
 	return mux
 }
 
@@ -293,11 +391,110 @@ func (n *Node) checkBatch(b *serve.MigrantBatch) error {
 // handleInfo: GET /v1/federation/info.
 func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, serve.FederationInfo{
-		Self:     n.cfg.Self,
-		Peers:    n.Peers(),
-		Rank:     n.rank,
-		Counters: n.Counters(),
+		Self:           n.cfg.Self,
+		Peers:          n.Peers(),
+		Rank:           n.rank,
+		Counters:       n.Counters(),
+		EpochTimeoutMS: n.cfg.EpochTimeout.Milliseconds(),
+		ActiveJobs:     n.activeJobs(),
 	})
+}
+
+// handleRebind: POST /v1/federation/rebind — the owner moved a shard rank
+// onto a new host. Applied only to keys this node already participates in
+// (live runs or ownership); anything else is acknowledged and ignored, so
+// strays cannot grow unbounded routing state.
+func (n *Node) handleRebind(w http.ResponseWriter, r *http.Request) {
+	var req serve.RebindRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<16)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorBody{Error: "parsing rebind: " + err.Error()})
+		return
+	}
+	if req.Key == "" || len(req.Key) > 200 ||
+		req.Rank < 0 || req.Rank >= len(n.peers) ||
+		req.Node < 0 || req.Node >= len(n.peers) || req.Epoch < 0 {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorBody{Error: "federation: rebind coordinates outside fleet"})
+		return
+	}
+	n.applyRebind(req.Key, req.Rank, req.Node)
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// applyRebind routes future batches for (key, rank) to the given fleet
+// node and clears the rank's degradation in live local runs of the key,
+// so barriers wait for the resumed shard again.
+func (n *Node) applyRebind(key string, rank, node int) {
+	n.mu.Lock()
+	km := n.runs[key]
+	if len(km) > 0 || n.owned[key] {
+		rm := n.routes[key]
+		if rm == nil {
+			rm = map[int]int{}
+			n.routes[key] = rm
+		}
+		rm[rank] = node
+	}
+	sts := make([]*run, 0, len(km))
+	for _, st := range km {
+		sts = append(sts, st)
+	}
+	n.mu.Unlock()
+	for _, st := range sts {
+		st.mu.Lock()
+		delete(st.degraded, rank)
+		st.mu.Unlock()
+	}
+}
+
+// handleResubmit: POST /v1/federation/resubmit — run a lost shard here,
+// warm from its checkpoint. The checkpoint passes the same semantic
+// validation gate as restart recovery before the job is accepted; a
+// damaged one is a 400, never a crash.
+func (n *Node) handleResubmit(w http.ResponseWriter, r *http.Request) {
+	var req serve.ResubmitRequest
+	body := http.MaxBytesReader(w, r.Body, MaxBatchBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorBody{Error: "parsing resubmit: " + err.Error()})
+		return
+	}
+	spec := req.Spec
+	if spec.Params.FedKey == "" || req.Checkpoint == nil || req.FleetEpoch < 0 {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorBody{Error: "federation: resubmit needs a shard spec, a checkpoint and a fleet epoch"})
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorBody{Error: err.Error()})
+		return
+	}
+	if err := solver.ValidateCheckpoint(spec, req.Checkpoint); err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorBody{Error: err.Error()})
+		return
+	}
+	n.setFastForward(spec.Params.FedKey, spec.Params.FedRank, req.FleetEpoch)
+	// The job outlives the request — it runs under the service's
+	// lifetime, like any submitted job.
+	job, err := n.svc.SubmitOpts(context.Background(), spec, solver.SubmitOptions{Resume: req.Checkpoint})
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, serve.ErrorBody{Error: err.Error()})
+		return
+	}
+	n.logf("federation: resumed shard %d of %s from epoch %d as job %s",
+		spec.Params.FedRank, spec.Params.FedKey, req.Checkpoint.Epoch, job.ID())
+	writeJSON(w, http.StatusCreated, serve.ResubmitResponse{ID: job.ID()})
+}
+
+// setFastForward pre-registers the fleet epoch a resubmitted shard should
+// replay to without barrier waits; ShardStarted consumes it.
+func (n *Node) setFastForward(key string, rank, epoch int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := n.fastFwd[key]
+	if m == nil {
+		m = map[int]int{}
+		n.fastFwd[key] = m
+	}
+	m[rank] = epoch
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -306,17 +503,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// deliver routes an inbound batch to its run's inbox, or buffers it when
-// the local shard has not started yet.
+// deliver routes an inbound batch to every local run of its key (except
+// the sender's own), records its piggybacked checkpoint when this node
+// owns the key, or buffers it when no local shard has started yet.
 func (n *Node) deliver(b *serve.MigrantBatch) {
 	n.mu.Lock()
-	st := n.runs[b.Key]
-	if st == nil {
-		// The peer raced ahead of our shard's start; hold the batch. The
-		// buffer also collects strays for keys that already finished here
-		// (late Done notices, post-finish pushes), so at capacity we evict
-		// some other key's strays first — a genuine race is milliseconds
-		// old, a stray can be arbitrarily stale.
+	if b.Checkpoint != nil && n.owned[b.Key] {
+		km := n.ckpts[b.Key]
+		if km == nil {
+			km = map[int]*solver.Checkpoint{}
+			n.ckpts[b.Key] = km
+		}
+		km[b.From] = b.Checkpoint
+	}
+	var targets []*run
+	for _, st := range n.runs[b.Key] {
+		if st.rank != b.From {
+			targets = append(targets, st)
+		}
+	}
+	if len(targets) == 0 {
+		// No local shard yet. For owned keys the checkpoint above was the
+		// batch's payload of interest; still buffer migrants in case a
+		// failover co-hosts a shard here later. The buffer also collects
+		// strays for keys that already finished (late Done notices,
+		// post-finish pushes), so at capacity we evict some other key's
+		// strays first — a genuine race is milliseconds old, a stray can
+		// be arbitrarily stale.
 		if n.pendingN >= maxPendingBatches {
 			for k, bs := range n.pending {
 				if k != b.Key {
@@ -327,8 +540,13 @@ func (n *Node) deliver(b *serve.MigrantBatch) {
 			}
 		}
 		if n.pendingN >= maxPendingBatches {
+			n.inboxDropped.Add(1)
+			logIt := !n.dropLogged
+			n.dropLogged = true
 			n.mu.Unlock()
-			n.logf("federation: pending inbox full, dropping batch %s/%d from %d", b.Key, b.Epoch, b.From)
+			if logIt {
+				n.logf("federation: pending inbox full, dropping batch %s/%d from %d (counted in inbox_dropped; logged once)", b.Key, b.Epoch, b.From)
+			}
 			return
 		}
 		n.pending[b.Key] = append(n.pending[b.Key], b)
@@ -337,7 +555,9 @@ func (n *Node) deliver(b *serve.MigrantBatch) {
 		return
 	}
 	n.mu.Unlock()
-	st.deliver(b)
+	for _, st := range targets {
+		st.deliver(b)
+	}
 }
 
 // deliver stores one batch in the run's inbox and wakes the barrier.
@@ -372,23 +592,44 @@ func (st *run) deliver(b *serve.MigrantBatch) {
 }
 
 // ShardStarted implements solver.MigrantExchange: register the run's
-// inbox and adopt any batches that arrived before the shard started.
-func (n *Node) ShardStarted(key string, rank, nodes int) {
+// inbox, consume any pre-registered fast-forward epoch, and adopt
+// batches that arrived before the shard started.
+func (n *Node) ShardStarted(key string, rank, nodes int, epochTimeoutMS int64) {
+	timeout := n.cfg.EpochTimeout
+	if epochTimeoutMS > 0 {
+		timeout = time.Duration(epochTimeoutMS) * time.Millisecond
+	}
 	st := &run{
-		rank: rank, nodes: nodes,
+		rank: rank, nodes: nodes, epochTimeout: timeout,
 		notify:   make(chan struct{}),
 		batches:  map[int]map[int]*serve.MigrantBatch{},
 		finished: map[int]bool{},
 		degraded: map[int]bool{},
 	}
 	n.mu.Lock()
-	n.runs[key] = st
+	km := n.runs[key]
+	if km == nil {
+		km = map[int]*run{}
+		n.runs[key] = km
+	}
+	km[rank] = st
+	if ff := n.fastFwd[key]; ff != nil {
+		if e, ok := ff[rank]; ok {
+			st.fastForward = e
+			delete(ff, rank)
+			if len(ff) == 0 {
+				delete(n.fastFwd, key)
+			}
+		}
+	}
 	early := n.pending[key]
 	delete(n.pending, key)
 	n.pendingN -= len(early)
 	n.mu.Unlock()
 	for _, b := range early {
-		st.deliver(b)
+		if b.From != rank {
+			st.deliver(b)
+		}
 	}
 	n.shards.Add(1)
 }
@@ -398,10 +639,20 @@ func (n *Node) MigrantRejected(string) { n.rejected.Add(1) }
 
 // ShardFinished implements solver.MigrantExchange: tell the peers not to
 // wait for this shard at any further barrier, then drop the inbox.
-func (n *Node) ShardFinished(key string) {
+func (n *Node) ShardFinished(key string, rank int) {
 	n.mu.Lock()
-	st := n.runs[key]
-	delete(n.runs, key)
+	km := n.runs[key]
+	var st *run
+	if km != nil {
+		st = km[rank]
+		delete(km, rank)
+		if len(km) == 0 {
+			delete(n.runs, key)
+			if !n.owned[key] {
+				delete(n.routes, key)
+			}
+		}
+	}
 	n.mu.Unlock()
 	if st == nil {
 		return
@@ -413,21 +664,38 @@ func (n *Node) ShardFinished(key string) {
 		degraded[r] = true
 	}
 	st.mu.Unlock()
-	for _, r := range n.activePeers(st.nodes) {
-		if degraded[r] {
+	done := serve.MigrantBatch{Key: key, Epoch: epoch, From: st.rank, Done: true}
+	for _, h := range n.peerHosts(key, st, degraded) {
+		if h == n.rank {
+			b := done
+			go n.deliver(&b)
 			continue
 		}
-		go n.push(r, serve.MigrantBatch{Key: key, Epoch: epoch, From: st.rank, Done: true})
+		go n.push(h, done)
 	}
 }
 
-// activePeers lists the fleet ranks participating in a run of the given
-// size, excluding self.
-func (n *Node) activePeers(nodes int) []int {
+// peerHosts resolves the distinct fleet nodes currently hosting the
+// run's other live shard ranks, mapping ranks through failover rebinds
+// (identity by default). A co-hosted shard resolves to self — the caller
+// delivers locally instead of pushing.
+func (n *Node) peerHosts(key string, st *run, degraded map[int]bool) []int {
+	n.mu.Lock()
+	route := n.routes[key]
+	n.mu.Unlock()
+	seen := map[int]bool{}
 	var out []int
-	for r := 0; r < nodes && r < len(n.peers); r++ {
-		if r != n.rank {
-			out = append(out, r)
+	for r := 0; r < st.nodes && r < len(n.peers); r++ {
+		if r == st.rank || degraded[r] {
+			continue
+		}
+		h := r
+		if v, ok := route[r]; ok {
+			h = v
+		}
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
 		}
 	}
 	return out
@@ -456,12 +724,14 @@ func (n *Node) clientRetries() int {
 }
 
 // ExchangeMigrants implements solver.MigrantExchange: one epoch barrier.
-// Ship the local elites to every live peer, wait (bounded) for each live
-// peer's batch for this epoch, degrade the ones that miss it, and return
-// the arrived migrants in sender-rank order.
-func (n *Node) ExchangeMigrants(ctx context.Context, key string, epoch int, out []solver.Migrant) solver.ExchangeReport {
+// Ship the local elites to every live peer (the batch bound for the
+// owner's node carries the shard's newest checkpoint), wait (bounded) for
+// each live peer's batch for this epoch, degrade the ones that miss it,
+// and return the arrived migrants in sender-rank order. Barriers below
+// the run's fast-forward epoch collect without waiting.
+func (n *Node) ExchangeMigrants(ctx context.Context, key string, rank, epoch int, out []solver.Migrant, cp *solver.Checkpoint) solver.ExchangeReport {
 	n.mu.Lock()
-	st := n.runs[key]
+	st := n.runs[key][rank]
 	n.mu.Unlock()
 	if st == nil {
 		return solver.ExchangeReport{}
@@ -469,49 +739,78 @@ func (n *Node) ExchangeMigrants(ctx context.Context, key string, epoch int, out 
 
 	st.mu.Lock()
 	st.epoch = epoch
+	wait := epoch >= st.fastForward
+	timeout := st.epochTimeout
 	waiting := make([]int, 0, st.nodes)
-	for _, r := range n.activePeers(st.nodes) {
-		if !st.degraded[r] {
+	for r := 0; r < st.nodes && r < len(n.peers); r++ {
+		if r != st.rank && !st.degraded[r] {
 			waiting = append(waiting, r)
 		}
+	}
+	degraded := make(map[int]bool, len(st.degraded))
+	for r := range st.degraded {
+		degraded[r] = true
 	}
 	st.mu.Unlock()
 
 	// Ship our elites asynchronously: the barrier depends on the peers'
 	// pushes, not our own, and a dead peer must not serialise retries
-	// into the epoch.
-	for _, r := range waiting {
-		go n.push(r, serve.MigrantBatch{Key: key, Epoch: epoch, From: st.rank, Migrants: out})
+	// into the epoch. The owner's node additionally gets the shard's
+	// checkpoint — on the migrant batch when the owner hosts a live
+	// shard, on a dedicated empty batch otherwise.
+	owner := ownerRank(key)
+	ownerServed := false
+	for _, h := range n.peerHosts(key, st, degraded) {
+		b := serve.MigrantBatch{Key: key, Epoch: epoch, From: st.rank, Migrants: out}
+		if h == owner {
+			b.Checkpoint = cp
+			ownerServed = true
+		}
+		if h == n.rank {
+			bb := b
+			go n.deliver(&bb)
+			continue
+		}
+		go n.push(h, b)
+	}
+	if cp != nil && owner >= 0 && !ownerServed {
+		if owner == n.rank {
+			n.deliver(&serve.MigrantBatch{Key: key, Epoch: epoch, From: st.rank, Checkpoint: cp})
+		} else {
+			go n.push(owner, serve.MigrantBatch{Key: key, Epoch: epoch, From: st.rank, Checkpoint: cp})
+		}
 	}
 
-	deadline := time.NewTimer(n.cfg.EpochTimeout)
-	defer deadline.Stop()
 	var report solver.ExchangeReport
-	for {
-		st.mu.Lock()
-		missing := missingRanks(st, epoch, waiting)
-		notify := st.notify
-		st.mu.Unlock()
-		if len(missing) == 0 {
-			break
-		}
-		select {
-		case <-notify:
-		case <-deadline.C:
+	if wait {
+		deadline := time.NewTimer(timeout)
+		defer deadline.Stop()
+		for {
 			st.mu.Lock()
-			for _, r := range missingRanks(st, epoch, waiting) {
-				st.degraded[r] = true
-				n.timeouts.Add(1)
-				report.Degraded = append(report.Degraded, n.peers[r])
-				n.logf("federation: %s epoch %d: peer %s missed the barrier, degraded", key, epoch, n.peers[r])
-			}
+			missing := missingRanks(st, epoch, waiting)
+			notify := st.notify
 			st.mu.Unlock()
-		case <-ctx.Done():
-			// Cancellation mid-barrier: return what arrived; the run is
-			// stopping anyway.
-		}
-		if ctx.Err() != nil {
-			break
+			if len(missing) == 0 {
+				break
+			}
+			select {
+			case <-notify:
+			case <-deadline.C:
+				st.mu.Lock()
+				for _, r := range missingRanks(st, epoch, waiting) {
+					st.degraded[r] = true
+					n.timeouts.Add(1)
+					report.Degraded = append(report.Degraded, n.peers[r])
+					n.logf("federation: %s epoch %d: peer %s missed the barrier, degraded", key, epoch, n.peers[r])
+				}
+				st.mu.Unlock()
+			case <-ctx.Done():
+				// Cancellation mid-barrier: return what arrived; the run is
+				// stopping anyway.
+			}
+			if ctx.Err() != nil {
+				break
+			}
 		}
 	}
 

@@ -22,6 +22,9 @@ type fleetNode struct {
 	Srv  *serve.Server
 	Node *federation.Node
 	URL  string
+	// Kill simulates the node dying: every further HTTP request is
+	// refused and the node's in-flight jobs are cancelled.
+	Kill func()
 }
 
 // newFleet spins size federated daemons on httptest listeners. Listener
@@ -65,7 +68,14 @@ func newFleet(t *testing.T, size int, fcfg federation.Config) []*fleetNode {
 		root.Handle("/", srv.Handler())
 		var h http.Handler = root
 		handlers[i].Store(&h)
-		fleet[i] = &fleetNode{Srv: srv, Node: node, URL: urls[i]}
+		i := i
+		fleet[i] = &fleetNode{Srv: srv, Node: node, URL: urls[i], Kill: func() {
+			var dead http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				http.Error(w, "node killed", http.StatusServiceUnavailable)
+			})
+			handlers[i].Store(&dead)
+			srv.Service().Close()
+		}}
 		t.Cleanup(func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			defer cancel()
@@ -278,10 +288,18 @@ func TestFederationEndpoints(t *testing.T) {
 		"schedserver_federation_peers 2",
 		"schedserver_federation_migrants_sent_total",
 		"schedserver_federation_peer_timeouts_total",
+		"schedserver_federation_failovers_total",
+		"schedserver_federation_inbox_dropped_total",
 	} {
 		if !strings.Contains(stats, want) {
 			t.Errorf("stats missing %q:\n%s", want, stats)
 		}
+	}
+	if info.EpochTimeoutMS != 5000 {
+		t.Errorf("info.EpochTimeoutMS %d, want the 5000 default", info.EpochTimeoutMS)
+	}
+	if info.ActiveJobs != 0 {
+		t.Errorf("idle node reports %d active jobs", info.ActiveJobs)
 	}
 
 	// A batch from an out-of-fleet rank is rejected at the door.
@@ -295,6 +313,113 @@ func TestFederationEndpoints(t *testing.T) {
 		Migrants: []solver.Migrant{{Genome: solver.Genome{Seq: []int{0}}, Obj: 1}},
 	}); err != nil {
 		t.Errorf("push for unknown key: %v", err)
+	}
+}
+
+// TestFederatedFailover is the tentpole's e2e: a three-node fleet with
+// failover enabled loses one non-owner node mid-run. The owner confirms
+// the death by probing, resumes the lost shard from its last piggybacked
+// epoch checkpoint on the surviving node, and the run completes with
+// zero degraded nodes and a failover on the books.
+func TestFederatedFailover(t *testing.T) {
+	fleet := newFleet(t, 3, federation.Config{
+		FailoverEnabled: true,
+		EpochTimeout:    500 * time.Millisecond,
+		PushTimeout:     250 * time.Millisecond,
+		MaxRetries:      -1,
+		RetryBackoff:    10 * time.Millisecond,
+		ProbeRetries:    2,
+		ProbeInterval:   20 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	spec := fedSpec(21)
+	spec.Budget = solver.Budget{Generations: 600} // keep the run in flight across the kill
+	job, err := fleet[0].Node.SubmitFederated(ctx, spec)
+	if err != nil {
+		t.Fatalf("SubmitFederated: %v", err)
+	}
+	// Drain the owner stream so emit never blocks on a full subscriber.
+	go func() {
+		for range job.Events() {
+		}
+	}()
+
+	// Let the victim's shard checkpoint at least once: its exchange from
+	// epoch 1 onward piggybacks a checkpoint on the owner-bound push, and
+	// each epoch ships migrants to two peer hosts.
+	victim := fleet[1]
+	deadline := time.Now().Add(60 * time.Second)
+	for victim.Node.Counters().MigrantsSent < 8 {
+		if time.Now().After(deadline) {
+			t.Fatal("victim shard never exchanged migrants")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	victim.Kill()
+
+	res, err := job.Await(ctx)
+	if err != nil {
+		t.Fatalf("Await: %v", err)
+	}
+	if len(res.Nodes) != 3 {
+		t.Fatalf("Nodes provenance: %+v", res.Nodes)
+	}
+	for _, nr := range res.Nodes {
+		if nr.Degraded {
+			t.Errorf("node %s (rank %d) degraded despite failover: %+v", nr.Node, nr.Rank, nr)
+		}
+		if nr.Evaluations <= 0 || nr.BestObjective <= 0 {
+			t.Errorf("node %s provenance empty: %+v", nr.Node, nr)
+		}
+	}
+	if got := fleet[0].Node.Counters().Failovers; got != 1 {
+		t.Errorf("owner recorded %d failovers, want 1", got)
+	}
+	// Three primary shard starts plus the resumed one.
+	var shards int64
+	for _, fn := range fleet {
+		shards += fn.Node.Counters().Shards
+	}
+	if shards < 4 {
+		t.Errorf("fleet ran %d shard(s), want >= 4 (3 primaries + 1 resumed)", shards)
+	}
+	if res.Schedule == nil {
+		t.Fatal("failover run lacks a schedule")
+	} else if err := res.Schedule.Validate(); err != nil {
+		t.Errorf("failover schedule invalid: %v", err)
+	}
+	if res.Reference != 55 || res.Gap < 0 {
+		t.Errorf("failover run reference/gap: %v/%v", res.Reference, res.Gap)
+	}
+}
+
+// TestFederationInboxOverflow: flooding one key's pending inbox past its
+// cap drops batches into the counter (and the stats text) instead of
+// silently vanishing.
+func TestFederationInboxOverflow(t *testing.T) {
+	fleet := newFleet(t, 2, federation.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c := &client.Client{BaseURL: fleet[0].URL}
+	from := 1 - fleet[0].Node.Rank() // the other node's rank
+
+	// maxPendingBatches is 512; single-key floods cannot evict their way
+	// out, so everything past the cap must be counted as dropped.
+	for i := 0; i < 520; i++ {
+		if err := c.PushMigrants(ctx, serve.MigrantBatch{
+			Key: "flood", Epoch: i, From: from,
+			Migrants: []solver.Migrant{{Genome: solver.Genome{Seq: []int{0}}, Obj: 1}},
+		}); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if got := fleet[0].Node.Counters().InboxDropped; got < 1 {
+		t.Fatalf("no inbox drops recorded after flooding past the cap")
+	}
+	if stats := fleet[0].Node.StatsText(); !strings.Contains(stats, "schedserver_federation_inbox_dropped_total 8") {
+		t.Errorf("stats do not expose the 8 dropped batches:\n%s", stats)
 	}
 }
 

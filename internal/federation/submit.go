@@ -103,6 +103,10 @@ func (n *Node) shardSpecs(spec solver.Spec, key string, islands, nodes int) ([]s
 // all, reduce.
 func (n *Node) runFederated(ctx context.Context, spec solver.Spec, key string, shards []solver.Spec, emit func(solver.Event)) (*solver.Result, error) {
 	start := time.Now()
+	// Own the key for the run's lifetime: inbound batches carry shard
+	// checkpoints that failover resumes lost shards from.
+	n.registerOwned(key)
+	defer n.unregisterOwned(key)
 	type shardOut struct {
 		rank int
 		res  *solver.Result
@@ -222,6 +226,12 @@ func (n *Node) runFederated(ctx context.Context, spec solver.Spec, key string, s
 // is ours, remotely through the peer's API otherwise. Remote submissions
 // are idempotent under a key derived from the run key and rank, so
 // transient submit failures retry without double-starting the shard.
+//
+// A remote shard that errors out gets one failover attempt when
+// Config.FailoverEnabled: if the peer is confirmed dead and the shard has
+// a tracked checkpoint, it is resumed on a surviving node (failover.go);
+// otherwise — and on any failover error — the original error stands and
+// the shard degrades as before.
 func (n *Node) runShard(ctx context.Context, rank int, shard solver.Spec, emit func(solver.Event)) (*solver.Result, error) {
 	if rank == n.rank {
 		job, err := n.svc.Submit(ctx, shard)
@@ -242,6 +252,20 @@ func (n *Node) runShard(ctx context.Context, rank int, shard solver.Spec, emit f
 		return job.Await(ctx)
 	}
 
+	res, err := n.remoteShard(ctx, rank, shard)
+	if err == nil || !n.cfg.FailoverEnabled || ctx.Err() != nil {
+		return res, err
+	}
+	res, ferr := n.failover(ctx, rank, shard, err)
+	if ferr != nil {
+		n.logf("federation: %s shard %d: no failover (%v); degrading", key(shard), rank, ferr)
+		return nil, err
+	}
+	return res, nil
+}
+
+// remoteShard runs one shard on its primary host over the peer's API.
+func (n *Node) remoteShard(ctx context.Context, rank int, shard solver.Spec) (*solver.Result, error) {
 	c := n.clients[rank]
 	info, err := c.SubmitIdempotent(ctx, shard, key(shard)+"-r"+strconv.Itoa(rank))
 	if err != nil {

@@ -13,6 +13,8 @@
 package hybrid
 
 import (
+	"fmt"
+
 	"repro/internal/cellular"
 	"repro/internal/core"
 	"repro/internal/island"
@@ -53,6 +55,7 @@ type RingOfTorus[G any] struct {
 	cfg   RingOfTorusConfig[G]
 	prob  core.Problem[G]
 	grids []*cellular.Model[G]
+	epoch int // completed ring-migration epochs (Run resumes here)
 }
 
 // Result reports a hybrid run.
@@ -144,11 +147,53 @@ func (h *RingOfTorus[G]) stepGrids(stopped func() bool) {
 	})
 }
 
+// Snapshot captures the hybrid's complete evolution state: one cellular
+// snapshot per torus grid plus the epoch counter. Call it between epochs
+// (e.g. from OnEpoch) — never while stepGrids' goroutines are live. The
+// snapshot shares nothing with the model.
+func (h *RingOfTorus[G]) Snapshot() Snapshot[G] {
+	s := Snapshot[G]{Epoch: h.epoch}
+	for _, g := range h.grids {
+		s.Demes = append(s.Demes, g.Snapshot())
+	}
+	return s
+}
+
+// Snapshot is the state captured by RingOfTorus.Snapshot.
+type Snapshot[G any] struct {
+	Demes []cellular.Snapshot[G]
+	Epoch int
+}
+
+// Restore overwrites the hybrid's evolution state with the snapshot's. The
+// deme count must match the configured grids and every deme must satisfy
+// the cellular model's restore validation; an error may leave earlier
+// demes restored, so a failed Restore discards the model. A restored run
+// continues from Snapshot.Epoch and is bit-identical to the uninterrupted
+// one for any Workers count.
+func (h *RingOfTorus[G]) Restore(s Snapshot[G]) error {
+	if len(s.Demes) != len(h.grids) {
+		return fmt.Errorf("hybrid: snapshot has %d demes, model has %d grids", len(s.Demes), len(h.grids))
+	}
+	if s.Epoch < 0 {
+		return fmt.Errorf("hybrid: snapshot epoch negative (%d)", s.Epoch)
+	}
+	for i, g := range h.grids {
+		if err := g.Restore(s.Demes[i]); err != nil {
+			return fmt.Errorf("hybrid: deme %d: %w", i, err)
+		}
+	}
+	h.epoch = s.Epoch
+	return nil
+}
+
 // Run executes the epochs; grids advance concurrently between migrations
-// (deterministic: every grid owns its randomness).
+// (deterministic: every grid owns its randomness). After a Restore it
+// picks up at the snapshot's epoch, so Result.Epochs still counts the
+// run's total.
 func (h *RingOfTorus[G]) Run() Result[G] {
 	stopped := func() bool { return h.cfg.Stop != nil && h.cfg.Stop() }
-	epoch := 0
+	epoch := h.epoch
 	for ; epoch < h.cfg.Epochs; epoch++ {
 		if h.cfg.TargetSet && h.Best().Obj <= h.cfg.Target {
 			break
@@ -158,6 +203,9 @@ func (h *RingOfTorus[G]) Run() Result[G] {
 		}
 		h.stepGrids(stopped)
 		h.migrate()
+		// Advance before the observer runs: a Snapshot taken from inside
+		// OnEpoch captures "epoch done, next not begun".
+		h.epoch = epoch + 1
 		if h.cfg.OnEpoch != nil {
 			h.cfg.OnEpoch(epoch, h.Best().Obj)
 		}

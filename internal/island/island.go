@@ -25,6 +25,8 @@
 package island
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/rng"
 )
@@ -191,6 +193,7 @@ type Model[G any] struct {
 	history []EpochStats
 	removed int64 // evaluations of merged-away islands
 	gen     int
+	epoch   int // completed migration epochs (Run resumes here)
 }
 
 // New builds the model: cfg.Problem(i) and split RNGs per island.
@@ -479,15 +482,74 @@ func (m *Model[G]) record(epoch int, edges []Exchange) {
 		Exchanges:   edges,
 	}
 	m.history = append(m.history, es)
+	// The epoch counter advances before the observer runs, so a Snapshot
+	// taken from inside OnEpoch captures exactly the state a restored run
+	// continues from: epoch done, the next one not begun.
+	m.epoch = epoch + 1
 	if m.cfg.OnEpoch != nil {
 		m.cfg.OnEpoch(es)
 	}
 }
 
+// Snapshot captures the model's complete evolution state with a per-deme
+// layout: one engine snapshot per island plus the model-level RNG stream
+// (which drives migrant selection, replacement and topology draws), the
+// generation and epoch counters, and the evaluations of merged-away
+// islands. Call it between epochs (e.g. from OnEpoch) — never while
+// stepAll's island goroutines are live. The snapshot shares nothing with
+// the model.
+func (m *Model[G]) Snapshot() Snapshot[G] {
+	s := Snapshot[G]{
+		RNG:        m.rng.State(),
+		Generation: m.gen,
+		Epoch:      m.epoch,
+		Removed:    m.removed,
+	}
+	for _, e := range m.engines {
+		s.Demes = append(s.Demes, e.Snapshot())
+	}
+	return s
+}
+
+// Snapshot is the state captured by Model.Snapshot.
+type Snapshot[G any] struct {
+	Demes      []core.Snapshot[G]
+	RNG        rng.State
+	Generation int
+	Epoch      int
+	Removed    int64
+}
+
+// Restore overwrites the model's evolution state with the snapshot's. The
+// deme count must match the configured islands and every deme must satisfy
+// the engine's own restore validation; an error may leave earlier demes
+// restored, so a failed Restore discards the model. A restored run
+// continues from Snapshot.Epoch and is bit-identical to the uninterrupted
+// one for any Workers count.
+func (m *Model[G]) Restore(s Snapshot[G]) error {
+	if len(s.Demes) != len(m.engines) {
+		return fmt.Errorf("island: snapshot has %d demes, model has %d islands", len(s.Demes), len(m.engines))
+	}
+	if s.Generation < 0 || s.Epoch < 0 || s.Removed < 0 {
+		return fmt.Errorf("island: snapshot counters negative (gen=%d epoch=%d removed=%d)", s.Generation, s.Epoch, s.Removed)
+	}
+	for i, e := range m.engines {
+		if err := e.Restore(s.Demes[i]); err != nil {
+			return fmt.Errorf("island: deme %d: %w", i, err)
+		}
+	}
+	m.rng.SetState(s.RNG)
+	m.gen = s.Generation
+	m.epoch = s.Epoch
+	m.removed = s.Removed
+	return nil
+}
+
 // Run executes the configured number of epochs (or stops early at the
-// target) and returns the result.
+// target) and returns the result. After a Restore it picks up at the
+// snapshot's epoch, so Result.Epochs still counts the run's total.
 func (m *Model[G]) Run() Result[G] {
-	epoch := 0
+	epoch := m.epoch
 	for ; epoch < m.cfg.Epochs && !m.done(); epoch++ {
 		m.stepAll()
 		edges := m.migrate(epoch)

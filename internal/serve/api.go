@@ -18,6 +18,8 @@
 //
 //	POST   /v1/federation/migrants  one node's elites for one epoch
 //	GET    /v1/federation/info      fleet shape + federation counters
+//	POST   /v1/federation/rebind    a failover moved a shard to a new node
+//	POST   /v1/federation/resubmit  resume a lost shard from its checkpoint
 package serve
 
 import (
@@ -103,6 +105,40 @@ type MigrantBatch struct {
 	From     int              `json:"from"` // sender's shard rank
 	Done     bool             `json:"done,omitempty"`
 	Migrants []solver.Migrant `json:"migrants,omitempty"`
+	// Checkpoint piggybacks the sender shard's newest epoch checkpoint on
+	// the batch pushed to the job's owner node, which tracks it so a shard
+	// lost to a node death can be resumed on a surviving node instead of
+	// degraded. Batches to non-owner peers omit it.
+	Checkpoint *solver.Checkpoint `json:"checkpoint,omitempty"`
+}
+
+// RebindRequest is the POST /v1/federation/rebind payload: the owner's
+// announcement that a failover moved shard Rank of run Key onto fleet
+// node Node. Receivers clear the rank's degradation in their live runs of
+// Key and route its future batches to the new host.
+type RebindRequest struct {
+	Key  string `json:"key"`
+	Rank int    `json:"rank"` // the moved shard's rank
+	Node int    `json:"node"` // fleet rank of the new host
+	// Epoch is the owner's barrier epoch at failover time; the resumed
+	// shard replays its checkpointed epochs up to it without waiting at
+	// barriers the fleet has already passed.
+	Epoch int `json:"epoch"`
+}
+
+// ResubmitRequest is the POST /v1/federation/resubmit payload: the owner
+// asks a surviving node to run a lost shard, warm from its last epoch
+// checkpoint. The receiver validates the checkpoint against the spec
+// (same semantic gate as restart recovery) before accepting.
+type ResubmitRequest struct {
+	Spec       solver.Spec        `json:"spec"`
+	Checkpoint *solver.Checkpoint `json:"checkpoint"`
+	FleetEpoch int                `json:"fleet_epoch"`
+}
+
+// ResubmitResponse acknowledges an accepted shard resubmission.
+type ResubmitResponse struct {
+	ID string `json:"id"` // the resumed shard's job ID on the new host
 }
 
 // FederationCounters are the federation's monotonic counters, exposed on
@@ -113,6 +149,11 @@ type FederationCounters struct {
 	MigrantsRejected int64 `json:"migrants_rejected"`
 	PeerTimeouts     int64 `json:"peer_timeouts"`
 	Shards           int64 `json:"shards_total"`
+	// Failovers counts lost shards successfully resubmitted to a
+	// surviving node; InboxDropped counts migrant batches dropped on
+	// pending-inbox overflow.
+	Failovers    int64 `json:"failovers"`
+	InboxDropped int64 `json:"inbox_dropped"`
 }
 
 // FederationInfo is the GET /v1/federation/info payload: the fleet as
@@ -122,4 +163,10 @@ type FederationInfo struct {
 	Peers    []string           `json:"peers"` // sorted fleet, self included
 	Rank     int                `json:"rank"`  // this node's index in Peers
 	Counters FederationCounters `json:"counters"`
+	// EpochTimeoutMS is the node's default epoch barrier timeout (a Spec
+	// overrides it per job via params.fed_epoch_timeout_ms).
+	EpochTimeoutMS int64 `json:"epoch_timeout_ms,omitempty"`
+	// ActiveJobs is the node's pending+running job count — the load signal
+	// failover uses to pick the least-loaded surviving node.
+	ActiveJobs int `json:"active_jobs"`
 }

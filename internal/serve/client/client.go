@@ -294,6 +294,29 @@ func (c *Client) FederationInfo(ctx context.Context) (*serve.FederationInfo, err
 	return &info, nil
 }
 
+// Rebind announces a shard failover to the peer: shard req.Rank of run
+// req.Key now runs on fleet node req.Node. Idempotent by construction
+// (re-applying the same route is a no-op), so it retries transparently.
+func (c *Client) Rebind(ctx context.Context, req serve.RebindRequest) error {
+	hdr := http.Header{}
+	hdr.Set("Idempotency-Key", fmt.Sprintf("rebind-%s-%d-%d", req.Key, req.Rank, req.Node))
+	return c.doHeaders(ctx, http.MethodPost, "/v1/federation/rebind", hdr, req, nil)
+}
+
+// Resubmit asks the peer to run a lost federated shard, warm from its
+// last epoch checkpoint. The submission is not deduplicated server-side,
+// so the request deliberately carries no idempotency key — it gets one
+// attempt (a retry against a request that actually landed would start
+// the shard twice); a transient failure fails the failover, which falls
+// back to degradation.
+func (c *Client) Resubmit(ctx context.Context, req serve.ResubmitRequest) (*serve.ResubmitResponse, error) {
+	var resp serve.ResubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/federation/resubmit", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Stats fetches the server's operational counters as Prometheus text.
 func (c *Client) Stats(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats", nil)

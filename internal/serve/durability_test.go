@@ -208,6 +208,48 @@ func TestServerRestartResumesWarm(t *testing.T) {
 	}
 }
 
+// TestServerRestartResumesIslandWarm: the epoch-model checkpoint seam
+// through the daemon — an island job interrupted mid-run resumes warm
+// from its per-deme checkpoint and finishes with the exact result of an
+// uninterrupted run. The checkpoint carries every deme's population and
+// RNG stream, so the resumed trajectory is bit-identical.
+func TestServerRestartResumesIslandWarm(t *testing.T) {
+	spec := solver.Spec{
+		Problem: solver.ProblemSpec{Instance: "ft06"},
+		Model:   "island",
+		Params:  solver.Params{Pop: 32, Islands: 4, Interval: 2, Migrants: 1, Workers: 2},
+		Budget:  solver.Budget{Generations: 40},
+		Seed:    17,
+	}
+	cp, want := midCheckpoint(t, spec, 4)
+	if len(cp.Demes) == 0 {
+		t.Fatalf("island checkpoint carries no demes: %+v", cp)
+	}
+
+	dir := t.TempDir()
+	seedRunningJob(t, openStore(t, dir), "j000043", spec, cp)
+
+	logs := &logBuf{}
+	_, c := newTestServer(t, serve.Config{Store: openStore(t, dir), Logf: logs.Logf})
+	ctx := testCtx(t)
+	final, err := c.Await(ctx, "j000043")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != solver.JobDone || final.Result == nil {
+		t.Fatalf("final %+v", final)
+	}
+	if !logs.contains(fmt.Sprintf("resumed job j000043 from generation %d", cp.Generation)) {
+		t.Errorf("no warm-resume log line in %q", logs.all())
+	}
+	got := final.Result
+	if got.BestObjective != want.BestObjective || got.Generations != want.Generations || got.Evaluations != want.Evaluations {
+		t.Errorf("resumed island run (best %v, gens %d, evals %d) != uninterrupted run (best %v, gens %d, evals %d)",
+			got.BestObjective, got.Generations, got.Evaluations,
+			want.BestObjective, want.Generations, want.Evaluations)
+	}
+}
+
 // TestServerRestartColdOnBadCheckpoint: a checkpoint that passes the
 // store's checksum but fails semantic validation downgrades to a cold
 // start — the job is not lost and the daemon does not crash.

@@ -58,6 +58,43 @@ func TestStatsEndpoint(t *testing.T) {
 	if strings.Contains(stats, "schedserver_evaluations_total 0\n") {
 		t.Error("evaluations counter stayed zero across a finished job")
 	}
+	// The generated instance is gapped against its lower bound, so the
+	// finished job already has a histogram sample under its model.
+	if !strings.Contains(stats, "schedserver_job_gap_count{model=\"island\"} 1") {
+		t.Errorf("island job missing from the gap histogram:\n%s", stats)
+	}
+
+	// A benchmark-instance job is gapped against the best known optimum
+	// and lands under its own model label.
+	ref := solver.Spec{
+		Problem: solver.ProblemSpec{Instance: "ft06"},
+		Model:   "serial",
+		Params:  solver.Params{Pop: 30},
+		Budget:  solver.Budget{Generations: 20},
+		Seed:    4,
+	}
+	job2, err := c.Submit(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Await(ctx, job2.ID); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE schedserver_job_gap histogram",
+		"schedserver_job_gap_bucket{model=\"serial\",le=\"+Inf\"} 1",
+		"schedserver_job_gap_count{model=\"serial\"} 1",
+		"schedserver_job_gap_sum{model=\"serial\"}",
+		"schedserver_job_gap_count{model=\"island\"} 1",
+	} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("stats missing %q:\n%s", want, stats)
+		}
+	}
 }
 
 // TestEventsReconnectAcrossMigrationEpoch: severing the SSE stream right

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cellular"
 	"repro/internal/core"
+	"repro/internal/hybrid"
+	"repro/internal/island"
 	"repro/internal/rng"
 	"repro/internal/shop"
 	"repro/internal/shopga"
@@ -21,12 +24,15 @@ type Genome struct {
 	Assign []int     `json:"assign,omitempty"`
 }
 
-// Checkpoint is a resumable snapshot of an engine-driven run (models
-// serial and ms — see SupportsCheckpoint): the full population with its
-// objectives, the incumbent, the loop counters, and every RNG stream
-// state. Resuming from it is bit-identical to never having stopped: the
-// streams are the only hidden input of the deterministic engine, and they
-// are all here.
+// Checkpoint is a resumable snapshot of a run (see SupportsCheckpoint).
+// Engine-driven models (serial, ms) fill the flat section: the full
+// population with its objectives, the incumbent, the loop counters, and
+// every RNG stream state. Epoch-structured models (island, hybrid) leave
+// the flat population empty and fill Demes instead — one DemeState per
+// island/grid — plus the Epoch counter and the model-level RNG stream.
+// Resuming from either layout is bit-identical to never having stopped:
+// the streams are the only hidden input of the deterministic models, and
+// they are all here.
 type Checkpoint struct {
 	// Model and Encoding pin the checkpoint to the run shape that produced
 	// it; resuming under any other is rejected.
@@ -46,6 +52,10 @@ type Checkpoint struct {
 	// daemon restart.
 	EventSeq int64 `json:"event_seq,omitempty"`
 
+	// RNG is the engine stream (serial, ms) or the island model's
+	// model-level stream (migrant selection, replacement, topology draws).
+	// Hybrid runs have no model-level stream and leave it at its zero
+	// value, which is never fed back to an RNG.
 	RNG    rng.State   `json:"rng"`
 	Shards []rng.State `json:"shards,omitempty"`
 
@@ -53,14 +63,46 @@ type Checkpoint struct {
 	Objs          []float64 `json:"objs"`
 	Best          *Genome   `json:"best"`
 	BestObjective float64   `json:"best_objective"`
+
+	// Epoch and Demes are the epoch-structured section (island, hybrid):
+	// completed migration epochs and one deme per island/grid. For island
+	// checkpoints Evaluations is the run total — the per-deme sum plus the
+	// evaluations of merged-away islands — so the deme section must sum to
+	// at most Evaluations.
+	Epoch int         `json:"epoch,omitempty"`
+	Demes []DemeState `json:"demes,omitempty"`
+}
+
+// DemeState is one deme's slice of an epoch-structured checkpoint: the
+// deme's population with objectives, its incumbent, its counters, and its
+// randomness — an engine RNG stream for island demes, a derivation seed
+// for hybrid grids (the cellular model's entire randomness is one seed).
+// Exactly one of RNG and Seed is meaningful per model.
+type DemeState struct {
+	Pop           []Genome  `json:"pop"`
+	Objs          []float64 `json:"objs"`
+	Best          *Genome   `json:"best"`
+	BestObjective float64   `json:"best_objective"`
+
+	RNG  *rng.State `json:"rng,omitempty"`
+	Seed uint64     `json:"seed,omitempty"`
+
+	Generation  int   `json:"generation"`
+	Evaluations int64 `json:"evaluations"`
+	Stagnation  int   `json:"stagnation,omitempty"`
 }
 
 // SupportsCheckpoint reports whether the model can checkpoint and resume.
-// Only the engine-driven models qualify: their whole state is one engine.
-// The epoch-structured models (island, cellular, hybrid, agents, qga)
-// spread state over many demes and are restarted cold on recovery instead.
+// The engine-driven models (serial, ms) snapshot their single engine; the
+// epoch-structured island and hybrid models snapshot per deme between
+// migration epochs. The remaining models (cellular, agents, qga) are
+// restarted cold on recovery.
 func SupportsCheckpoint(model string) bool {
-	return model == "serial" || model == "ms"
+	switch model {
+	case "serial", "ms", "island", "hybrid":
+		return true
+	}
+	return false
 }
 
 // CheckpointOptions configures SolveWithCheckpoints.
@@ -114,29 +156,76 @@ func ValidateCheckpoint(spec Spec, cp *Checkpoint) error {
 	if err != nil {
 		return err
 	}
-	if len(cp.Pop) != norm.Params.Pop {
-		return fmt.Errorf("solver: checkpoint population %d, spec wants %d", len(cp.Pop), norm.Params.Pop)
-	}
 	if cp.ElapsedMS < 0 || cp.EventSeq < 0 {
 		return fmt.Errorf("solver: checkpoint elapsed/event counters out of range")
 	}
-	// Dry-run the resume path's unpack: unpackSnapshot applies the same
-	// strict per-genome validation the engine restore will see.
 	run := &Run{Spec: norm, Instance: in, Encoding: encName}
+	// Shape gate per model family: the flat models carry the spec's exact
+	// population; the epoch models carry one deme per configured island or
+	// grid, each at the size the model would build (deme engines round odd
+	// populations up to even; grids hold Width*Height cells).
+	switch norm.Model {
+	case "island":
+		n := islandCount(run, 4)
+		if len(cp.Demes) != n {
+			return fmt.Errorf("solver: checkpoint has %d demes, spec wants %d islands", len(cp.Demes), n)
+		}
+		want := subPop(run, n)
+		if want%2 == 1 {
+			want++
+		}
+		for d := range cp.Demes {
+			if len(cp.Demes[d].Pop) != want {
+				return fmt.Errorf("solver: checkpoint deme %d population %d, spec wants %d", d, len(cp.Demes[d].Pop), want)
+			}
+		}
+	case "hybrid":
+		n := islandCount(run, 4)
+		if len(cp.Demes) != n {
+			return fmt.Errorf("solver: checkpoint has %d demes, spec wants %d grids", len(cp.Demes), n)
+		}
+		w, h := gridDims(run, 5)
+		for d := range cp.Demes {
+			if len(cp.Demes[d].Pop) != w*h {
+				return fmt.Errorf("solver: checkpoint deme %d has %d cells, spec wants %dx%d", d, len(cp.Demes[d].Pop), w, h)
+			}
+		}
+	default:
+		if len(cp.Pop) != norm.Params.Pop {
+			return fmt.Errorf("solver: checkpoint population %d, spec wants %d", len(cp.Pop), norm.Params.Pop)
+		}
+	}
+	// Dry-run the resume path's unpack: the same strict per-genome
+	// validation the model restore will see.
 	switch encName {
 	case EncPerm, EncSeq:
 		pack, unpack := seqPackers(run)
-		_, err = unpackSnapshot(run, encoding[[]int]{pack: pack, unpack: unpack}, cp)
+		err = dryUnpack(run, encoding[[]int]{pack: pack, unpack: unpack}, cp)
 	case EncKeys:
 		pack, unpack := keysPackers(run)
-		_, err = unpackSnapshot(run, encoding[[]float64]{pack: pack, unpack: unpack}, cp)
+		err = dryUnpack(run, encoding[[]float64]{pack: pack, unpack: unpack}, cp)
 	case EncFlex:
 		pack, unpack := flexPackers(run)
-		_, err = unpackSnapshot(run, encoding[shopga.FlexGenome]{pack: pack, unpack: unpack}, cp)
+		err = dryUnpack(run, encoding[shopga.FlexGenome]{pack: pack, unpack: unpack}, cp)
 	default:
 		return fmt.Errorf("solver: unknown encoding %q", encName)
 	}
 	return err
+}
+
+// dryUnpack runs the model family's unpack without building a model.
+func dryUnpack[G any](run *Run, enc encoding[G], cp *Checkpoint) error {
+	switch run.Spec.Model {
+	case "island":
+		_, err := unpackIslandSnapshot(run, enc, cp)
+		return err
+	case "hybrid":
+		_, err := unpackHybridSnapshot(run, enc, cp)
+		return err
+	default:
+		_, err := unpackSnapshot(run, enc, cp)
+		return err
+	}
 }
 
 // ckptSeam is the internal form of CheckpointOptions threaded through
@@ -223,6 +312,201 @@ func unpackSnapshot[G any](run *Run, enc encoding[G], cp *Checkpoint) (core.Snap
 	snap.Stagnation = cp.Stagnation
 	snap.RNG = cp.RNG
 	snap.Shards = cp.Shards
+	return snap, nil
+}
+
+// packDeme converts one deme's population and incumbent into the wire
+// form shared by both epoch models.
+func packDeme[G any](enc encoding[G], pop []core.Individual[G], best core.Individual[G]) DemeState {
+	ds := DemeState{
+		Pop:  make([]Genome, len(pop)),
+		Objs: make([]float64, len(pop)),
+	}
+	for i, ind := range pop {
+		ds.Pop[i] = enc.pack(ind.Genome)
+		ds.Objs[i] = ind.Obj
+	}
+	bg := enc.pack(best.Genome)
+	ds.Best = &bg
+	ds.BestObjective = best.Obj
+	return ds
+}
+
+// unpackDeme validates and rebuilds one deme's population and incumbent,
+// applying the same strict per-genome validation as the flat models.
+func unpackDeme[G any](enc encoding[G], ds *DemeState) (pop []core.Individual[G], best core.Individual[G], err error) {
+	if len(ds.Pop) == 0 || len(ds.Pop) != len(ds.Objs) {
+		return nil, best, fmt.Errorf("population %d with %d objectives", len(ds.Pop), len(ds.Objs))
+	}
+	if ds.Best == nil {
+		return nil, best, fmt.Errorf("no incumbent")
+	}
+	if ds.Generation < 0 || ds.Evaluations < 0 {
+		return nil, best, fmt.Errorf("counters out of range")
+	}
+	pop = make([]core.Individual[G], len(ds.Pop))
+	for i := range ds.Pop {
+		g, uerr := enc.unpack(ds.Pop[i])
+		if uerr != nil {
+			return nil, best, fmt.Errorf("genome %d: %w", i, uerr)
+		}
+		if math.IsNaN(ds.Objs[i]) {
+			return nil, best, fmt.Errorf("objective %d is NaN", i)
+		}
+		pop[i] = core.Individual[G]{Genome: g, Obj: ds.Objs[i]}
+	}
+	bg, uerr := enc.unpack(*ds.Best)
+	if uerr != nil {
+		return nil, best, fmt.Errorf("incumbent: %w", uerr)
+	}
+	if math.IsNaN(ds.BestObjective) {
+		return nil, best, fmt.Errorf("incumbent objective is NaN")
+	}
+	return pop, core.Individual[G]{Genome: bg, Obj: ds.BestObjective}, nil
+}
+
+// checkEpochPins validates the shared header of an epoch-model checkpoint.
+func checkEpochPins(run *Run, cp *Checkpoint) error {
+	if cp.Model != run.Spec.Model {
+		return fmt.Errorf("solver: checkpoint is for model %q, run is %q", cp.Model, run.Spec.Model)
+	}
+	if cp.Encoding != run.Encoding {
+		return fmt.Errorf("solver: checkpoint encoding %q, run resolved %q", cp.Encoding, run.Encoding)
+	}
+	if len(cp.Demes) == 0 {
+		return fmt.Errorf("solver: epoch checkpoint has no demes")
+	}
+	if len(cp.Pop) != 0 {
+		return fmt.Errorf("solver: epoch checkpoint carries a flat population")
+	}
+	if cp.Generation < 0 || cp.Evaluations < 0 || cp.Epoch < 0 {
+		return fmt.Errorf("solver: checkpoint counters out of range")
+	}
+	return nil
+}
+
+// packIslandCheckpoint converts an island-model snapshot into the wire
+// form: one DemeState per island engine plus the model-level RNG stream
+// and the epoch counter. Evaluations is the run total (deme sum plus
+// merged-away islands), matching Result accounting.
+func packIslandCheckpoint[G any](run *Run, enc encoding[G], snap island.Snapshot[G]) *Checkpoint {
+	cp := &Checkpoint{
+		Model:       run.Spec.Model,
+		Encoding:    run.Encoding,
+		Generation:  snap.Generation,
+		Evaluations: snap.Removed,
+		Epoch:       snap.Epoch,
+		RNG:         snap.RNG,
+		Demes:       make([]DemeState, len(snap.Demes)),
+	}
+	for d, es := range snap.Demes {
+		ds := packDeme(enc, es.Pop, es.Best)
+		r := es.RNG
+		ds.RNG = &r
+		ds.Generation = es.Generation
+		ds.Evaluations = es.Evaluations
+		ds.Stagnation = es.Stagnation
+		cp.Demes[d] = ds
+		cp.Evaluations += es.Evaluations
+		if d == 0 || es.Best.Obj < cp.BestObjective {
+			cp.BestObjective = es.Best.Obj
+		}
+	}
+	return cp
+}
+
+// unpackIslandSnapshot validates a wire checkpoint against the resolved
+// run and rebuilds the island-model snapshot. Validation is as strict as
+// the flat unpack: damaged deme state must surface as a resume error the
+// caller can downgrade to a cold start, never as a crash.
+func unpackIslandSnapshot[G any](run *Run, enc encoding[G], cp *Checkpoint) (island.Snapshot[G], error) {
+	var snap island.Snapshot[G]
+	if err := checkEpochPins(run, cp); err != nil {
+		return snap, err
+	}
+	var demeSum int64
+	for d := range cp.Demes {
+		ds := &cp.Demes[d]
+		if ds.RNG == nil {
+			return island.Snapshot[G]{}, fmt.Errorf("solver: checkpoint deme %d has no RNG stream", d)
+		}
+		pop, best, err := unpackDeme(enc, ds)
+		if err != nil {
+			return island.Snapshot[G]{}, fmt.Errorf("solver: checkpoint deme %d: %w", d, err)
+		}
+		var es core.Snapshot[G]
+		es.Pop = pop
+		es.Best = best
+		es.HasBest = true
+		es.Generation = ds.Generation
+		es.Evaluations = ds.Evaluations
+		es.Stagnation = ds.Stagnation
+		es.RNG = *ds.RNG
+		snap.Demes = append(snap.Demes, es)
+		demeSum += ds.Evaluations
+	}
+	// Removed (evaluations of merged-away islands) is the total minus the
+	// deme sum; a checkpoint claiming less than its demes spent is damaged.
+	if cp.Evaluations < demeSum {
+		return island.Snapshot[G]{}, fmt.Errorf("solver: checkpoint evaluations %d below deme sum %d", cp.Evaluations, demeSum)
+	}
+	snap.RNG = cp.RNG
+	snap.Generation = cp.Generation
+	snap.Epoch = cp.Epoch
+	snap.Removed = cp.Evaluations - demeSum
+	return snap, nil
+}
+
+// packHybridCheckpoint converts a ring-of-torus snapshot into the wire
+// form: one DemeState per grid, each carrying the grid's derivation seed
+// (the cellular model's entire randomness). Generation reports the
+// deepest grid's generation counter for recovery logs.
+func packHybridCheckpoint[G any](run *Run, enc encoding[G], snap hybrid.Snapshot[G]) *Checkpoint {
+	cp := &Checkpoint{
+		Model:    run.Spec.Model,
+		Encoding: run.Encoding,
+		Epoch:    snap.Epoch,
+		Demes:    make([]DemeState, len(snap.Demes)),
+	}
+	for d, gs := range snap.Demes {
+		ds := packDeme(enc, gs.Cells, gs.Best)
+		ds.Seed = gs.Seed
+		ds.Generation = gs.Generation
+		ds.Evaluations = gs.Evaluations
+		cp.Demes[d] = ds
+		cp.Evaluations += gs.Evaluations
+		if gs.Generation > cp.Generation {
+			cp.Generation = gs.Generation
+		}
+		if d == 0 || gs.Best.Obj < cp.BestObjective {
+			cp.BestObjective = gs.Best.Obj
+		}
+	}
+	return cp
+}
+
+// unpackHybridSnapshot validates a wire checkpoint against the resolved
+// run and rebuilds the ring-of-torus snapshot.
+func unpackHybridSnapshot[G any](run *Run, enc encoding[G], cp *Checkpoint) (hybrid.Snapshot[G], error) {
+	var snap hybrid.Snapshot[G]
+	if err := checkEpochPins(run, cp); err != nil {
+		return snap, err
+	}
+	for d := range cp.Demes {
+		ds := &cp.Demes[d]
+		cells, best, err := unpackDeme(enc, ds)
+		if err != nil {
+			return hybrid.Snapshot[G]{}, fmt.Errorf("solver: checkpoint deme %d: %w", d, err)
+		}
+		snap.Demes = append(snap.Demes, cellular.Snapshot[G]{
+			Cells:       cells,
+			Best:        best,
+			Generation:  ds.Generation,
+			Evaluations: ds.Evaluations,
+			Seed:        ds.Seed,
+		})
+	}
+	snap.Epoch = cp.Epoch
 	return snap, nil
 }
 

@@ -128,23 +128,122 @@ func TestCheckpointResumeAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// The epoch models checkpoint per-deme state at epoch boundaries; a
+// resumed run retraces the uninterrupted one bit-for-bit, per encoding.
+func TestCheckpointResumeIslandSeq(t *testing.T) {
+	testCheckpointResumeBitIdentical(t, ckSpec("island", EncSeq, ProblemSpec{Instance: "ft06"}))
+}
+
+func TestCheckpointResumeIslandKeys(t *testing.T) {
+	testCheckpointResumeBitIdentical(t, ckSpec("island", EncKeys, ProblemSpec{Instance: "ft06"}))
+}
+
+func TestCheckpointResumeIslandFlex(t *testing.T) {
+	testCheckpointResumeBitIdentical(t, ckSpec("island", EncFlex, ProblemSpec{Kind: "fjs", Jobs: 5, Machines: 4}))
+}
+
+func TestCheckpointResumeIslandPerm(t *testing.T) {
+	testCheckpointResumeBitIdentical(t, ckSpec("island", EncPerm, ProblemSpec{Kind: "flow", Jobs: 6, Machines: 4}))
+}
+
+func TestCheckpointResumeHybridSeq(t *testing.T) {
+	testCheckpointResumeBitIdentical(t, ckSpec("hybrid", EncSeq, ProblemSpec{Instance: "ft06"}))
+}
+
+func TestCheckpointResumeHybridKeys(t *testing.T) {
+	testCheckpointResumeBitIdentical(t, ckSpec("hybrid", EncKeys, ProblemSpec{Instance: "ft06"}))
+}
+
+// Island epochs are stepped concurrently when Workers is set; the deme
+// states in a checkpoint are independent of the stepping parallelism, so
+// resume is bit-identical across worker counts.
+func TestCheckpointResumeIslandAcrossWorkerCounts(t *testing.T) {
+	spec := ckSpec("island", EncSeq, ProblemSpec{Instance: "ft06"})
+	spec.Params.Workers = 1
+	cold, cps := collectCheckpoints(t, spec, 10, nil)
+	if len(cps) == 0 {
+		t.Fatal("no island checkpoints")
+	}
+	spec.Params.Workers = 4
+	warm, _ := collectCheckpoints(t, spec, 10, cps[0])
+	if warm.BestObjective != cold.BestObjective || warm.Evaluations != cold.Evaluations {
+		t.Fatal("worker-count change broke island checkpoint resume")
+	}
+
+	hspec := ckSpec("hybrid", EncSeq, ProblemSpec{Instance: "ft06"})
+	hspec.Params.Workers = 1
+	hcold, hcps := collectCheckpoints(t, hspec, 10, nil)
+	if len(hcps) == 0 {
+		t.Fatal("no hybrid checkpoints")
+	}
+	hspec.Params.Workers = 3
+	hwarm, _ := collectCheckpoints(t, hspec, 10, hcps[0])
+	if hwarm.BestObjective != hcold.BestObjective || hwarm.Evaluations != hcold.Evaluations {
+		t.Fatal("worker-count change broke hybrid checkpoint resume")
+	}
+}
+
+// Damaged per-deme state is a resume error through the same per-encoding
+// validators as flat checkpoints — never a crash.
+func TestCheckpointIslandValidation(t *testing.T) {
+	spec := ckSpec("island", EncSeq, ProblemSpec{Instance: "ft06"})
+	_, cps := collectCheckpoints(t, spec, 10, nil)
+	base := cps[0]
+	if len(base.Demes) == 0 || len(base.Pop) != 0 {
+		t.Fatalf("island checkpoint shape: %d demes, %d flat pop", len(base.Demes), len(base.Pop))
+	}
+
+	corrupt := func(name string, mutate func(*Checkpoint)) {
+		t.Helper()
+		data, _ := json.Marshal(base)
+		var cp Checkpoint
+		if err := json.Unmarshal(data, &cp); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&cp)
+		if _, err := SolveWithCheckpoints(context.Background(), spec, CheckpointOptions{Resume: &cp}); err == nil {
+			t.Errorf("%s: corrupt island checkpoint accepted", name)
+		}
+	}
+	corrupt("deme dropped", func(cp *Checkpoint) { cp.Demes = cp.Demes[:len(cp.Demes)-1] })
+	corrupt("deme pop truncated", func(cp *Checkpoint) {
+		cp.Demes[0].Pop = cp.Demes[0].Pop[:len(cp.Demes[0].Pop)-1]
+		cp.Demes[0].Objs = cp.Demes[0].Objs[:len(cp.Demes[0].Objs)-1]
+	})
+	corrupt("deme objs mismatched", func(cp *Checkpoint) { cp.Demes[0].Objs = cp.Demes[0].Objs[:1] })
+	corrupt("deme incumbent missing", func(cp *Checkpoint) { cp.Demes[0].Best = nil })
+	corrupt("deme RNG missing", func(cp *Checkpoint) { cp.Demes[0].RNG = nil })
+	corrupt("deme gene out of range", func(cp *Checkpoint) { cp.Demes[0].Pop[0].Seq[0] = 99 })
+	corrupt("deme NaN objective", func(cp *Checkpoint) { cp.Demes[0].Objs[0] = math.NaN() })
+	corrupt("negative epoch", func(cp *Checkpoint) { cp.Epoch = -1 })
+	corrupt("evals below deme sum", func(cp *Checkpoint) { cp.Evaluations = 1 })
+	corrupt("wrong model pin", func(cp *Checkpoint) { cp.Model = "hybrid" })
+}
+
 func TestCheckpointResumeRejectsUnsupportedModel(t *testing.T) {
 	spec := ckSpec("serial", EncSeq, ProblemSpec{Instance: "ft06"})
 	_, cps := collectCheckpoints(t, spec, 10, nil)
-	island := spec
-	island.Model = "island"
-	if _, err := SolveWithCheckpoints(context.Background(), island, CheckpointOptions{Resume: cps[0]}); err == nil {
-		t.Fatal("island accepted a resume checkpoint")
+	cell := spec
+	cell.Model = "cellular"
+	if _, err := SolveWithCheckpoints(context.Background(), cell, CheckpointOptions{Resume: cps[0]}); err == nil {
+		t.Fatal("cellular accepted a resume checkpoint")
 	}
 	// Saving on an unsupported model is silently skipped, not an error.
 	var saved int
-	if _, err := SolveWithCheckpoints(context.Background(), island, CheckpointOptions{
+	if _, err := SolveWithCheckpoints(context.Background(), cell, CheckpointOptions{
 		Every: 5, Save: func(*Checkpoint) { saved++ },
 	}); err != nil {
-		t.Fatalf("island with save-only options: %v", err)
+		t.Fatalf("cellular with save-only options: %v", err)
 	}
 	if saved != 0 {
-		t.Fatalf("island saved %d checkpoints", saved)
+		t.Fatalf("cellular saved %d checkpoints", saved)
+	}
+	// A flat (serial-shaped) checkpoint must not resume an epoch model:
+	// the deme layout is missing and the model pin mismatches.
+	island := spec
+	island.Model = "island"
+	if _, err := SolveWithCheckpoints(context.Background(), island, CheckpointOptions{Resume: cps[0]}); err == nil {
+		t.Fatal("island accepted a serial-shaped checkpoint")
 	}
 }
 
@@ -201,9 +300,9 @@ func TestCheckpointResumeValidation(t *testing.T) {
 }
 
 // The service wires checkpointing per job: snapshots carry the job's event
-// sequence, epoch models never checkpoint, and a resumed job under a new
-// service finishes with the original's exact result while continuing its
-// event numbering.
+// sequence, epoch models checkpoint on their epoch cadence, and a resumed
+// job under a new service finishes with the original's exact result while
+// continuing its event numbering.
 func TestServiceCheckpointsAndResumes(t *testing.T) {
 	var mu sync.Mutex
 	byJob := map[string][]*Checkpoint{}
@@ -238,13 +337,18 @@ func TestServiceCheckpointsAndResumes(t *testing.T) {
 
 	mu.Lock()
 	cps := byJob[j.ID()]
-	islandCps := len(byJob[ij.ID()])
+	islandCps := byJob[ij.ID()]
 	mu.Unlock()
 	if len(cps) == 0 {
 		t.Fatal("no checkpoints recorded for ms job")
 	}
-	if islandCps != 0 {
-		t.Fatalf("island job recorded %d checkpoints", islandCps)
+	if len(islandCps) == 0 {
+		t.Fatal("no checkpoints recorded for island job")
+	}
+	for _, cp := range islandCps {
+		if len(cp.Demes) == 0 || cp.EventSeq <= 0 {
+			t.Fatalf("island checkpoint missing deme states or event seq: %d demes, seq %d", len(cp.Demes), cp.EventSeq)
+		}
 	}
 	for _, cp := range cps {
 		if cp.EventSeq <= 0 {
@@ -292,12 +396,22 @@ func TestServiceCheckpointsAndResumes(t *testing.T) {
 	}
 }
 
-func TestSubmitOptsRejectsResumeForEpochModel(t *testing.T) {
+func TestSubmitOptsRejectsResumeForUnsupportedModel(t *testing.T) {
 	svc := &Service{}
 	defer svc.Close()
-	spec := ckSpec("island", EncSeq, ProblemSpec{Instance: "ft06"})
+	spec := ckSpec("cellular", EncSeq, ProblemSpec{Instance: "ft06"})
 	if _, err := svc.SubmitOpts(context.Background(), spec, SubmitOptions{Resume: &Checkpoint{}}); err == nil {
-		t.Fatal("island resume accepted")
+		t.Fatal("cellular resume accepted")
+	}
+	// The island model passes the submit gate now — a damaged checkpoint
+	// fails the job at resume validation, it does not crash the service.
+	island := ckSpec("island", EncSeq, ProblemSpec{Instance: "ft06"})
+	j, err := svc.SubmitOpts(context.Background(), island, SubmitOptions{Resume: &Checkpoint{}})
+	if err != nil {
+		t.Fatalf("island resume submit: %v", err)
+	}
+	if _, err := j.Await(context.Background()); err == nil {
+		t.Fatal("empty island checkpoint resumed without error")
 	}
 }
 

@@ -44,20 +44,26 @@ type ExchangeReport struct {
 // deterministic injection.
 type MigrantExchange interface {
 	// ShardStarted announces a shard run: key identifies the federated
-	// job fleet-wide, rank/nodes are this shard's coordinates.
-	ShardStarted(key string, rank, nodes int)
+	// job fleet-wide, rank/nodes are this shard's coordinates, and
+	// epochTimeoutMS the spec's barrier timeout override (0 keeps the
+	// node's default). After a failover two shards of one key may run on
+	// the same node, so exchange state is keyed (key, rank).
+	ShardStarted(key string, rank, nodes int, epochTimeoutMS int64)
 	// ExchangeMigrants runs one epoch barrier: ship the local elites,
 	// wait (bounded) for the peers' epoch batches, and return whatever
 	// arrived in rank order. ctx is the shard job's context — barrier
-	// waits must abort on cancellation.
-	ExchangeMigrants(ctx context.Context, key string, epoch int, out []Migrant) ExchangeReport
+	// waits must abort on cancellation. cp, when non-nil, is the shard's
+	// newest epoch checkpoint; implementations piggyback it on the
+	// outbound batch so the owner can resubmit the shard elsewhere if
+	// this node dies (nil during epoch 0: nothing to resume from yet).
+	ExchangeMigrants(ctx context.Context, key string, rank, epoch int, out []Migrant, cp *Checkpoint) ExchangeReport
 	// MigrantRejected reports an inbound migrant that failed the
 	// per-encoding unpack validation and was dropped (the damaged-migrant
 	// counter's feed: validation lives solver-side, counting node-side).
 	MigrantRejected(key string)
-	// ShardFinished releases the key's exchange state. Called exactly
-	// once per ShardStarted, after the run's last epoch.
-	ShardFinished(key string)
+	// ShardFinished releases the (key, rank) exchange state. Called
+	// exactly once per ShardStarted, after the run's last epoch.
+	ShardFinished(key string, rank int)
 }
 
 // NodeResult is one node's contribution to a federated Result — the

@@ -123,6 +123,8 @@ func TestValidateFederationFields(t *testing.T) {
 		{"fed_key without nodes", func(s *Spec) { s.Params.FedKey = "k" }, "params.fed_key"},
 		{"fed_nodes without key", func(s *Spec) { s.Params.FedNodes = 2 }, "params.fed_nodes"},
 		{"federate with shard key", func(s *Spec) { s.Params.Federate = true; s.Params.FedNodes = 2; s.Params.FedKey = "k" }, "params.federate"},
+		{"epoch timeout negative", func(s *Spec) { s.Params.Federate = true; s.Params.FedEpochTimeoutMS = -1 }, "params.fed_epoch_timeout_ms"},
+		{"epoch timeout beyond cap", func(s *Spec) { s.Params.Federate = true; s.Params.FedEpochTimeoutMS = 3_600_001 }, "params.fed_epoch_timeout_ms"},
 		{"stall negative", func(s *Spec) { s.StallGenerations = -1 }, "stall_generations"},
 	}
 	for _, tc := range cases {
@@ -164,6 +166,12 @@ func TestValidateFederationFields(t *testing.T) {
 	ok.StallGenerations = 50
 	if err := ok.Validate(); err != nil {
 		t.Errorf("stall spec rejected: %v", err)
+	}
+	ok = base()
+	ok.Params.Federate = true
+	ok.Params.FedEpochTimeoutMS = 2500
+	if err := ok.Validate(); err != nil {
+		t.Errorf("per-spec epoch timeout rejected: %v", err)
 	}
 }
 
@@ -216,9 +224,9 @@ func TestReconstructSchedule(t *testing.T) {
 // nopExchange satisfies MigrantExchange with no fleet behind it.
 type nopExchange struct{}
 
-func (nopExchange) ShardStarted(string, int, int) {}
-func (nopExchange) ExchangeMigrants(_ context.Context, _ string, _ int, _ []Migrant) ExchangeReport {
+func (nopExchange) ShardStarted(string, int, int, int64) {}
+func (nopExchange) ExchangeMigrants(_ context.Context, _ string, _, _ int, _ []Migrant, _ *Checkpoint) ExchangeReport {
 	return ExchangeReport{}
 }
-func (nopExchange) MigrantRejected(string) {}
-func (nopExchange) ShardFinished(string)   {}
+func (nopExchange) MigrantRejected(string)    {}
+func (nopExchange) ShardFinished(string, int) {}

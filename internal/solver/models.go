@@ -291,22 +291,63 @@ func runIsland[G any](ctx context.Context, run *Run, enc encoding[G]) (*Result, 
 		Target:   b.Target, TargetSet: b.TargetSet,
 		Stop: run.stop,
 	}
-	if run.emit != nil {
-		icfg.OnEpoch = func(es island.EpochStats) {
-			run.observeEpoch(es.Epoch, es.Generation, es.Islands, es.BestObj, migrationEdges(es.Exchanges))
+	fed := run.exchange != nil && run.Spec.Params.FedKey != ""
+	ckActive := run.ck.active()
+
+	// The epoch observer is also the checkpoint seam: island state only
+	// sits at a resumable boundary between epochs, so snapshots are taken
+	// from OnEpoch (which runs on the model's goroutine, after the epoch's
+	// island goroutines joined). A federated shard snapshots EVERY epoch —
+	// shardCP is what the next ExchangeMigrants piggybacks for the owner's
+	// failover — while the durability seam saves on its generation cadence
+	// converted to epochs.
+	var mdl *island.Model[G]
+	var shardCP *Checkpoint
+	var baseElapsed int64
+	if run.ck != nil && run.ck.resume != nil {
+		baseElapsed = run.ck.resume.ElapsedMS
+	}
+	saveEvery := 1
+	if ckActive {
+		saveEvery = run.ck.every / iv
+		if saveEvery < 1 {
+			saveEvery = 1
 		}
 	}
-	fed := run.exchange != nil && run.Spec.Params.FedKey != ""
+	start := time.Now()
+	if run.emit != nil || fed || ckActive {
+		icfg.OnEpoch = func(es island.EpochStats) {
+			if run.emit != nil {
+				run.observeEpoch(es.Epoch, es.Generation, es.Islands, es.BestObj, migrationEdges(es.Exchanges))
+			}
+			doSave := ckActive && (es.Epoch+1)%saveEvery == 0
+			if !fed && !doSave {
+				return
+			}
+			cp := packIslandCheckpoint(run, enc, mdl.Snapshot())
+			cp.ElapsedMS = baseElapsed + time.Since(start).Milliseconds()
+			if fed {
+				shardCP = cp
+			}
+			if doSave {
+				// The save sink owns its checkpoint (the Service stamps
+				// EventSeq on it); give it a copy so the shard's wire copy
+				// stays immutable.
+				cpCopy := *cp
+				run.ck.save(&cpCopy)
+			}
+		}
+	}
 	if fed {
-		ex, key := run.exchange, run.Spec.Params.FedKey
-		ex.ShardStarted(key, run.Spec.Params.FedRank, run.Spec.Params.FedNodes)
-		defer ex.ShardFinished(key)
+		ex, key, rank := run.exchange, run.Spec.Params.FedKey, run.Spec.Params.FedRank
+		ex.ShardStarted(key, rank, run.Spec.Params.FedNodes, run.Spec.Params.FedEpochTimeoutMS)
+		defer ex.ShardFinished(key, rank)
 		icfg.Exchange = func(epoch int, elites []core.Individual[G]) []G {
 			out := make([]Migrant, len(elites))
 			for i, e := range elites {
 				out[i] = Migrant{Genome: enc.pack(e.Genome), Obj: e.Obj}
 			}
-			rep := ex.ExchangeMigrants(ctx, key, epoch, out)
+			rep := ex.ExchangeMigrants(ctx, key, rank, epoch, out, shardCP)
 			for _, p := range rep.Degraded {
 				run.observeDegraded(p, epoch)
 			}
@@ -322,7 +363,23 @@ func runIsland[G any](ctx context.Context, run *Run, enc encoding[G]) (*Result, 
 			return gs
 		}
 	}
-	res := island.New(run.RNG, icfg).Run()
+	mdl = island.New(run.RNG, icfg)
+	if run.ck != nil && run.ck.resume != nil {
+		snap, uerr := unpackIslandSnapshot(run, enc, run.ck.resume)
+		if uerr != nil {
+			return nil, uerr
+		}
+		if rerr := mdl.Restore(snap); rerr != nil {
+			return nil, rerr
+		}
+		if fed {
+			// A resumed failover shard re-offers its resume point until the
+			// first fresh epoch snapshot replaces it, so a second node loss
+			// still finds a checkpoint at the owner.
+			shardCP = run.ck.resume
+		}
+	}
+	res := mdl.Run()
 	out := &Result{
 		BestObjective: res.Best.Obj,
 		Evaluations:   res.Evaluations,
@@ -430,12 +487,46 @@ func runHybrid[G any](_ context.Context, run *Run, enc encoding[G]) (*Result, er
 		Target: b.Target, TargetSet: b.TargetSet,
 		Stop: run.stop,
 	}
-	if run.emit != nil {
-		hcfg.OnEpoch = func(epoch int, best float64) {
-			run.observeEpoch(epoch, (epoch+1)*iv, grids, best, nil)
+	// Hybrid state sits at a resumable boundary between ring-migration
+	// epochs, so the checkpoint seam hangs off OnEpoch, mirroring runIsland
+	// (minus federation: hybrid does not shard across nodes).
+	var mdl *hybrid.RingOfTorus[G]
+	ckActive := run.ck.active()
+	var baseElapsed int64
+	if run.ck != nil && run.ck.resume != nil {
+		baseElapsed = run.ck.resume.ElapsedMS
+	}
+	saveEvery := 1
+	if ckActive {
+		saveEvery = run.ck.every / iv
+		if saveEvery < 1 {
+			saveEvery = 1
 		}
 	}
-	res := hybrid.NewRingOfTorus(enc.problem, run.RNG, hcfg).Run()
+	start := time.Now()
+	if run.emit != nil || ckActive {
+		hcfg.OnEpoch = func(epoch int, best float64) {
+			if run.emit != nil {
+				run.observeEpoch(epoch, (epoch+1)*iv, grids, best, nil)
+			}
+			if ckActive && (epoch+1)%saveEvery == 0 {
+				cp := packHybridCheckpoint(run, enc, mdl.Snapshot())
+				cp.ElapsedMS = baseElapsed + time.Since(start).Milliseconds()
+				run.ck.save(cp)
+			}
+		}
+	}
+	mdl = hybrid.NewRingOfTorus(enc.problem, run.RNG, hcfg)
+	if run.ck != nil && run.ck.resume != nil {
+		snap, uerr := unpackHybridSnapshot(run, enc, run.ck.resume)
+		if uerr != nil {
+			return nil, uerr
+		}
+		if rerr := mdl.Restore(snap); rerr != nil {
+			return nil, rerr
+		}
+	}
+	res := mdl.Run()
 	return &Result{
 		BestObjective: res.Best.Obj,
 		Evaluations:   res.Evaluations,

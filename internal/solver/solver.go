@@ -100,6 +100,12 @@ type Params struct {
 	FedKey   string `json:"fed_key,omitempty"`
 	FedNodes int    `json:"fed_nodes,omitempty"`
 	FedRank  int    `json:"fed_rank,omitempty"`
+
+	// FedEpochTimeoutMS overrides the federation node's epoch barrier
+	// timeout for this job (milliseconds; 0 keeps the daemon default set
+	// by -fed-epoch-timeout-ms). It rides the shard specs to every node,
+	// so the whole fleet shares one barrier budget per job.
+	FedEpochTimeoutMS int64 `json:"fed_epoch_timeout_ms,omitempty"`
 }
 
 // DefaultGenerations is the generation budget an all-zero Budget gets;

@@ -226,6 +226,9 @@ func (s Spec) Validate() error {
 	if pr.Federate && pr.FedKey != "" {
 		add("params.federate", "federate and shard coordinates are mutually exclusive")
 	}
+	if pr.FedEpochTimeoutMS < 0 || pr.FedEpochTimeoutMS > 3_600_000 {
+		add("params.fed_epoch_timeout_ms", "fed_epoch_timeout_ms %d out of range [0, 3600000]", pr.FedEpochTimeoutMS)
+	}
 
 	// Budget.
 	b := s.Budget
